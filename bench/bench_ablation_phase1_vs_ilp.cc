@@ -1,0 +1,83 @@
+// Ablation (DESIGN.md decision 1): ARROW's two-phase LP vs the exact binary
+// ILP ticket selection of Table 9 (Appendix A.5), on instances small enough
+// for branch-and-bound. The ILP is the optimality reference; the two-phase
+// LP is what ships (it keeps the 5-minute TE deadline).
+#include <cstdio>
+
+#include "te/arrow.h"
+#include "te/basic.h"
+#include "topo/builders.h"
+#include "traffic/traffic.h"
+#include "util/table.h"
+
+using namespace arrow;
+
+namespace {
+
+void run_case(const char* label, const topo::Network& net,
+              std::vector<scenario::Scenario> scenarios, int tunnels,
+              double stress, int tickets, util::Table& table) {
+  util::Rng rng(12);
+  traffic::TrafficParams tp;
+  tp.num_matrices = 1;
+  tp.min_share = 0.0;
+  const auto ms = traffic::generate_traffic(net, tp, rng);
+  te::TunnelParams tun;
+  tun.tunnels_per_flow = tunnels;
+  te::TeInput input(net, ms[0], scenarios, tun);
+  input.scale_demands(te::max_satisfiable_scale(input) * stress);
+
+  te::ArrowParams ap;
+  ap.tickets.num_tickets = tickets;
+  ap.include_naive_candidate = false;
+  const auto prepared = te::prepare_arrow(input, ap, rng);
+  const auto lp = te::solve_arrow(input, prepared, ap);
+  const auto ilp = te::solve_arrow_ilp(input, prepared, ap);
+  const double d = input.total_demand();
+  table.add_row(
+      {label,
+       lp.optimal ? util::Table::pct(lp.total_admitted() / d, 2) : "failed",
+       lp.optimal ? util::Table::num(lp.solve_seconds, 3) + "s" : "-",
+       ilp.optimal ? util::Table::pct(ilp.total_admitted() / d, 2) : "failed",
+       ilp.optimal ? util::Table::num(ilp.solve_seconds, 3) + "s" : "-",
+       ilp.optimal ? std::to_string(ilp.bb_nodes_hint) : "-",
+       (lp.optimal && ilp.optimal)
+           ? util::Table::pct(lp.total_admitted() /
+                                  std::max(1e-9, ilp.total_admitted()),
+                              1)
+           : "-"});
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Ablation: two-phase LP vs exact binary ILP (Table 9) ===\n");
+  util::Table table({"instance", "LP thr", "LP time", "ILP thr", "ILP time",
+                     "B&B nodes", "LP/ILP"});
+
+  {
+    const topo::Network net = topo::build_testbed();
+    std::vector<scenario::Scenario> scenarios{
+        {{0}, 0.01}, {{1}, 0.01}, {{3}, 0.01}};
+    run_case("testbed (3 scenarios, |Z|=4)", net, scenarios, 3, 1.2, 4,
+             table);
+  }
+  {
+    const topo::Network net = topo::build_b4();
+    util::Rng rng(5);
+    scenario::ScenarioParams sp;
+    sp.probability_cutoff = 0.001;
+    sp.include_double_cuts = false;
+    auto set = scenario::generate_scenarios(net, sp, rng);
+    auto scenarios = scenario::remove_disconnecting(net, set.scenarios);
+    scenarios.resize(std::min<std::size_t>(6, scenarios.size()));
+    run_case("B4 subset (6 scenarios, |Z|=3)", net, scenarios, 3, 1.3, 3,
+             table);
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "(the two-phase LP stays within a few percent of the exact ILP at a "
+      "fraction of the runtime — the paper's rationale for Phase I/II)\n");
+  return 0;
+}

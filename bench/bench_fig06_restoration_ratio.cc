@@ -1,0 +1,75 @@
+// Reproduces Fig. 6: restoration ratio of fibers under single cuts.
+//   (a) CDF of the restoration ratio U_phi — paper: 34% fully restorable,
+//       62% partially, 4% not restorable at all.
+//   (b) Restoration ratio vs provisioned capacity — fibers above 10 Tbps are
+//       almost never fully restorable.
+#include <algorithm>
+#include <cstdio>
+
+#include "optical/restoration.h"
+#include "topo/builders.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace arrow;
+
+int main() {
+  const topo::Network net = topo::build_fbsynth();
+  const auto all = optical::analyze_all_single_cuts(net);
+
+  std::vector<double> ratios;
+  int full = 0, none = 0, partial = 0;
+  for (const auto& c : all) {
+    const double r = std::min(1.0, c.ratio());
+    ratios.push_back(r);
+    if (r >= 0.999) {
+      ++full;
+    } else if (r <= 0.001) {
+      ++none;
+    } else {
+      ++partial;
+    }
+  }
+  const double n = static_cast<double>(all.size());
+
+  std::printf("=== Fig. 6(a): restoration ratio CDF (all single cuts) ===\n");
+  util::EmpiricalCdf cdf(ratios);
+  util::Table rows({"restoration ratio", "CDF"});
+  for (const auto& [x, y] : cdf.curve(10)) {
+    rows.add_row({util::Table::pct(x, 0), util::Table::num(y, 2)});
+  }
+  std::fputs(rows.to_string().c_str(), stdout);
+  std::printf(
+      "fully restorable: %.0f%% (paper 34%%) | partially: %.0f%% (paper "
+      "62%%) | not restorable: %.0f%% (paper 4%%)\n\n",
+      100.0 * full / n, 100.0 * partial / n, 100.0 * none / n);
+
+  std::printf("=== Fig. 6(b): restoration ratio vs provisioned capacity ===\n");
+  util::Table buckets({"provisioned (Tbps)", "fibers", "mean ratio",
+                       "share fully restorable"});
+  const double edges[] = {0, 1, 2, 4, 8, 16, 1e9};
+  for (int b = 0; b < 6; ++b) {
+    int count = 0, fully = 0;
+    double sum = 0.0;
+    for (const auto& c : all) {
+      const double tbps = c.provisioned_gbps / 1000.0;
+      if (tbps < edges[b] || tbps >= edges[b + 1]) continue;
+      ++count;
+      const double r = std::min(1.0, c.ratio());
+      sum += r;
+      fully += r >= 0.999 ? 1 : 0;
+    }
+    if (!count) continue;
+    buckets.add_row(
+        {util::Table::num(edges[b], 0) + "-" +
+             (edges[b + 1] > 100 ? std::string("inf")
+                                 : util::Table::num(edges[b + 1], 0)),
+         std::to_string(count), util::Table::num(sum / count, 2),
+         util::Table::pct(static_cast<double>(fully) / count, 0)});
+  }
+  std::fputs(buckets.to_string().c_str(), stdout);
+  std::printf(
+      "(paper: fibers above 10 Tbps provisioned are almost never 100%% "
+      "restorable)\n");
+  return 0;
+}

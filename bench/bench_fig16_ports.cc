@@ -1,0 +1,84 @@
+// Reproduces Fig. 16: number of router ports (and hence transponders)
+// required by each TE scheme to support the same availability-guaranteed
+// throughput at beta = 99.9%, normalized to the hypothetical Fully
+// Restorable TE.
+//
+// Paper: TeaVaR / FFC-1 / FFC-2 need 4.1x / 5.2x / 311.4x the ports of the
+// fully restorable TE, ARROW only 1.5x — i.e. ARROW needs ~2.8x fewer ports
+// than the best failure-aware TE.
+#include <cstdio>
+
+#include "sim/cost.h"
+#include "te/arrow.h"
+#include "te/basic.h"
+#include "te/ffc.h"
+#include "te/teavar.h"
+#include "topo/builders.h"
+#include "traffic/traffic.h"
+#include "util/table.h"
+
+using namespace arrow;
+
+namespace {
+
+void run(const topo::Network& net, double cutoff, int tunnels) {
+  util::Rng rng(616);
+  traffic::TrafficParams tp;
+  tp.num_matrices = 1;
+  const auto ms = traffic::generate_traffic(net, tp, rng);
+  scenario::ScenarioParams sp;
+  sp.probability_cutoff = cutoff;
+  auto set = scenario::generate_scenarios(net, sp, rng);
+  const auto scenarios = scenario::remove_disconnecting(net, set.scenarios);
+  te::TunnelParams tun;
+  tun.tunnels_per_flow = tunnels;
+  te::TeInput input(net, ms[0], scenarios, tun);
+  input.scale_demands(te::max_satisfiable_scale(input) * 0.5);
+
+  const sim::CostResult baseline = sim::fully_restorable_baseline(input);
+  util::Table table({"scheme", "avail-guaranteed thr (99.9%)",
+                     "ports vs Fully-Restorable", "paper"});
+  table.add_row({"Fully Restorable TE",
+                 util::Table::pct(baseline.availability_guaranteed_throughput),
+                 "1.0x", "1.0x"});
+
+  te::ArrowParams ap;
+  ap.tickets.num_tickets = 10;
+  const auto prepared = te::prepare_arrow(input, ap, rng);
+  const auto add = [&](const te::TeSolution& sol, const char* paper) {
+    if (!sol.optimal) {
+      table.add_row({sol.scheme, "failed", "-", paper});
+      return;
+    }
+    const sim::CostResult cost = sim::compute_cost(input, sol, 0.999);
+    table.add_row(
+        {sol.scheme, util::Table::pct(cost.availability_guaranteed_throughput),
+         util::Table::mult(cost.normalized_ports / baseline.normalized_ports,
+                           1),
+         paper});
+  };
+  add(te::solve_arrow(input, prepared, ap), "1.5x");
+  add(te::solve_teavar(input, te::TeaVarParams{}), "4.1x");
+  add(te::solve_ffc(input, te::FfcParams{1, 0}), "5.2x");
+  add(te::solve_ffc(input, te::FfcParams{2, net.num_sites > 20 ? 60 : 0}),
+      "311.4x");
+
+  std::printf("--- %s ---\n", net.name.c_str());
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Fig. 16: router ports needed for equal availability-guaranteed "
+      "throughput (beta = 99.9%%) ===\n\n");
+  run(topo::build_b4(), 0.001, 8);
+  run(topo::build_ibm(), 0.001, 8);
+  run(topo::build_fbsynth(), 0.003, 5);
+  std::printf(
+      "(paper, Facebook topology: ARROW 1.5x vs TeaVaR 4.1x, FFC-1 5.2x, "
+      "FFC-2 311.4x — ARROW needs ~2.8x fewer ports than TeaVaR)\n");
+  return 0;
+}

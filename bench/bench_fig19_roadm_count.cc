@@ -1,0 +1,40 @@
+// Reproduces Fig. 19 (Appendix A.6): number of ROADMs that must be
+// reconfigured per fiber cut. Paper: for 80% of cuts, <= 10 add/drop ROADMs
+// and <= 6 intermediate ROADMs.
+#include <cstdio>
+
+#include "optical/restoration.h"
+#include "topo/builders.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace arrow;
+
+int main() {
+  const topo::Network net = topo::build_fbsynth();
+  const auto all = optical::analyze_all_single_cuts(net);
+
+  std::vector<double> add_drop, intermediate;
+  for (const auto& c : all) {
+    if (c.links.empty()) continue;  // cut carried nothing
+    add_drop.push_back(c.add_drop_roadms);
+    intermediate.push_back(c.intermediate_roadms);
+  }
+
+  std::printf("=== Fig. 19: ROADMs reconfigured per fiber cut (CDF) ===\n");
+  util::EmpiricalCdf ad(add_drop), in(intermediate);
+  util::Table rows({"CDF", "add/drop ROADMs", "intermediate ROADMs"});
+  for (double q : {0.2, 0.4, 0.6, 0.8, 0.9, 1.0}) {
+    rows.add_row({util::Table::num(q, 1), util::Table::num(ad.quantile(q), 0),
+                  util::Table::num(in.quantile(q), 0)});
+  }
+  std::fputs(rows.to_string().c_str(), stdout);
+  std::printf(
+      "at the 80th percentile: %.0f add/drop (paper: <=10), %.0f "
+      "intermediate (paper: <=6)\n",
+      ad.quantile(0.8), in.quantile(0.8));
+  std::printf(
+      "(more than 2 add/drop ROADMs occur because failed wavelengths do not "
+      "necessarily terminate at the cut fiber's endpoints)\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Fig. 22 (Appendix A.8): the IP-to-optical mapping
+// distributions that guide IP-layer generation.
+//   (a) CDF of the number of IP links per fiber.
+//   (b) CDF of the number of wavelengths per IP link.
+#include <cstdio>
+
+#include "topo/builders.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace arrow;
+
+namespace {
+
+void report(const topo::Network& net) {
+  std::vector<double> links_per_fiber(net.optical.fibers.size(), 0.0);
+  for (const auto& link : net.ip_links) {
+    for (topo::FiberId f : link.fiber_path()) {
+      links_per_fiber[static_cast<std::size_t>(f)] += 1.0;
+    }
+  }
+  std::vector<double> waves_per_link;
+  for (const auto& link : net.ip_links) {
+    waves_per_link.push_back(static_cast<double>(link.waves.size()));
+  }
+
+  std::printf("--- %s ---\n", net.name.c_str());
+  util::EmpiricalCdf lf(links_per_fiber), wl(waves_per_link);
+  util::Table rows({"CDF", "IP links per fiber", "waves per IP link"});
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    rows.add_row({util::Table::num(q, 2), util::Table::num(lf.quantile(q), 1),
+                  util::Table::num(wl.quantile(q), 1)});
+  }
+  std::fputs(rows.to_string().c_str(), stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Fig. 22: IP-over-optical mapping distributions ===\n"
+      "(the paper measures these on the Facebook backbone and uses them to\n"
+      " generate the denser IP layers for B4/IBM; we report all three)\n\n");
+  report(topo::build_fbsynth());
+  report(topo::build_b4());
+  report(topo::build_ibm());
+  return 0;
+}

@@ -1,0 +1,179 @@
+// arrowctl — command-line front end for running ARROW on your own network.
+//
+//   arrowctl export <b4|ibm|fbsynth|testbed> <net.topo> [traffic.tm]
+//       write a built-in topology (and a gravity traffic matrix) to files,
+//       as a starting point for editing
+//   arrowctl ratio <net.topo>
+//       restoration-ratio analysis over all single fiber cuts (§2.3)
+//   arrowctl latency <net.topo> <fiber_id> [--legacy]
+//       cut a fiber, plan restoration (RWA ILP), replay the reconfiguration
+//   arrowctl te <net.topo> <traffic.tm> [scale]
+//       solve ARROW's restoration-aware TE and report per-scheme
+//       availability at the given demand scale
+//
+// File formats are documented in src/topo/io.h.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "optical/latency.h"
+#include "optical/restoration.h"
+#include "sim/availability.h"
+#include "te/arrow.h"
+#include "te/basic.h"
+#include "te/ffc.h"
+#include "te/teavar.h"
+#include "topo/builders.h"
+#include "topo/io.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace arrow;
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage: arrowctl export <b4|ibm|fbsynth|testbed> <net.topo> [tm]\n"
+      "       arrowctl ratio <net.topo>\n"
+      "       arrowctl latency <net.topo> <fiber_id> [--legacy]\n"
+      "       arrowctl te <net.topo> <traffic.tm> [scale]\n",
+      stderr);
+  return 2;
+}
+
+int cmd_export(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string which = argv[2];
+  const topo::Network net = which == "b4"        ? topo::build_b4()
+                            : which == "ibm"     ? topo::build_ibm()
+                            : which == "testbed" ? topo::build_testbed()
+                            : which == "fbsynth" ? topo::build_fbsynth()
+                                                 : topo::Network{};
+  if (net.num_sites == 0) return usage();
+  topo::save_network_file(net, argv[3]);
+  std::printf("wrote %s (%d sites, %zu fibers, %zu IP links)\n", argv[3],
+              net.num_sites, net.optical.fibers.size(), net.ip_links.size());
+  if (argc > 4) {
+    util::Rng rng(1);
+    traffic::TrafficParams tp;
+    tp.num_matrices = 1;
+    const auto ms = traffic::generate_traffic(net, tp, rng);
+    topo::save_traffic_file(ms[0], argv[4]);
+    std::printf("wrote %s (%zu demands, %.1f Tbps total)\n", argv[4],
+                ms[0].demands.size(), ms[0].total_gbps() / 1000.0);
+  }
+  return 0;
+}
+
+int cmd_ratio(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const topo::Network net = topo::load_network_file(argv[2]);
+  const auto all = optical::analyze_all_single_cuts(net);
+  util::Table table({"fiber", "provisioned (Gbps)", "restorable (Gbps)",
+                     "ratio"});
+  std::vector<double> ratios;
+  for (const auto& c : all) {
+    const double r = std::min(1.0, c.ratio());
+    ratios.push_back(r);
+    table.add_row({std::to_string(c.cuts[0]),
+                   util::Table::num(c.provisioned_gbps, 0),
+                   util::Table::num(c.restorable_gbps, 0),
+                   util::Table::pct(r, 0)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  const auto t = util::tally_around(ratios, 1.0, 1e-3);
+  std::printf("fully restorable: %.0f%%, partially: %.0f%%, none: %.0f%%\n",
+              100.0 * (t.equal + t.above),
+              100.0 * (t.below - util::tally_around(ratios, 0.0, 1e-3).equal),
+              100.0 * util::tally_around(ratios, 0.0, 1e-3).equal);
+  return 0;
+}
+
+int cmd_latency(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const topo::Network net = topo::load_network_file(argv[2]);
+  const topo::FiberId fiber = std::atoi(argv[3]);
+  const bool legacy = argc > 4 && std::strcmp(argv[4], "--legacy") == 0;
+
+  optical::RwaOptions opt;
+  opt.integer = true;
+  const auto rwa = optical::solve_rwa(net, {fiber}, opt);
+  const auto plan = optical::plan_from_restoration(net, rwa.links);
+  optical::LatencyParams params;
+  params.noise_loading = !legacy;
+  util::Rng rng(7);
+  const auto res = optical::simulate_restoration(net, {fiber}, plan, params,
+                                                 rng);
+  std::printf("cut fiber %d: lost %.0f Gbps, restored %.0f Gbps in %.1f s "
+              "(%s, %d ROADMs, %d amplifiers)\n",
+              fiber, res.lost_gbps, res.restored_gbps, res.total_s,
+              legacy ? "legacy amplifiers" : "ASE noise loading",
+              res.roadms_reconfigured, res.amplifiers_touched);
+  for (const auto& p : res.timeline) {
+    std::printf("  t=%8.1fs  %6.0f Gbps  %s\n", p.t_s, p.restored_gbps,
+                p.event.c_str());
+  }
+  return 0;
+}
+
+int cmd_te(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const topo::Network net = topo::load_network_file(argv[2]);
+  const auto tm = topo::load_traffic_file(argv[3]);
+  const double scale = argc > 4 ? std::atof(argv[4]) : 0.5;
+
+  util::Rng rng(42);
+  scenario::ScenarioParams sp;
+  sp.probability_cutoff = net.num_sites > 20 ? 0.002 : 0.001;
+  auto set = scenario::generate_scenarios(net, sp, rng);
+  const auto scenarios = scenario::remove_disconnecting(net, set.scenarios);
+
+  te::TunnelParams tun;
+  tun.tunnels_per_flow = 6;
+  te::TeInput input(net, tm, scenarios, tun);
+  input.scale_demands(te::max_satisfiable_scale(input) * scale);
+  std::printf("%d flows, %zu scenarios, demand at %.0f%% of saturation\n",
+              input.num_flows(), scenarios.size(), 100.0 * scale);
+
+  te::ArrowParams ap;
+  ap.tickets.num_tickets = 8;
+  const auto prepared = te::prepare_arrow(input, ap, rng);
+
+  util::Table table({"scheme", "throughput", "availability", "solve (s)"});
+  const auto report = [&](const te::TeSolution& sol) {
+    if (!sol.optimal) {
+      table.add_row({sol.scheme, "failed", "-", "-"});
+      return;
+    }
+    const auto eval = sim::evaluate(input, sol);
+    table.add_row({sol.scheme, util::Table::pct(eval.throughput),
+                   util::Table::pct(eval.availability, 4),
+                   util::Table::num(sol.solve_seconds, 2)});
+  };
+  report(te::solve_arrow(input, prepared, ap));
+  report(te::solve_arrow_naive(input, prepared, ap));
+  report(te::solve_ffc(input, te::FfcParams{1, 0}));
+  report(te::solve_teavar(input, te::TeaVarParams{}));
+  report(te::solve_ecmp(input));
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "export") return cmd_export(argc, argv);
+    if (cmd == "ratio") return cmd_ratio(argc, argv);
+    if (cmd == "latency") return cmd_latency(argc, argv);
+    if (cmd == "te") return cmd_te(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "arrowctl: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,70 @@
+// Compare ARROW against the state-of-the-art TE family on one topology at
+// one demand scale: per-scheme throughput, availability, and solve time.
+//
+//   $ ./build/examples/te_comparison [scale]
+//
+// A compact, single-point version of the Fig. 13 sweep for interactive use.
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/availability.h"
+#include "te/arrow.h"
+#include "te/basic.h"
+#include "te/ffc.h"
+#include "te/teavar.h"
+#include "topo/builders.h"
+#include "traffic/traffic.h"
+#include "util/table.h"
+
+using namespace arrow;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 2.5;
+
+  const topo::Network net = topo::build_b4(1);
+  util::Rng rng(2021);
+  traffic::TrafficParams tp;
+  tp.num_matrices = 1;
+  const auto matrices = traffic::generate_traffic(net, tp, rng);
+
+  scenario::ScenarioParams sp;
+  sp.probability_cutoff = 0.001;
+  auto scenario_set = scenario::generate_scenarios(net, sp, rng);
+  const auto scenarios =
+      scenario::remove_disconnecting(net, scenario_set.scenarios);
+
+  te::TunnelParams tunnels;
+  tunnels.tunnels_per_flow = 8;
+  tunnels.cover_double_cuts = true;
+  te::TeInput input(net, matrices[0], scenarios, tunnels);
+  input.scale_demands(te::max_satisfiable_scale(input));
+  input.scale_demands(scale);
+  std::printf("B4, demand scale %.2fx, %d flows, %zu scenarios\n", scale,
+              input.num_flows(), scenarios.size());
+
+  te::ArrowParams ap;
+  ap.tickets.num_tickets = 15;
+  const auto prepared = te::prepare_arrow(input, ap, rng);
+
+  util::Table table({"scheme", "throughput", "availability", "solve (s)"});
+  const auto report = [&](const te::TeSolution& sol) {
+    if (!sol.optimal) {
+      table.add_row({sol.scheme, "failed", "-", "-"});
+      return;
+    }
+    const auto eval = sim::evaluate(input, sol);
+    table.add_row({sol.scheme, util::Table::pct(eval.throughput),
+                   util::Table::pct(eval.availability, 4),
+                   util::Table::num(sol.solve_seconds, 2)});
+  };
+  report(te::solve_arrow(input, prepared, ap));
+  report(te::solve_arrow_naive(input, prepared, ap));
+  report(te::solve_ffc(input, te::FfcParams{1, 0}));
+  report(te::solve_ffc(input, te::FfcParams{2, 0}));
+  report(te::solve_teavar(input, te::TeaVarParams{}));
+  report(te::solve_ecmp(input));
+
+  std::string out = table.to_string();
+  std::fputs(out.c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// A day in the life of a WAN: replay the same fiber-cut trace against five
+// TE disciplines and compare delivered traffic, downtime, and the transient
+// loss during restoration (ARROW with noise loading vs legacy amplifiers).
+//
+//   $ ./build/examples/wan_controller [cuts_per_day]
+//
+// This is ARROW as a *system* (Fig. 8): periodic TE runs, precomputed
+// restoration plans, and second-by-second accounting while wavelengths come
+// back one at a time.
+#include <cstdio>
+#include <cstdlib>
+
+#include "controller/controller.h"
+#include "topo/builders.h"
+#include "util/table.h"
+
+using namespace arrow;
+
+int main(int argc, char** argv) {
+  const double cuts_per_day = argc > 1 ? std::atof(argv[1]) : 8.0;
+  const topo::Network net = topo::build_b4();
+
+  util::Rng rng(20210823);
+  traffic::TrafficParams tp;
+  tp.num_matrices = 4;  // diurnal rotation
+  const auto tms = traffic::generate_traffic(net, tp, rng);
+
+  ctrl::ControllerConfig base;
+  base.horizon_s = 24.0 * 3600.0;
+  base.te_interval_s = 300.0;
+  base.tunnels.tunnels_per_flow = 5;
+  base.arrow.tickets.num_tickets = 6;
+  base.scenarios.probability_cutoff = 0.002;
+  base.demand_scale = 0.55;
+
+  const auto trace =
+      ctrl::sample_failure_trace(net, base.horizon_s, cuts_per_day, rng);
+  std::printf("B4, one simulated day, %zu fiber cuts, TE every %.0f s\n\n",
+              trace.size(), base.te_interval_s);
+
+  util::Table table({"discipline", "availability", "lost (Tbps*s)",
+                     "transient loss", "worst restoration", "cuts planned"});
+  const auto run = [&](ctrl::Scheme scheme, bool noise_loading,
+                       const char* label) {
+    ctrl::ControllerConfig cfg = base;
+    cfg.scheme = scheme;
+    cfg.latency.noise_loading = noise_loading;
+    util::Rng run_rng(7);  // identical stream for apples-to-apples replays
+    const auto r = ctrl::run_controller(net, tms, trace, cfg, run_rng);
+    table.add_row({label, util::Table::pct(r.availability(), 4),
+                   util::Table::num(r.lost_gbps_seconds / 1000.0, 1),
+                   util::Table::num(r.transient_loss_gbps_seconds / 1000.0, 1),
+                   util::Table::num(r.worst_restoration_s, 1) + " s",
+                   std::to_string(r.cuts_with_plan) + "/" +
+                       std::to_string(r.cuts_handled)});
+  };
+  run(ctrl::Scheme::kArrow, true, "ARROW (noise loading)");
+  run(ctrl::Scheme::kArrow, false, "ARROW (legacy amplifiers)");
+  run(ctrl::Scheme::kArrowNaive, true, "ARROW-Naive");
+  run(ctrl::Scheme::kFfc1, true, "FFC-1 (no restoration)");
+  run(ctrl::Scheme::kTeaVar, true, "TeaVaR (no restoration)");
+  run(ctrl::Scheme::kEcmp, true, "ECMP");
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "\n'transient loss' is traffic lost while restorations were still "
+      "converging — the 8 s vs ~17 min amplifier story (Fig. 12) measured "
+      "in delivered bytes.\n");
+  return 0;
+}

@@ -1,0 +1,258 @@
+#include "controller/controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "optical/event_sim.h"
+#include "optical/rwa.h"
+#include "sim/availability.h"
+#include "te/basic.h"
+#include "te/ffc.h"
+#include "te/teavar.h"
+#include "ticket/ticket.h"
+#include "util/check.h"
+
+namespace arrow::ctrl {
+
+const char* to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kArrow: return "ARROW";
+    case Scheme::kArrowNaive: return "ARROW-Naive";
+    case Scheme::kFfc1: return "FFC-1";
+    case Scheme::kTeaVar: return "TeaVaR";
+    case Scheme::kEcmp: return "ECMP";
+  }
+  return "unknown";
+}
+
+std::vector<FailureEvent> sample_failure_trace(const topo::Network& net,
+                                               double horizon_s,
+                                               double cuts_per_day,
+                                               util::Rng& rng) {
+  std::vector<FailureEvent> trace;
+  const double rate_per_s = cuts_per_day / (24.0 * 3600.0);
+  double t = rng.exponential(rate_per_s);
+  while (t < horizon_s) {
+    FailureEvent ev;
+    ev.t_s = t;
+    ev.fiber = rng.uniform_int(
+        0, static_cast<int>(net.optical.fibers.size()) - 1);
+    // §2.2: lognormal MTTR, nine-hour median for fiber cuts.
+    ev.repair_s = rng.lognormal(2.2, 0.85) * 3600.0;
+    trace.push_back(ev);
+    t += rng.exponential(rate_per_s);
+  }
+  return trace;
+}
+
+namespace {
+
+struct RuntimeState {
+  std::set<topo::FiberId> active_cuts;
+  // Currently-lit restored capacity per failed IP link (ramps up wavelength
+  // by wavelength during a restoration).
+  std::map<topo::IpLinkId, double> restored;
+  // Links restored on behalf of each active cut (reverted at repair time).
+  std::map<topo::FiberId, std::vector<topo::IpLinkId>> restored_by_cut;
+  // Open restoration windows (for transient-loss accounting).
+  int restorations_in_flight = 0;
+};
+
+}  // namespace
+
+ControllerReport run_controller(const topo::Network& net,
+                                const std::vector<traffic::TrafficMatrix>& tms,
+                                const std::vector<FailureEvent>& failures,
+                                const ControllerConfig& config,
+                                util::Rng& rng) {
+  ARROW_CHECK(!tms.empty(), "need at least one traffic matrix");
+  ControllerReport report;
+
+  // --- offline: scenarios, tunnels, per-matrix TE solutions ---------------
+  std::vector<scenario::Scenario> raw = config.explicit_scenarios;
+  if (raw.empty()) {
+    raw = scenario::generate_scenarios(net, config.scenarios, rng).scenarios;
+  }
+  const auto scenarios = scenario::remove_disconnecting(net, std::move(raw));
+
+  std::vector<te::TeInput> inputs;
+  inputs.reserve(tms.size());
+  for (const auto& tm : tms) {
+    inputs.emplace_back(net, tm, scenarios, config.tunnels);
+  }
+  const double calibration = te::max_satisfiable_scale(inputs.front());
+  for (auto& input : inputs) {
+    input.scale_demands(calibration * config.demand_scale);
+  }
+
+  const bool restores = config.scheme == Scheme::kArrow ||
+                        config.scheme == Scheme::kArrowNaive;
+  te::ArrowPrepared prepared;
+  if (restores) {
+    prepared = te::prepare_arrow(inputs.front(), config.arrow, rng);
+  }
+  std::vector<te::TeSolution> solutions;
+  solutions.reserve(inputs.size());
+  for (auto& input : inputs) {
+    switch (config.scheme) {
+      case Scheme::kArrow:
+        solutions.push_back(te::solve_arrow(input, prepared, config.arrow));
+        break;
+      case Scheme::kArrowNaive:
+        solutions.push_back(
+            te::solve_arrow_naive(input, prepared, config.arrow));
+        break;
+      case Scheme::kFfc1:
+        solutions.push_back(te::solve_ffc(input, te::FfcParams{1, 0}));
+        break;
+      case Scheme::kTeaVar:
+        solutions.push_back(te::solve_teavar(input, te::TeaVarParams{}));
+        break;
+      case Scheme::kEcmp:
+        solutions.push_back(te::solve_ecmp(input));
+        break;
+    }
+    ARROW_CHECK(solutions.back().optimal, "TE solve failed in controller");
+    ++report.te_runs;
+  }
+
+  // --- runtime event loop ---------------------------------------------------
+  RuntimeState state;
+  std::size_t active_tm = 0;
+  double last_t = 0.0;
+  double delivered_rate = 0.0;
+  double offered_rate = 0.0;
+
+  const auto recompute_rates = [&]() {
+    const std::vector<topo::FiberId> cuts(state.active_cuts.begin(),
+                                          state.active_cuts.end());
+    const auto d = sim::state_delivery(inputs[active_tm],
+                                       solutions[active_tm], cuts,
+                                       state.restored);
+    delivered_rate = d.delivered_gbps;
+    offered_rate = d.offered_gbps;
+  };
+
+  optical::EventQueue queue;
+  const auto advance_to = [&](double now) {
+    now = std::min(now, config.horizon_s);  // events past the horizon
+    const double dt = now - last_t;
+    if (dt > 0.0) {
+      report.offered_gbps_seconds += offered_rate * dt;
+      report.delivered_gbps_seconds += delivered_rate * dt;
+      const double lost = (offered_rate - delivered_rate) * dt;
+      report.lost_gbps_seconds += lost;
+      if (state.restorations_in_flight > 0) {
+        report.transient_loss_gbps_seconds += lost;
+      }
+      last_t = now;
+    }
+  };
+  const auto mark = [&](double now) {
+    advance_to(now);
+    recompute_rates();
+    report.timeline.emplace_back(now, delivered_rate);
+  };
+
+  // TE period boundaries rotate the traffic matrix.
+  for (double t = config.te_interval_s; t < config.horizon_s;
+       t += config.te_interval_s) {
+    queue.schedule(t, [&, t](double now) {
+      active_tm = static_cast<std::size_t>(
+                      std::llround(t / config.te_interval_s)) % inputs.size();
+      mark(now);
+    });
+  }
+
+  // Failure + repair + restoration events.
+  for (const FailureEvent& ev : failures) {
+    if (ev.t_s >= config.horizon_s) continue;
+    queue.schedule(ev.t_s, [&, ev](double now) {
+      if (state.active_cuts.count(ev.fiber)) return;  // already down
+      state.active_cuts.insert(ev.fiber);
+      ++report.cuts_handled;
+      mark(now);
+
+      if (restores) {
+        // Look up the precomputed plan: exact match on this single cut.
+        int q_match = -1;
+        for (std::size_t q = 0; q < scenarios.size(); ++q) {
+          if (scenarios[q].cuts.size() == 1 &&
+              scenarios[q].cuts[0] == ev.fiber) {
+            q_match = static_cast<int>(q);
+            break;
+          }
+        }
+        if (q_match >= 0) {
+          ++report.cuts_with_plan;
+          const auto& sol = solutions[active_tm];
+          const auto& tickets =
+              prepared.tickets[static_cast<std::size_t>(q_match)];
+          // Winner ticket's per-path wave plan (naive fallback on -1).
+          const int w = sol.winner.empty()
+                            ? -1
+                            : sol.winner[static_cast<std::size_t>(q_match)];
+          const ticket::LotteryTicket ticket =
+              (w >= 0 && w < static_cast<int>(tickets.tickets.size()))
+                  ? tickets.tickets[static_cast<std::size_t>(w)]
+                  : ticket::naive_ticket(
+                        prepared.rwa[static_cast<std::size_t>(q_match)]);
+          auto links = prepared.rwa[static_cast<std::size_t>(q_match)].links;
+          optical::assign_slots_first_fit(net, {ev.fiber}, links,
+                                          ticket.path_waves);
+          const auto plan = optical::plan_from_restoration(net, links);
+          util::Rng replay = rng.fork();
+          const auto latency = optical::simulate_restoration(
+              net, {ev.fiber}, plan, config.latency, replay);
+          report.worst_restoration_s =
+              std::max(report.worst_restoration_s, latency.total_s);
+          ++state.restorations_in_flight;
+          // Replay each wavelength-up event; the restoration window closes
+          // at the final one.
+          const double final_t = now + latency.total_s;
+          for (const auto& p : latency.timeline) {
+            if (p.link < 0) continue;
+            const topo::IpLinkId link = p.link;
+            const double gbps = p.wave_gbps;
+            const topo::FiberId fiber = ev.fiber;
+            queue.schedule(now + p.t_s, [&, link, gbps, fiber](double when) {
+              if (!state.active_cuts.count(fiber)) return;  // repaired first
+              state.restored[link] += gbps;
+              state.restored_by_cut[fiber].push_back(link);
+              mark(when);
+            });
+          }
+          queue.schedule(final_t, [&](double when) {
+            --state.restorations_in_flight;
+            mark(when);
+          });
+        }
+      }
+
+      // Repair: fiber comes back, restored waves retune home (instant
+      // revert — the reverse reconfiguration is hitless under noise
+      // loading since the primary path's spectrum is still lit).
+      queue.schedule(now + ev.repair_s, [&, ev](double when) {
+        state.active_cuts.erase(ev.fiber);
+        auto it = state.restored_by_cut.find(ev.fiber);
+        if (it != state.restored_by_cut.end()) {
+          for (topo::IpLinkId link : it->second) {
+            state.restored.erase(link);
+          }
+          state.restored_by_cut.erase(it);
+        }
+        mark(when);
+      });
+    });
+  }
+
+  queue.schedule(config.horizon_s, [&](double now) { advance_to(now); });
+
+  recompute_rates();
+  report.timeline.emplace_back(0.0, delivered_rate);
+  queue.run();
+  return report;
+}
+
+}  // namespace arrow::ctrl

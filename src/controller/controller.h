@@ -1,0 +1,99 @@
+// ARROW as a running system: an event-driven WAN controller simulation.
+//
+// The paper's evaluation solves TE formulations per traffic matrix; this
+// module closes the loop the way the deployed system (Fig. 8) does:
+//
+//   * the TE controller re-optimizes every te_interval_s against the
+//     current traffic matrix (matrices rotate per period, §3.1);
+//   * ARROW's offline stage precomputes the RWA + LotteryTicket restoration
+//     plans and the online stage installs per-scenario winners;
+//   * fiber-cut events arrive at runtime; the controller looks up the
+//     precomputed plan for the cut and replays the physical reconfiguration
+//     through the optical latency simulator — wavelengths come back one by
+//     one, so transient loss during the 8-second (or, with legacy
+//     amplifiers, 17-minute) restoration window is accounted exactly;
+//   * delivered vs offered Gbps-seconds integrate into availability and
+//     downtime figures.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "optical/latency.h"
+#include "scenario/scenario.h"
+#include "te/arrow.h"
+#include "te/input.h"
+#include "traffic/traffic.h"
+
+namespace arrow::ctrl {
+
+enum class Scheme {
+  kArrow,       // two-phase restoration-aware TE + optical restoration
+  kArrowNaive,  // optical-only restoration plan
+  kFfc1,        // failure-aware TE, no restoration
+  kTeaVar,
+  kEcmp,
+};
+
+const char* to_string(Scheme s);
+
+struct FailureEvent {
+  double t_s = 0.0;           // cut time
+  topo::FiberId fiber = -1;
+  double repair_s = 0.0;      // time until the fiber is spliced
+};
+
+struct ControllerConfig {
+  Scheme scheme = Scheme::kArrow;
+  double te_interval_s = 300.0;   // the production 5-minute TE period
+  double horizon_s = 24.0 * 3600.0;
+  te::TunnelParams tunnels;
+  te::ArrowParams arrow;
+  scenario::ScenarioParams scenarios;
+  // When non-empty, these scenarios are used verbatim instead of sampling
+  // from `scenarios` (lets callers guarantee a plan exists for a given cut).
+  std::vector<scenario::Scenario> explicit_scenarios;
+  optical::LatencyParams latency;  // noise_loading=false => legacy amplifiers
+  // Demand scale relative to the calibrated full-satisfaction point.
+  double demand_scale = 0.5;
+};
+
+struct ControllerReport {
+  double offered_gbps_seconds = 0.0;
+  double delivered_gbps_seconds = 0.0;
+  double lost_gbps_seconds = 0.0;
+  // Loss incurred specifically while restorations were still converging
+  // (between the cut and the last wavelength-up event).
+  double transient_loss_gbps_seconds = 0.0;
+  int te_runs = 0;
+  int cuts_handled = 0;
+  int cuts_with_plan = 0;       // cut matched a precomputed scenario
+  double worst_restoration_s = 0.0;
+  // Delivered-rate staircase: (time, delivered Gbps). One point per state
+  // change (TE run, cut, wavelength-up, repair).
+  std::vector<std::pair<double, double>> timeline;
+
+  double availability() const {
+    return offered_gbps_seconds > 0.0
+               ? delivered_gbps_seconds / offered_gbps_seconds
+               : 1.0;
+  }
+};
+
+// Deterministic given the rng. The same failure trace can be replayed
+// against different schemes/configs for apples-to-apples comparison.
+ControllerReport run_controller(const topo::Network& net,
+                                const std::vector<traffic::TrafficMatrix>& tms,
+                                const std::vector<FailureEvent>& failures,
+                                const ControllerConfig& config,
+                                util::Rng& rng);
+
+// Samples a failure trace: cut times Poisson over the horizon, fibers
+// uniform, repair times lognormal with the §2.2 nine-hour median.
+std::vector<FailureEvent> sample_failure_trace(const topo::Network& net,
+                                               double horizon_s,
+                                               double cuts_per_day,
+                                               util::Rng& rng);
+
+}  // namespace arrow::ctrl

@@ -1,0 +1,25 @@
+#include "optical/event_sim.h"
+
+#include "util/check.h"
+
+namespace arrow::optical {
+
+void EventQueue::schedule(double time, Handler handler) {
+  ARROW_CHECK(time >= now_, "cannot schedule into the past");
+  queue_.push(Event{time, next_seq_++, std::move(handler)});
+}
+
+double EventQueue::run() {
+  double last = now_;
+  while (!queue_.empty()) {
+    // The handler may schedule more events; copy out before popping.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    last = ev.time;
+    ev.handler(now_);
+  }
+  return last;
+}
+
+}  // namespace arrow::optical

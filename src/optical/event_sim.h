@@ -1,0 +1,42 @@
+// Minimal discrete-event simulation engine used by the physical-layer
+// restoration latency model (latency.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace arrow::optical {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void(double now)>;
+
+  // Schedule `handler` at absolute time `time` (seconds). Events at equal
+  // times run in scheduling order.
+  void schedule(double time, Handler handler);
+
+  // Run all events; returns the timestamp of the last event (0 if none ran).
+  double run();
+
+  double now() const { return now_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t next_seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace arrow::optical

@@ -1,0 +1,99 @@
+// Physical-layer restoration latency simulator (paper §4-§5, Appendix A.7).
+//
+// Models the end-to-end timeline of reconfiguring the wavelengths of failed
+// IP links onto surrogate fiber paths:
+//
+//   failure detection
+//     -> add/drop ROADMs + ASE noise sources reconfigured (parallel group 1)
+//     -> intermediate ROADMs reconfigured (parallel group 2)
+//     -> transponders retune frequency / change modulation (in parallel)
+//     -> [legacy only] every amplifier along each surrogate path runs its
+//        observe-analyze-act gain-settling loop, sequentially down the chain
+//     -> wavelengths carry traffic; LACP rebalances the port-channel.
+//
+// With ARROW's noise loading the amplifier stage disappears entirely (the
+// spectrum is always fully lit), which is what turns ~17 minutes into ~8
+// seconds in Fig. 12.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "optical/rwa.h"
+#include "topo/network.h"
+#include "util/rng.h"
+
+namespace arrow::optical {
+
+struct LatencyParams {
+  bool noise_loading = true;  // ARROW (true) vs legacy amplifiers (false)
+
+  double detection_s = 1.5;          // failure detection + controller wakeup
+  double roadm_config_s = 3.2;       // per ROADM WSS reconfiguration
+  double roadm_config_jitter_s = 0.8;
+  double noise_source_config_s = 1.2;  // ASE source data/noise swap
+  double transponder_tune_s = 0.05;    // frequency retune (ms-scale, §5)
+  double modulation_change_s = 35.0;   // only when the path outgrows reach
+  double lacp_rebalance_s = 1.0;       // port-channel re-hash after carrier
+
+  // Legacy amplifier chain model (Appendix A.7 / Fig. 20): one amplifier
+  // site every amp_spacing_km; each runs observe-analyze-act loops for
+  // amp_settle_s (+- jitter); a chain settles sequentially head to tail.
+  double amp_spacing_km = 64.0;
+  double amp_settle_s = 40.0;
+  double amp_settle_jitter_s = 6.0;
+};
+
+// One wavelength's restoration plan entry.
+struct WavePlan {
+  topo::IpLinkId link = -1;
+  std::vector<topo::FiberId> path;  // surrogate fiber path
+  int slot = -1;
+  double gbps = 0.0;
+  bool needs_retune = false;       // slot differs from the original
+  bool needs_mod_change = false;   // datarate below the original
+};
+
+struct TimelinePoint {
+  double t_s = 0.0;
+  double restored_gbps = 0.0;  // cumulative
+  std::string event;
+  // IP link whose wavelength came up (wavelength-up events only, else -1)
+  // and that wavelength's datarate; lets callers replay capacity per link.
+  topo::IpLinkId link = -1;
+  double wave_gbps = 0.0;
+};
+
+struct LatencyResult {
+  double total_s = 0.0;          // last wavelength carrying traffic
+  double lost_gbps = 0.0;        // capacity taken down by the cut
+  double restored_gbps = 0.0;    // capacity back up at the end
+  int roadms_reconfigured = 0;
+  int amplifiers_touched = 0;    // legacy mode only
+  std::vector<TimelinePoint> timeline;  // Fig. 12-style capacity staircase
+
+  // Fig. 12(b)/(d): total optical power on a monitored surrogate fiber,
+  // in dB relative to its pre-cut level. Under noise loading the spectrum
+  // is always fully lit, so the trace is flat at 0 dB; under legacy
+  // operation each added wavelength steps the power up and the amplifier
+  // chain wobbles until its gain loops settle.
+  topo::FiberId monitored_fiber = -1;
+  std::vector<std::pair<double, double>> power_timeline;  // (t_s, dB)
+};
+
+// Builds a WavePlan list from an (integral) RWA restoration: each link's
+// paths carry assigned_slots (see assign_slots_first_fit / ILP mode).
+std::vector<WavePlan> plan_from_restoration(
+    const topo::Network& net, const std::vector<LinkRestoration>& links);
+
+// Simulate the restoration of `plan` after `cuts`. Deterministic given rng.
+LatencyResult simulate_restoration(const topo::Network& net,
+                                   const std::vector<topo::FiberId>& cuts,
+                                   const std::vector<WavePlan>& plan,
+                                   const LatencyParams& params,
+                                   util::Rng& rng);
+
+// Number of amplifier sites along a fiber of the given length.
+int amp_count(double km, double spacing_km);
+
+}  // namespace arrow::optical

@@ -1,0 +1,63 @@
+#include "optical/osnr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace arrow::optical {
+
+double path_osnr_db(double path_km, const OsnrParams& params) {
+  ARROW_CHECK(path_km > 0.0, "path length must be positive");
+  const int spans =
+      std::max(1, static_cast<int>(std::ceil(path_km / params.span_km)));
+  const double span_loss_db =
+      params.fiber_loss_db_per_km *
+      std::min(params.span_km, path_km / static_cast<double>(spans));
+  // Per-span ASE noise referred to the input: NF + span loss is compensated
+  // by the amplifier gain, so OSNR after N identical spans:
+  return params.launch_power_dbm - span_loss_db - params.amp_noise_figure_db -
+         params.noise_floor_dbm - 10.0 * std::log10(static_cast<double>(spans));
+}
+
+const std::vector<OsnrRequirement>& osnr_requirements() {
+  // Typical coherent transponder thresholds at 12.5 GHz reference bandwidth.
+  static const std::vector<OsnrRequirement> kReqs = {
+      {400.0, 24.0},  // 64QAM-class
+      {300.0, 21.0},  // 32QAM-class
+      {200.0, 17.5},  // 16QAM-class
+      {100.0, 13.0},  // QPSK
+  };
+  return kReqs;
+}
+
+double osnr_limited_gbps(double path_km, const OsnrParams& params) {
+  const double osnr = path_osnr_db(path_km, params);
+  for (const auto& req : osnr_requirements()) {
+    if (osnr >= req.min_osnr_db) return req.gbps;
+  }
+  return 0.0;
+}
+
+double osnr_reach_km(double gbps, const OsnrParams& params) {
+  double required = -1.0;
+  for (const auto& req : osnr_requirements()) {
+    if (req.gbps == gbps) required = req.min_osnr_db;
+  }
+  if (required < 0.0) return 0.0;
+  // OSNR decreases monotonically with length: bisect.
+  double lo = 1.0, hi = 20000.0;
+  if (path_osnr_db(lo, params) < required) return 0.0;
+  if (path_osnr_db(hi, params) >= required) return hi;
+  for (int it = 0; it < 60; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (path_osnr_db(mid, params) >= required) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace arrow::optical

@@ -1,0 +1,48 @@
+// Physical-layer OSNR model.
+//
+// The paper plans modulation by the Table 6 datarate-vs-reach spec sheet;
+// underneath, reach is set by the optical signal-to-noise ratio accumulated
+// over amplified spans. This module provides that first-principles view:
+//
+//   OSNR_dB = P_launch - NF - 10 log10(h * nu * B_ref) - 10 log10(N_spans)
+//             - alpha * L_span
+//
+// (the standard EDFA-chain link-budget form). Each modulation order needs a
+// minimum OSNR; the module derives a datarate-vs-reach curve and checks it
+// against Table 6, and lets RADWAN-style what-ifs ask "what rate does this
+// specific path support?" from physics rather than a lookup table.
+#pragma once
+
+#include <vector>
+
+namespace arrow::optical {
+
+struct OsnrParams {
+  double launch_power_dbm = 1.0;   // per-channel launch power
+  double span_km = 80.0;           // amplifier spacing
+  double fiber_loss_db_per_km = 0.2;
+  double amp_noise_figure_db = 5.0;
+  // 10 log10(h * nu * B_ref) for B_ref = 12.5 GHz at 193.4 THz: -58 dBm.
+  double noise_floor_dbm = -58.0;
+};
+
+// OSNR (dB) at the end of a path of the given length.
+double path_osnr_db(double path_km, const OsnrParams& params = {});
+
+// Minimum required OSNR (dB) per datarate, for the Table 6 rates. Values
+// follow typical coherent transponder specs (QPSK ~ 13 dB at 100G up to
+// 64QAM-class ~ 24 dB at 400G, 12.5 GHz reference bandwidth).
+struct OsnrRequirement {
+  double gbps;
+  double min_osnr_db;
+};
+const std::vector<OsnrRequirement>& osnr_requirements();
+
+// Highest datarate whose OSNR requirement the path meets; 0 if none.
+double osnr_limited_gbps(double path_km, const OsnrParams& params = {});
+
+// Maximum reach (km) at a given datarate under this OSNR model (bisection
+// over path_osnr_db). Returns 0 for unknown datarates.
+double osnr_reach_km(double gbps, const OsnrParams& params = {});
+
+}  // namespace arrow::optical

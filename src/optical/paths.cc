@@ -1,0 +1,159 @@
+#include "optical/paths.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "util/check.h"
+
+namespace arrow::optical {
+
+Graph::Graph(int num_nodes, std::vector<Edge> edges)
+    : num_nodes_(num_nodes), edges_(std::move(edges)) {
+  incident_.assign(static_cast<std::size_t>(num_nodes_), {});
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    ARROW_CHECK(e.id == static_cast<int>(i), "edge ids must be 0..n-1");
+    ARROW_CHECK(e.a >= 0 && e.a < num_nodes_ && e.b >= 0 && e.b < num_nodes_,
+                "edge endpoint out of range");
+    ARROW_CHECK(e.weight >= 0.0, "negative edge weight");
+    incident_[static_cast<std::size_t>(e.a)].push_back(e.id);
+    incident_[static_cast<std::size_t>(e.b)].push_back(e.id);
+  }
+}
+
+const Edge& Graph::edge(int id) const {
+  ARROW_CHECK(id >= 0 && id < static_cast<int>(edges_.size()), "bad edge id");
+  return edges_[static_cast<std::size_t>(id)];
+}
+
+std::vector<int> Graph::shortest_path(
+    int src, int dst, const std::vector<char>& banned_edges,
+    const std::vector<char>& banned_nodes) const {
+  const auto n = static_cast<std::size_t>(num_nodes_);
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<int> via(n, -1);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    if (u == dst) break;
+    for (int eid : incident_[static_cast<std::size_t>(u)]) {
+      if (eid < static_cast<int>(banned_edges.size()) &&
+          banned_edges[static_cast<std::size_t>(eid)]) {
+        continue;
+      }
+      const Edge& e = edges_[static_cast<std::size_t>(eid)];
+      const int v = e.other(u);
+      if (v < static_cast<int>(banned_nodes.size()) &&
+          banned_nodes[static_cast<std::size_t>(v)]) {
+        continue;
+      }
+      if (d + e.weight < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = d + e.weight;
+        via[static_cast<std::size_t>(v)] = eid;
+        pq.emplace(d + e.weight, v);
+      }
+    }
+  }
+  std::vector<int> path;
+  if (src == dst || via[static_cast<std::size_t>(dst)] < 0) return path;
+  int at = dst;
+  while (at != src) {
+    const int eid = via[static_cast<std::size_t>(at)];
+    path.push_back(eid);
+    at = edges_[static_cast<std::size_t>(eid)].other(at);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+double Graph::path_weight(const std::vector<int>& path) const {
+  double w = 0.0;
+  for (int eid : path) w += edge(eid).weight;
+  return w;
+}
+
+std::vector<int> Graph::path_nodes(int src, const std::vector<int>& path) const {
+  std::vector<int> nodes{src};
+  int at = src;
+  for (int eid : path) {
+    const Edge& e = edge(eid);
+    ARROW_CHECK(e.a == at || e.b == at, "path not a walk from src");
+    at = e.other(at);
+    nodes.push_back(at);
+  }
+  return nodes;
+}
+
+std::vector<std::vector<int>> Graph::k_shortest_paths(
+    int src, int dst, int k, double max_weight,
+    const std::vector<char>& banned_edges) const {
+  std::vector<std::vector<int>> result;
+  if (k <= 0) return result;
+
+  std::vector<char> base_ban(edges_.size(), 0);
+  for (std::size_t i = 0; i < banned_edges.size() && i < base_ban.size(); ++i) {
+    base_ban[i] = banned_edges[i];
+  }
+
+  const auto admissible = [&](const std::vector<int>& p) {
+    return max_weight <= 0.0 || path_weight(p) <= max_weight;
+  };
+
+  auto first = shortest_path(src, dst, base_ban);
+  if (first.empty() || !admissible(first)) return result;
+  result.push_back(std::move(first));
+
+  // Candidate pool ordered by weight; dedup by edge sequence.
+  auto cmp = [this](const std::vector<int>& x, const std::vector<int>& y) {
+    const double wx = path_weight(x), wy = path_weight(y);
+    if (wx != wy) return wx < wy;
+    return x < y;
+  };
+  std::set<std::vector<int>, decltype(cmp)> candidates(cmp);
+  std::set<std::vector<int>> seen;
+  seen.insert(result.front());
+
+  while (static_cast<int>(result.size()) < k) {
+    const std::vector<int>& last = result.back();
+    const std::vector<int> last_nodes = path_nodes(src, last);
+    // Spur from every node of the previous path.
+    for (std::size_t i = 0; i < last.size(); ++i) {
+      const int spur_node = last_nodes[i];
+      const std::vector<int> root(last.begin(),
+                                  last.begin() + static_cast<long>(i));
+      std::vector<char> ban = base_ban;
+      // Ban edges that would replicate any accepted path sharing this root.
+      for (const auto& p : result) {
+        if (p.size() > i &&
+            std::equal(root.begin(), root.end(), p.begin())) {
+          ban[static_cast<std::size_t>(p[i])] = 1;
+        }
+      }
+      // Ban root nodes (loopless requirement), except the spur node.
+      std::vector<char> node_ban(static_cast<std::size_t>(num_nodes_), 0);
+      for (std::size_t j = 0; j < i; ++j) {
+        node_ban[static_cast<std::size_t>(last_nodes[j])] = 1;
+      }
+      const auto spur = shortest_path(spur_node, dst, ban, node_ban);
+      if (spur.empty()) continue;
+      std::vector<int> total = root;
+      total.insert(total.end(), spur.begin(), spur.end());
+      if (admissible(total) && seen.insert(total).second) {
+        candidates.insert(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+}  // namespace arrow::optical

@@ -1,0 +1,53 @@
+// Generic weighted multigraph shortest-path utilities shared by the optical
+// layer (surrogate fiber paths) and the IP layer (TE tunnels): Dijkstra and
+// Yen's k-shortest loopless paths. Edges are identified by id so parallel
+// edges (multiple fibers between the same ROADM pair, multiple IP links
+// between the same sites) are first-class.
+#pragma once
+
+#include <vector>
+
+namespace arrow::optical {
+
+struct Edge {
+  int id = -1;
+  int a = -1;
+  int b = -1;
+  double weight = 0.0;
+
+  int other(int n) const { return n == a ? b : a; }
+};
+
+class Graph {
+ public:
+  Graph(int num_nodes, std::vector<Edge> edges);
+
+  int num_nodes() const { return num_nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  const Edge& edge(int id) const;
+
+  // Shortest path (by weight sum) as a sequence of edge ids; empty if
+  // unreachable (or src == dst). Edges and nodes listed in `banned_edges` /
+  // `banned_nodes` are skipped.
+  std::vector<int> shortest_path(int src, int dst,
+                                 const std::vector<char>& banned_edges = {},
+                                 const std::vector<char>& banned_nodes = {}) const;
+
+  // Yen's algorithm: up to k loopless shortest paths, ascending by weight.
+  // Paths whose total weight exceeds max_weight (if > 0) are not returned.
+  std::vector<std::vector<int>> k_shortest_paths(
+      int src, int dst, int k, double max_weight = 0.0,
+      const std::vector<char>& banned_edges = {}) const;
+
+  double path_weight(const std::vector<int>& path) const;
+
+  // Node sequence visited by an edge path starting at src (src included).
+  std::vector<int> path_nodes(int src, const std::vector<int>& path) const;
+
+ private:
+  int num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> incident_;  // node -> edge ids
+};
+
+}  // namespace arrow::optical

@@ -1,0 +1,71 @@
+#include "optical/restoration.h"
+
+#include <set>
+
+namespace arrow::optical {
+
+CutAnalysis analyze_cut(const topo::Network& net,
+                        const std::vector<topo::FiberId>& cuts,
+                        const RwaOptions& options) {
+  CutAnalysis analysis;
+  analysis.cuts = cuts;
+  for (topo::FiberId f : cuts) {
+    analysis.provisioned_gbps += net.provisioned_gbps(f);
+  }
+
+  const RwaResult rwa = solve_rwa(net, cuts, options);
+  std::set<topo::NodeId> add_drop;
+  std::set<topo::NodeId> intermediate;
+  for (const auto& lr : rwa.links) {
+    const auto& link = net.ip_links[static_cast<std::size_t>(lr.link)];
+    analysis.restorable_gbps += lr.fractional_gbps();
+
+    LinkRestorationDetail detail;
+    detail.link = lr.link;
+    detail.primary_km = net.ip_link_path_km(lr.link);
+    detail.restored_fraction =
+        lr.lost_waves > 0
+            ? lr.fractional_waves() / static_cast<double>(lr.lost_waves)
+            : 0.0;
+    const topo::NodeId src =
+        net.roadm_of_site[static_cast<std::size_t>(link.src)];
+    const topo::NodeId dst =
+        net.roadm_of_site[static_cast<std::size_t>(link.dst)];
+    bool any_used = false;
+    for (const auto& sp : lr.paths) {
+      if (sp.fractional_waves < 1e-6) continue;
+      any_used = true;
+      if (detail.restoration_km == 0.0 || sp.km < detail.restoration_km) {
+        detail.restoration_km = sp.km;
+      }
+      // Interior ROADMs of the surrogate path.
+      topo::NodeId at = src;
+      for (topo::FiberId f : sp.fibers) {
+        at = net.optical.fibers[static_cast<std::size_t>(f)].other(at);
+        if (at != dst) intermediate.insert(at);
+      }
+    }
+    if (any_used) {
+      add_drop.insert(src);
+      add_drop.insert(dst);
+    }
+    analysis.links.push_back(detail);
+  }
+  // Intermediates that are also add/drop sites count once, as add/drop.
+  for (topo::NodeId n : add_drop) intermediate.erase(n);
+  analysis.add_drop_roadms = static_cast<int>(add_drop.size());
+  analysis.intermediate_roadms = static_cast<int>(intermediate.size());
+  return analysis;
+}
+
+std::vector<CutAnalysis> analyze_all_single_cuts(const topo::Network& net,
+                                                 const RwaOptions& options) {
+  std::vector<CutAnalysis> all;
+  all.reserve(net.optical.fibers.size());
+  for (const auto& fiber : net.optical.fibers) {
+    all.push_back(analyze_cut(net, {fiber.id}, options));
+  }
+  return all;
+}
+
+}  // namespace arrow::optical

@@ -1,0 +1,52 @@
+// Restoration analysis over fiber-cut scenarios (paper §2.3 and Appendix
+// A.1/A.6): restoration ratios, path inflation, and ROADM reconfiguration
+// counts. These drive the measurement-study reproductions (Figs. 6, 17, 19).
+#pragma once
+
+#include <vector>
+
+#include "optical/rwa.h"
+#include "topo/network.h"
+
+namespace arrow::optical {
+
+struct LinkRestorationDetail {
+  topo::IpLinkId link = -1;
+  double primary_km = 0.0;
+  // Km of the (shortest chosen) restoration path carrying waves; 0 if the
+  // link is not restorable.
+  double restoration_km = 0.0;
+  double restored_fraction = 0.0;  // restored waves / lost waves
+
+  // R-path / P-path length ratio (Fig. 17); 0 when not restorable.
+  double inflation() const {
+    return primary_km > 0.0 && restoration_km > 0.0
+               ? restoration_km / primary_km
+               : 0.0;
+  }
+};
+
+struct CutAnalysis {
+  std::vector<topo::FiberId> cuts;
+  double provisioned_gbps = 0.0;   // W_phi: capacity riding the cut fiber(s)
+  double restorable_gbps = 0.0;    // W'_phi from the RWA
+  int add_drop_roadms = 0;         // endpoints of failed IP links
+  int intermediate_roadms = 0;     // interior ROADMs of used surrogate paths
+  std::vector<LinkRestorationDetail> links;
+
+  // U_phi, the restoration ratio of §2.3.
+  double ratio() const {
+    return provisioned_gbps > 0.0 ? restorable_gbps / provisioned_gbps : 1.0;
+  }
+};
+
+// Analyze one cut scenario (solves the RWA LP).
+CutAnalysis analyze_cut(const topo::Network& net,
+                        const std::vector<topo::FiberId>& cuts,
+                        const RwaOptions& options = {});
+
+// All single-fiber-cut scenarios (Fig. 6 reproduces the CDF of these ratios).
+std::vector<CutAnalysis> analyze_all_single_cuts(const topo::Network& net,
+                                                 const RwaOptions& options = {});
+
+}  // namespace arrow::optical

@@ -1,0 +1,210 @@
+#include "optical/rwa.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "optical/paths.h"
+#include "solver/model.h"
+#include "util/check.h"
+
+namespace arrow::optical {
+
+namespace {
+
+// Free-spectrum map after tearing down the failed links' wavelengths.
+std::vector<std::vector<bool>> free_spectrum_after_cut(
+    const topo::Network& net, const std::vector<topo::FiberId>& cuts,
+    const std::vector<topo::IpLinkId>& failed) {
+  auto occ = net.spectrum_occupancy();
+  const std::set<topo::IpLinkId> failed_set(failed.begin(), failed.end());
+  for (topo::IpLinkId e : failed) {
+    const auto& link = net.ip_links[static_cast<std::size_t>(e)];
+    for (const auto& w : link.waves) {
+      for (topo::FiberId f : w.fiber_path) {
+        occ[static_cast<std::size_t>(f)][static_cast<std::size_t>(w.slot)] =
+            false;
+      }
+    }
+  }
+  // Cut fibers host nothing.
+  for (topo::FiberId f : cuts) {
+    std::fill(occ[static_cast<std::size_t>(f)].begin(),
+              occ[static_cast<std::size_t>(f)].end(), true);
+  }
+  return occ;
+}
+
+Graph optical_graph(const topo::Network& net) {
+  std::vector<Edge> edges;
+  edges.reserve(net.optical.fibers.size());
+  for (const auto& f : net.optical.fibers) {
+    edges.push_back(Edge{f.id, f.a, f.b, f.length_km});
+  }
+  return Graph(net.optical.num_roadms, std::move(edges));
+}
+
+}  // namespace
+
+RwaResult solve_rwa(const topo::Network& net,
+                    const std::vector<topo::FiberId>& cuts,
+                    const RwaOptions& options) {
+  RwaResult result;
+  const auto failed = net.failed_ip_links(cuts);
+  if (failed.empty()) {
+    result.optimal = true;
+    return result;
+  }
+  const auto occ = free_spectrum_after_cut(net, cuts, failed);
+
+  const Graph graph = optical_graph(net);
+  std::vector<char> banned(net.optical.fibers.size(), 0);
+  for (topo::FiberId f : cuts) banned[static_cast<std::size_t>(f)] = 1;
+
+  const double max_km = options.max_path_km > 0.0
+                            ? options.max_path_km
+                            : topo::kModulationTable.back().reach_km;
+
+  // Build per-link surrogate paths and usable slot sets.
+  for (topo::IpLinkId e : failed) {
+    const auto& link = net.ip_links[static_cast<std::size_t>(e)];
+    LinkRestoration lr;
+    lr.link = e;
+    lr.lost_waves = static_cast<int>(link.waves.size());
+    lr.original_gbps = link.waves.front().gbps;
+    const int src = net.roadm_of_site[static_cast<std::size_t>(link.src)];
+    const int dst = net.roadm_of_site[static_cast<std::size_t>(link.dst)];
+    const auto paths =
+        graph.k_shortest_paths(src, dst, options.k_paths, max_km, banned);
+    for (const auto& p : paths) {
+      SurrogatePath sp;
+      sp.fibers = p;
+      sp.km = graph.path_weight(p);
+      sp.gbps = std::min(lr.original_gbps, topo::best_modulation_gbps(sp.km));
+      if (sp.gbps <= 0.0) continue;
+      // Continuity: slots free on every fiber of the path. Without
+      // frequency tuning (Fig. 17c) only the link's original slots qualify.
+      std::set<int> original_slots;
+      if (!options.allow_retune) {
+        for (const auto& w : link.waves) original_slots.insert(w.slot);
+      }
+      const int slots =
+          net.optical.fibers[static_cast<std::size_t>(p.front())].slots;
+      for (int s = 0; s < slots; ++s) {
+        if (!options.allow_retune && original_slots.count(s) == 0) continue;
+        bool free = true;
+        for (topo::FiberId f : p) {
+          if (occ[static_cast<std::size_t>(f)][static_cast<std::size_t>(s)]) {
+            free = false;
+            break;
+          }
+        }
+        if (free) sp.usable_slots.push_back(s);
+      }
+      if (!sp.usable_slots.empty()) lr.paths.push_back(std::move(sp));
+    }
+    result.links.push_back(std::move(lr));
+  }
+
+  // LP/ILP: one variable per (link, path, usable slot).
+  solver::Model model;
+  model.set_maximize();
+  struct VarRef {
+    std::size_t li, pi;
+    int slot;
+    solver::VarId var;
+  };
+  std::vector<VarRef> vars;
+  std::map<std::pair<topo::FiberId, int>, solver::LinExpr> slot_use;
+  for (std::size_t li = 0; li < result.links.size(); ++li) {
+    auto& lr = result.links[li];
+    for (std::size_t pi = 0; pi < lr.paths.size(); ++pi) {
+      auto& sp = lr.paths[pi];
+      for (int s : sp.usable_slots) {
+        const double obj = options.weight_by_gbps ? sp.gbps : 1.0;
+        const auto v =
+            options.integer
+                ? model.add_binary(obj)
+                : model.add_var(0.0, 1.0, obj);
+        vars.push_back(VarRef{li, pi, s, v});
+        for (topo::FiberId f : sp.fibers) {
+          slot_use[{f, s}].add_term(v, 1.0);
+        }
+      }
+    }
+  }
+  // Constraint (14): each free (fiber, slot) hosts at most one restored wave.
+  for (const auto& [key, expr] : slot_use) {
+    (void)key;
+    if (expr.terms().size() > 1) {
+      model.add_constr(expr, solver::Sense::kLe, 1.0);
+    }
+  }
+  // Constraint (17): at most gamma_e waves restored per failed link.
+  for (std::size_t li = 0; li < result.links.size(); ++li) {
+    solver::LinExpr total;
+    for (const auto& vr : vars) {
+      if (vr.li == li) total.add_term(vr.var, 1.0);
+    }
+    if (!total.terms().empty()) {
+      model.add_constr(total, solver::Sense::kLe,
+                       static_cast<double>(result.links[li].lost_waves));
+    }
+  }
+
+  const auto solve = model.solve();
+  result.optimal = solve.optimal();
+  result.simplex_iterations = solve.simplex_iterations;
+  if (!result.optimal) return result;
+
+  for (const auto& vr : vars) {
+    const double v = model.value(vr.var);
+    auto& sp = result.links[vr.li].paths[vr.pi];
+    sp.fractional_waves += v;
+    if (options.integer && v > 0.5) sp.assigned_slots.push_back(vr.slot);
+  }
+  for (const auto& lr : result.links) {
+    result.total_restored_waves += lr.fractional_waves();
+  }
+  return result;
+}
+
+bool assign_slots_first_fit(const topo::Network& net,
+                            const std::vector<topo::FiberId>& cuts,
+                            std::vector<LinkRestoration>& links,
+                            const std::vector<std::vector<int>>& want_waves) {
+  ARROW_CHECK(links.size() == want_waves.size(), "want_waves size mismatch");
+  std::vector<topo::IpLinkId> failed;
+  failed.reserve(links.size());
+  for (const auto& lr : links) failed.push_back(lr.link);
+  auto occ = free_spectrum_after_cut(net, cuts, failed);
+
+  bool all_met = true;
+  for (std::size_t li = 0; li < links.size(); ++li) {
+    auto& lr = links[li];
+    for (std::size_t pi = 0; pi < lr.paths.size(); ++pi) {
+      auto& sp = lr.paths[pi];
+      sp.assigned_slots.clear();
+      const int want = pi < want_waves[li].size() ? want_waves[li][pi] : 0;
+      for (int s : sp.usable_slots) {
+        if (static_cast<int>(sp.assigned_slots.size()) >= want) break;
+        bool free = true;
+        for (topo::FiberId f : sp.fibers) {
+          if (occ[static_cast<std::size_t>(f)][static_cast<std::size_t>(s)]) {
+            free = false;
+            break;
+          }
+        }
+        if (!free) continue;
+        sp.assigned_slots.push_back(s);
+        for (topo::FiberId f : sp.fibers) {
+          occ[static_cast<std::size_t>(f)][static_cast<std::size_t>(s)] = true;
+        }
+      }
+      if (static_cast<int>(sp.assigned_slots.size()) < want) all_met = false;
+    }
+  }
+  return all_met;
+}
+
+}  // namespace arrow::optical

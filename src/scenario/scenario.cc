@@ -1,0 +1,113 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace arrow::scenario {
+
+ScenarioSet generate_scenarios(const topo::Network& net,
+                               const ScenarioParams& params, util::Rng& rng) {
+  ScenarioSet set;
+  const auto nf = net.optical.fibers.size();
+  set.fiber_fail_prob.resize(nf);
+  for (auto& p : set.fiber_fail_prob) {
+    p = std::min(params.max_fiber_probability,
+                 std::max(1e-6, rng.weibull(params.weibull_shape,
+                                            params.weibull_scale)));
+  }
+
+  double none = 1.0;
+  for (double p : set.fiber_fail_prob) none *= (1.0 - p);
+  set.no_failure_probability = none;
+  ARROW_CHECK(none > 0.0, "degenerate failure probabilities");
+
+  // Single cuts: p_i * prod_{j != i} (1 - p_j).
+  for (std::size_t i = 0; i < nf; ++i) {
+    const double pi = set.fiber_fail_prob[i];
+    const double prob = none * pi / (1.0 - pi);
+    if (prob >= params.probability_cutoff) {
+      set.scenarios.push_back(
+          Scenario{{static_cast<topo::FiberId>(i)}, prob});
+    }
+  }
+  // Double cuts.
+  if (params.include_double_cuts) {
+    for (std::size_t i = 0; i < nf; ++i) {
+      for (std::size_t j = i + 1; j < nf; ++j) {
+        const double pi = set.fiber_fail_prob[i];
+        const double pj = set.fiber_fail_prob[j];
+        const double prob =
+            none * pi / (1.0 - pi) * pj / (1.0 - pj);
+        if (prob >= params.probability_cutoff) {
+          set.scenarios.push_back(Scenario{
+              {static_cast<topo::FiberId>(i), static_cast<topo::FiberId>(j)},
+              prob});
+        }
+      }
+    }
+  }
+  // Most likely first: stable, and convenient for trimming.
+  std::sort(set.scenarios.begin(), set.scenarios.end(),
+            [](const Scenario& a, const Scenario& b) {
+              return a.probability > b.probability;
+            });
+  return set;
+}
+
+std::vector<Scenario> remove_disconnecting(const topo::Network& net,
+                                           std::vector<Scenario> scenarios) {
+  // Union-find over sites using IP links that survive the cuts.
+  std::vector<int> parent(static_cast<std::size_t>(net.num_sites));
+  const auto find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  std::vector<Scenario> kept;
+  kept.reserve(scenarios.size());
+  for (auto& s : scenarios) {
+    for (int i = 0; i < net.num_sites; ++i) {
+      parent[static_cast<std::size_t>(i)] = i;
+    }
+    const auto failed = net.failed_ip_links(s.cuts);
+    std::vector<char> down(net.ip_links.size(), 0);
+    for (topo::IpLinkId e : failed) down[static_cast<std::size_t>(e)] = 1;
+    for (const auto& link : net.ip_links) {
+      if (down[static_cast<std::size_t>(link.id)]) continue;
+      parent[static_cast<std::size_t>(find(link.src))] = find(link.dst);
+    }
+    bool connected = true;
+    const int root = find(0);
+    for (int i = 1; i < net.num_sites; ++i) {
+      if (find(i) != root) {
+        connected = false;
+        break;
+      }
+    }
+    if (connected) kept.push_back(std::move(s));
+  }
+  return kept;
+}
+
+std::vector<Scenario> enumerate_exhaustive(const topo::Network& net, int k) {
+  ARROW_CHECK(k >= 1 && k <= 2, "only k in {1,2} supported");
+  std::vector<Scenario> out;
+  const auto nf = static_cast<int>(net.optical.fibers.size());
+  for (int i = 0; i < nf; ++i) {
+    out.push_back(Scenario{{i}, 0.0});
+  }
+  if (k >= 2) {
+    for (int i = 0; i < nf; ++i) {
+      for (int j = i + 1; j < nf; ++j) {
+        out.push_back(Scenario{{i, j}, 0.0});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace arrow::scenario

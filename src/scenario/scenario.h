@@ -1,0 +1,57 @@
+// Probabilistic fiber-cut scenario generation, following TeaVaR's
+// methodology as adopted by the paper (§6): per-fiber failure probabilities
+// drawn from Weibull(shape=0.8, scale=0.02), scenarios enumerated (single
+// and double cuts) and kept when their probability exceeds a cutoff.
+#pragma once
+
+#include <vector>
+
+#include "topo/network.h"
+#include "util/rng.h"
+
+namespace arrow::scenario {
+
+struct Scenario {
+  std::vector<topo::FiberId> cuts;  // failed fibers (non-empty)
+  double probability = 0.0;         // joint probability of exactly this set
+};
+
+struct ScenarioParams {
+  double weibull_shape = 0.8;
+  double weibull_scale = 0.02;
+  // Paper's cutoffs: 0.001 (B4), 0.001 (IBM), 0.0002 (Facebook).
+  double probability_cutoff = 0.001;
+  bool include_double_cuts = true;
+  // Clamp for sampled per-fiber probabilities.
+  double max_fiber_probability = 0.5;
+};
+
+struct ScenarioSet {
+  std::vector<Scenario> scenarios;
+  std::vector<double> fiber_fail_prob;  // per fiber
+  double no_failure_probability = 0.0;  // prod(1 - p_f)
+
+  // Sum of no_failure_probability and all kept scenarios' probabilities;
+  // availability metrics renormalize by this (the discarded tail).
+  double covered_probability() const {
+    double s = no_failure_probability;
+    for (const auto& q : scenarios) s += q.probability;
+    return s;
+  }
+};
+
+ScenarioSet generate_scenarios(const topo::Network& net,
+                               const ScenarioParams& params, util::Rng& rng);
+
+// All scenarios with exactly <= k cuts, ignoring probabilities (used by
+// FFC-k, which wants absolute guarantees for every k-failure combination).
+std::vector<Scenario> enumerate_exhaustive(const topo::Network& net, int k);
+
+// Drops scenarios whose cuts physically disconnect any pair of sites at the
+// IP layer (no TE can route around a partition; the paper's methodology
+// "ensures at least one residual tunnel for every flow under each failure
+// scenario", which presumes such scenarios are excluded).
+std::vector<Scenario> remove_disconnecting(const topo::Network& net,
+                                           std::vector<Scenario> scenarios);
+
+}  // namespace arrow::scenario

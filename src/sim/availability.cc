@@ -1,0 +1,206 @@
+#include "sim/availability.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace arrow::sim {
+
+namespace {
+
+// Per-scenario delivered bandwidth per (flow, tunnel), shared by the
+// satisfaction and link-load computations.
+//
+// Model (matching how routers behave between TE runs, §3.3): each flow
+// offers min(demand, total allocation) and splits it over the tunnels that
+// are *usable* in this state — every link alive or carrying restored
+// capacity — proportionally to the installed splitting ratios. Dead
+// tunnels' shares rehash onto survivors (standard weighted-ECMP next-hop
+// behaviour; without this, rare double cuts would cap every scheme's
+// availability below 99.9% at any load, contradicting Fig. 13). If the
+// rehashed load over-subscribes a link, every tunnel across it is scaled by
+// the link's over-subscription factor — a bottleneck/FIFO-drop
+// approximation applied uniformly to all schemes.
+std::vector<std::vector<double>> delivered_for_capacity(
+    const te::TeInput& input, const te::TeSolution& sol,
+    const std::vector<double>& capacity) {
+  const auto& net = input.net();
+  const std::size_t num_links = net.ip_links.size();
+
+  // Rehash each flow's offered volume onto its usable tunnels. Splitting
+  // weights are a_{f,t} + epsilon — the paper's footnote 6: tunnels with
+  // zero allocation keep an epsilon ratio so routers can still use them
+  // when they are the only survivors.
+  constexpr double kEpsWeight = 1e-4;
+  std::vector<std::vector<double>> offered(sol.alloc.size());
+  std::vector<double> load(num_links, 0.0);
+  for (std::size_t f = 0; f < sol.alloc.size(); ++f) {
+    offered[f].assign(sol.alloc[f].size(), 0.0);
+    const auto& tunnels = input.tunnels()[f];
+    double total_alloc = 0.0;
+    double usable_weight = 0.0;
+    std::vector<char> usable(sol.alloc[f].size(), 0);
+    for (std::size_t ti = 0; ti < sol.alloc[f].size(); ++ti) {
+      total_alloc += sol.alloc[f][ti];
+      bool ok = true;
+      for (int e : tunnels[ti].links) {
+        if (capacity[static_cast<std::size_t>(e)] <= 1e-9) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        usable[ti] = 1;
+        usable_weight += sol.alloc[f][ti] + kEpsWeight;
+      }
+    }
+    if (usable_weight <= 0.0) continue;  // flow is cut off entirely
+    const double intend =
+        std::min(input.flows()[f].demand_gbps, total_alloc);
+    for (std::size_t ti = 0; ti < sol.alloc[f].size(); ++ti) {
+      if (!usable[ti]) continue;
+      offered[f][ti] =
+          intend * (sol.alloc[f][ti] + kEpsWeight) / usable_weight;
+      for (int e : tunnels[ti].links) {
+        load[static_cast<std::size_t>(e)] += offered[f][ti];
+      }
+    }
+  }
+
+  // Over-subscription factors.
+  std::vector<double> over(num_links, 1.0);
+  for (std::size_t e = 0; e < num_links; ++e) {
+    if (capacity[e] > 1e-9 && load[e] > capacity[e]) {
+      over[e] = load[e] / capacity[e];
+    }
+  }
+
+  std::vector<std::vector<double>> delivered(sol.alloc.size());
+  for (std::size_t f = 0; f < sol.alloc.size(); ++f) {
+    delivered[f].assign(sol.alloc[f].size(), 0.0);
+    const auto& tunnels = input.tunnels()[f];
+    for (std::size_t ti = 0; ti < sol.alloc[f].size(); ++ti) {
+      if (offered[f][ti] <= 0.0) continue;
+      double worst = 1.0;
+      for (int e : tunnels[ti].links) {
+        worst = std::max(worst, over[static_cast<std::size_t>(e)]);
+      }
+      delivered[f][ti] = offered[f][ti] / worst;
+    }
+  }
+  return delivered;
+}
+
+// Scenario-index entry point: capacities from the scenario's failed links
+// and the solution's planned restoration.
+std::vector<std::vector<double>> delivered_alloc(const te::TeInput& input,
+                                                 const te::TeSolution& sol,
+                                                 int q) {
+  const auto& net = input.net();
+  const std::size_t num_links = net.ip_links.size();
+  std::vector<double> capacity(num_links);
+  for (std::size_t e = 0; e < num_links; ++e) {
+    capacity[e] = net.ip_links[e].capacity_gbps();
+  }
+  if (q >= 0) {
+    for (topo::IpLinkId e : input.failed_links(q)) {
+      capacity[static_cast<std::size_t>(e)] = 0.0;
+    }
+    if (static_cast<std::size_t>(q) < sol.restored.size()) {
+      for (const auto& [e, gbps] : sol.restored[static_cast<std::size_t>(q)]) {
+        capacity[static_cast<std::size_t>(e)] = gbps;
+      }
+    }
+  }
+  return delivered_for_capacity(input, sol, capacity);
+}
+
+}  // namespace
+
+StateDelivery state_delivery(const te::TeInput& input,
+                             const te::TeSolution& solution,
+                             const std::vector<topo::FiberId>& cuts,
+                             const std::map<topo::IpLinkId, double>& restored) {
+  const auto& net = input.net();
+  std::vector<double> capacity(net.ip_links.size());
+  for (std::size_t e = 0; e < capacity.size(); ++e) {
+    capacity[e] = net.ip_links[e].capacity_gbps();
+  }
+  for (topo::IpLinkId e : net.failed_ip_links(cuts)) {
+    capacity[static_cast<std::size_t>(e)] = 0.0;
+  }
+  for (const auto& [e, gbps] : restored) {
+    capacity[static_cast<std::size_t>(e)] =
+        std::min(gbps, net.ip_links[static_cast<std::size_t>(e)].capacity_gbps());
+  }
+  const auto delivered = delivered_for_capacity(input, solution, capacity);
+  StateDelivery out;
+  for (std::size_t f = 0; f < delivered.size(); ++f) {
+    const double d = input.flows()[f].demand_gbps;
+    double got = 0.0;
+    for (double a : delivered[f]) got += a;
+    out.offered_gbps += d;
+    out.delivered_gbps += std::min(d, got);
+  }
+  out.satisfaction =
+      out.offered_gbps > 0.0 ? out.delivered_gbps / out.offered_gbps : 1.0;
+  return out;
+}
+
+double scenario_satisfaction(const te::TeInput& input,
+                             const te::TeSolution& solution, int q) {
+  const auto delivered = delivered_alloc(input, solution, q);
+  double total_demand = 0.0;
+  double total_delivered = 0.0;
+  for (std::size_t f = 0; f < delivered.size(); ++f) {
+    const double d = input.flows()[f].demand_gbps;
+    double got = 0.0;
+    for (double a : delivered[f]) got += a;
+    total_demand += d;
+    total_delivered += std::min(d, got);
+  }
+  return total_demand > 0.0 ? total_delivered / total_demand : 1.0;
+}
+
+std::vector<double> link_loads(const te::TeInput& input,
+                               const te::TeSolution& solution, int q) {
+  const auto delivered = delivered_alloc(input, solution, q);
+  std::vector<double> load(input.net().ip_links.size(), 0.0);
+  for (std::size_t f = 0; f < delivered.size(); ++f) {
+    const auto& tunnels = input.tunnels()[f];
+    for (std::size_t ti = 0; ti < delivered[f].size(); ++ti) {
+      for (int e : tunnels[ti].links) {
+        load[static_cast<std::size_t>(e)] += delivered[f][ti];
+      }
+    }
+  }
+  return load;
+}
+
+Evaluation evaluate(const te::TeInput& input, const te::TeSolution& solution) {
+  Evaluation eval;
+  ARROW_CHECK(solution.optimal, "evaluating a non-optimal TE solution");
+
+  eval.healthy_satisfaction = scenario_satisfaction(input, solution, -1);
+  double failure_mass = 0.0;
+  double weighted = 0.0;
+  eval.per_scenario.reserve(static_cast<std::size_t>(input.num_scenarios()));
+  for (int q = 0; q < input.num_scenarios(); ++q) {
+    const double sat = scenario_satisfaction(input, solution, q);
+    const double p = input.scenarios()[static_cast<std::size_t>(q)].probability;
+    eval.per_scenario.push_back(sat);
+    failure_mass += p;
+    weighted += p * sat;
+  }
+  const double healthy_mass = std::max(0.0, 1.0 - failure_mass);
+  eval.availability =
+      healthy_mass * eval.healthy_satisfaction + weighted;
+
+  const double total_demand = input.total_demand();
+  eval.throughput =
+      total_demand > 0.0 ? solution.total_admitted() / total_demand : 1.0;
+  return eval;
+}
+
+}  // namespace arrow::sim

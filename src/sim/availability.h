@@ -1,0 +1,51 @@
+// Availability and throughput evaluation (paper §6.1).
+//
+// For a TE solution we simulate every probabilistic failure scenario: failed
+// IP links carry nothing (or their ticket-restored capacity under ARROW),
+// each tunnel delivers its allocation scaled down by its bottleneck
+// over-subscription, and scenario satisfaction is delivered/demand. The
+// availability of a traffic matrix is the probability-weighted mean of the
+// per-scenario satisfactions (healthy residual mass included).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "te/input.h"
+#include "te/solution.h"
+
+namespace arrow::sim {
+
+struct Evaluation {
+  double availability = 0.0;          // probability-weighted satisfaction
+  double healthy_satisfaction = 0.0;  // no-failure scenario
+  double throughput = 0.0;            // sum b_f / sum d_f (LP view, §6.2)
+  std::vector<double> per_scenario;   // aligned with input.scenarios()
+};
+
+Evaluation evaluate(const te::TeInput& input, const te::TeSolution& solution);
+
+// Satisfaction of a single scenario; q = -1 evaluates the healthy state.
+double scenario_satisfaction(const te::TeInput& input,
+                             const te::TeSolution& solution, int q);
+
+// Satisfaction and delivered rate for an arbitrary runtime state: a set of
+// cut fibers plus the currently-restored capacity per failed IP link. Used
+// by the WAN controller simulation, where restoration ramps up wavelength by
+// wavelength rather than jumping to the planned end state.
+struct StateDelivery {
+  double satisfaction = 0.0;     // delivered / offered
+  double delivered_gbps = 0.0;
+  double offered_gbps = 0.0;
+};
+StateDelivery state_delivery(const te::TeInput& input,
+                             const te::TeSolution& solution,
+                             const std::vector<topo::FiberId>& cuts,
+                             const std::map<topo::IpLinkId, double>& restored);
+
+// Delivered Gbps per IP link under scenario q (q = -1: healthy). Used by the
+// router-port cost model (Fig. 16).
+std::vector<double> link_loads(const te::TeInput& input,
+                               const te::TeSolution& solution, int q);
+
+}  // namespace arrow::sim

@@ -1,0 +1,80 @@
+#include "sim/cost.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/availability.h"
+#include "te/basic.h"
+#include "util/check.h"
+
+namespace arrow::sim {
+
+CostResult compute_cost(const te::TeInput& input,
+                        const te::TeSolution& solution, double beta) {
+  ARROW_CHECK(beta > 0.0 && beta < 1.0, "beta in (0,1)");
+  CostResult cost;
+
+  // CAP_e: worst-case carried load per link, across healthy + all scenarios.
+  std::vector<double> cap = link_loads(input, solution, -1);
+  for (int q = 0; q < input.num_scenarios(); ++q) {
+    const auto loads = link_loads(input, solution, q);
+    for (std::size_t e = 0; e < cap.size(); ++e) {
+      cap[e] = std::max(cap[e], loads[e]);
+    }
+  }
+  for (double c : cap) cost.cap_total += c;
+
+  // Availability-guaranteed throughput: probability-weighted beta-percentile
+  // of per-scenario satisfaction (sorted by loss, ascending).
+  struct Entry {
+    double satisfaction;
+    double probability;
+  };
+  std::vector<Entry> entries;
+  double failure_mass = 0.0;
+  for (int q = 0; q < input.num_scenarios(); ++q) {
+    const double p = input.scenarios()[static_cast<std::size_t>(q)].probability;
+    entries.push_back({scenario_satisfaction(input, solution, q), p});
+    failure_mass += p;
+  }
+  entries.push_back({scenario_satisfaction(input, solution, -1),
+                     std::max(0.0, 1.0 - failure_mass)});
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.satisfaction > b.satisfaction;  // ascending loss
+  });
+  double total_mass = 0.0;
+  for (const auto& e : entries) total_mass += e.probability;
+  double acc = 0.0;
+  cost.availability_guaranteed_throughput = entries.back().satisfaction;
+  for (const auto& e : entries) {
+    acc += e.probability;
+    if (acc >= beta * total_mass) {
+      cost.availability_guaranteed_throughput = e.satisfaction;
+      break;
+    }
+  }
+
+  cost.normalized_ports =
+      cost.availability_guaranteed_throughput > 1e-9
+          ? cost.cap_total / cost.availability_guaranteed_throughput
+          : std::numeric_limits<double>::infinity();
+  return cost;
+}
+
+CostResult fully_restorable_baseline(const te::TeInput& input) {
+  const te::TeSolution sol = te::solve_max_throughput(input);
+  ARROW_CHECK(sol.optimal, "fully-restorable baseline LP failed");
+  CostResult cost;
+  const auto loads = link_loads(input, sol, -1);
+  for (double c : loads) cost.cap_total += c;
+  const double demand = input.total_demand();
+  cost.availability_guaranteed_throughput =
+      demand > 0.0 ? sol.total_admitted() / demand : 1.0;
+  cost.normalized_ports =
+      cost.availability_guaranteed_throughput > 1e-9
+          ? cost.cap_total / cost.availability_guaranteed_throughput
+          : std::numeric_limits<double>::infinity();
+  return cost;
+}
+
+}  // namespace arrow::sim

@@ -1,0 +1,27 @@
+// Router-port / transponder cost model (paper §6.3, Fig. 16): worst-case
+// per-link capacity across scenarios, normalized by availability-guaranteed
+// throughput, compared against the hypothetical Fully Restorable TE.
+#pragma once
+
+#include "te/input.h"
+#include "te/solution.h"
+
+namespace arrow::sim {
+
+struct CostResult {
+  double cap_total = 0.0;  // sum over links of worst-case carried load
+  // beta-percentile satisfied-demand fraction across scenarios (§6.3).
+  double availability_guaranteed_throughput = 0.0;
+  // cap_total / availability_guaranteed_throughput: the router-port proxy.
+  double normalized_ports = 0.0;
+};
+
+CostResult compute_cost(const te::TeInput& input,
+                        const te::TeSolution& solution, double beta);
+
+// The Fully Restorable TE baseline: a hypothetical TE at 100% availability
+// whose port count is just its healthy-state allocation (no failure
+// headroom). Uses the plain max-throughput LP.
+CostResult fully_restorable_baseline(const te::TeInput& input);
+
+}  // namespace arrow::sim

@@ -1,0 +1,106 @@
+#include "sim/sweep.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace arrow::sim {
+
+double SweepResult::max_scale_at(const std::string& scheme,
+                                 double target) const {
+  const auto it = availability.find(scheme);
+  ARROW_CHECK(it != availability.end(), "unknown scheme");
+  const auto& avail = it->second;
+  double best = 0.0;
+  for (std::size_t i = 0; i < scales.size(); ++i) {
+    if (avail[i] >= target) {
+      best = scales[i];
+      // Interpolate into the next segment if availability crosses there.
+      if (i + 1 < scales.size() && avail[i + 1] < target &&
+          avail[i] > avail[i + 1]) {
+        const double frac = (avail[i] - target) / (avail[i] - avail[i + 1]);
+        best = scales[i] + frac * (scales[i + 1] - scales[i]);
+      }
+    }
+  }
+  return best;
+}
+
+SweepResult run_sweep(const topo::Network& net,
+                      const std::vector<traffic::TrafficMatrix>& matrices,
+                      const std::vector<scenario::Scenario>& scenarios,
+                      const SweepParams& params, util::Rng& rng) {
+  ARROW_CHECK(!matrices.empty(), "no traffic matrices");
+  SweepResult result;
+  result.scales = params.scales;
+  if (params.run_arrow) result.schemes.push_back("ARROW");
+  if (params.run_arrow_naive) result.schemes.push_back("ARROW-Naive");
+  if (params.run_ffc1) result.schemes.push_back("FFC-1");
+  if (params.run_ffc2) result.schemes.push_back("FFC-2");
+  if (params.run_teavar) result.schemes.push_back("TeaVaR");
+  if (params.run_ecmp) result.schemes.push_back("ECMP");
+  for (const auto& s : result.schemes) {
+    result.availability[s].assign(params.scales.size(), 0.0);
+    result.throughput[s].assign(params.scales.size(), 0.0);
+  }
+
+  for (const auto& tm : matrices) {
+    te::TeInput input(net, tm, scenarios, params.tunnels);
+    // Calibrate: scale 1.0 = largest fully-satisfiable uniform load.
+    const double calibration = te::max_satisfiable_scale(input);
+    ARROW_CHECK(calibration > 0.0, "matrix cannot be satisfied at any scale");
+    input.scale_demands(calibration);
+
+    // Offline stage: tickets are demand-independent, shared across scales.
+    te::ArrowPrepared prepared;
+    if (params.run_arrow || params.run_arrow_naive) {
+      prepared = te::prepare_arrow(input, params.arrow, rng);
+    }
+
+    double prev_scale = 1.0;
+    for (std::size_t si = 0; si < params.scales.size(); ++si) {
+      input.scale_demands(params.scales[si] / prev_scale);
+      prev_scale = params.scales[si];
+
+      const auto record = [&](const char* name, const te::TeSolution& sol) {
+        if (!sol.optimal) return;
+        const Evaluation eval = evaluate(input, sol);
+        result.availability[name][si] += eval.availability;
+        result.throughput[name][si] += eval.throughput;
+      };
+      if (params.run_arrow) {
+        record("ARROW", te::solve_arrow(input, prepared, params.arrow));
+      }
+      if (params.run_arrow_naive) {
+        record("ARROW-Naive",
+               te::solve_arrow_naive(input, prepared, params.arrow));
+      }
+      if (params.run_ffc1) {
+        record("FFC-1", te::solve_ffc(input, te::FfcParams{1, 0}));
+      }
+      if (params.run_ffc2) {
+        record("FFC-2", te::solve_ffc(input, te::FfcParams{
+                                                 2, params.ffc2_max_double_scenarios}));
+      }
+      if (params.run_teavar) {
+        record("TeaVaR", te::solve_teavar(input, params.teavar));
+      }
+      if (params.run_ecmp) {
+        record("ECMP", te::solve_ecmp(input));
+      }
+    }
+  }
+
+  const double n = static_cast<double>(matrices.size());
+  for (auto& [scheme, values] : result.availability) {
+    (void)scheme;
+    for (double& v : values) v /= n;
+  }
+  for (auto& [scheme, values] : result.throughput) {
+    (void)scheme;
+    for (double& v : values) v /= n;
+  }
+  return result;
+}
+
+}  // namespace arrow::sim

@@ -1,0 +1,50 @@
+// Demand-scaling sweeps (paper §6.1, Fig. 13 / Table 5): for each traffic
+// matrix, calibrate demands so scale 1.0 is exactly fully satisfiable, then
+// sweep a multiplier grid, solve every TE scheme at every scale, and average
+// availability across matrices.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/availability.h"
+#include "te/arrow.h"
+#include "te/basic.h"
+#include "te/ffc.h"
+#include "te/teavar.h"
+
+namespace arrow::sim {
+
+struct SweepParams {
+  std::vector<double> scales = {1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5};
+  bool run_arrow = true;
+  bool run_arrow_naive = true;
+  bool run_ffc1 = true;
+  bool run_ffc2 = true;
+  bool run_teavar = true;
+  bool run_ecmp = true;
+  te::TunnelParams tunnels;
+  te::ArrowParams arrow;
+  te::TeaVarParams teavar;
+  int ffc2_max_double_scenarios = 0;  // cap for very large topologies
+};
+
+struct SweepResult {
+  std::vector<std::string> schemes;
+  std::vector<double> scales;
+  // availability[scheme][scale index], averaged over traffic matrices.
+  std::map<std::string, std::vector<double>> availability;
+  std::map<std::string, std::vector<double>> throughput;
+
+  // Largest scale sustaining the availability target (linear interpolation
+  // between grid points; 0 if even the smallest scale misses the target).
+  double max_scale_at(const std::string& scheme, double target) const;
+};
+
+SweepResult run_sweep(const topo::Network& net,
+                      const std::vector<traffic::TrafficMatrix>& matrices,
+                      const std::vector<scenario::Scenario>& scenarios,
+                      const SweepParams& params, util::Rng& rng);
+
+}  // namespace arrow::sim

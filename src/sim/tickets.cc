@@ -1,0 +1,65 @@
+#include "sim/tickets.h"
+
+#include <map>
+
+#include "util/check.h"
+
+namespace arrow::sim {
+
+const char* to_string(RootCause c) {
+  switch (c) {
+    case RootCause::kFiberCut: return "fiber-cut";
+    case RootCause::kHardware: return "hardware";
+    case RootCause::kSoftware: return "software";
+    case RootCause::kPower: return "power";
+    case RootCause::kMaintenance: return "maintenance";
+  }
+  return "unknown";
+}
+
+std::vector<FailureTicket> generate_tickets(const topo::Network& net,
+                                            const TicketStudyParams& params,
+                                            util::Rng& rng) {
+  ARROW_CHECK(!net.optical.fibers.empty(), "network has no fibers");
+  const std::vector<double> weights = {
+      params.fiber_cut_weight, params.hardware_weight, params.software_weight,
+      params.power_weight, params.maintenance_weight};
+  const std::vector<RootCause> causes = {
+      RootCause::kFiberCut, RootCause::kHardware, RootCause::kSoftware,
+      RootCause::kPower, RootCause::kMaintenance};
+
+  std::vector<FailureTicket> tickets;
+  tickets.reserve(static_cast<std::size_t>(params.num_tickets));
+  for (int i = 0; i < params.num_tickets; ++i) {
+    FailureTicket t;
+    t.cause = causes[rng.weighted_index(weights)];
+    t.start_hours = rng.uniform(0.0, params.window_hours);
+    if (t.cause == RootCause::kFiberCut) {
+      t.duration_hours = rng.lognormal(params.fiber_mu, params.fiber_sigma);
+      t.fiber = rng.uniform_int(
+          0, static_cast<int>(net.optical.fibers.size()) - 1);
+      t.lost_gbps = net.provisioned_gbps(t.fiber);
+    } else {
+      t.duration_hours = rng.lognormal(params.other_mu, params.other_sigma);
+    }
+    tickets.push_back(t);
+  }
+  return tickets;
+}
+
+std::vector<std::pair<RootCause, double>> downtime_share(
+    const std::vector<FailureTicket>& tickets) {
+  std::map<RootCause, double> downtime;
+  double total = 0.0;
+  for (const auto& t : tickets) {
+    downtime[t.cause] += t.duration_hours;
+    total += t.duration_hours;
+  }
+  std::vector<std::pair<RootCause, double>> share;
+  for (const auto& [cause, hours] : downtime) {
+    share.emplace_back(cause, total > 0.0 ? hours / total : 0.0);
+  }
+  return share;
+}
+
+}  // namespace arrow::sim

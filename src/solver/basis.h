@@ -1,0 +1,60 @@
+// Simplex basis representation: Markowitz-ordered sparse LU factorization
+// with product-form eta updates between refactorizations.
+//
+// B^{-1} is applied as   (update etas) ∘ U^{-1} ∘ L^{-1}   where L and U come
+// from a right-looking sparse Gaussian elimination whose pivots are chosen to
+// keep fill low (smallest active column, then smallest row count subject to
+// threshold partial pivoting). Update etas act in basis-position space.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace arrow::solver {
+
+class LuBasis {
+ public:
+  // A sparse basis column: (row, value) pairs.
+  using Column = std::vector<std::pair<int, double>>;
+
+  // Factorizes the m columns as the new basis. Returns false if the matrix
+  // is numerically singular.
+  bool factorize(int m, const std::vector<Column>& columns, double pivot_tol);
+
+  // x := B^{-1} b. Input in row space; output in basis-position space.
+  void ftran(std::vector<double>& x) const;
+
+  // y := B^{-T} c. Input in basis-position space; output in row space.
+  void btran(std::vector<double>& y) const;
+
+  // Replaces the basis column at `position`; `w` must be ftran() of the
+  // entering column. Returns false if |w[position]| is below pivot_tol.
+  bool update(int position, const std::vector<double>& w, double pivot_tol);
+
+  int updates_since_factorize() const { return static_cast<int>(etas_.size()); }
+  // Nonzeros in L + U + update etas: the per-ftran/btran work estimate.
+  std::size_t work_nnz() const { return lu_nnz_ + eta_nnz_; }
+  std::size_t factor_nnz() const { return lu_nnz_; }
+
+ private:
+  struct Eta {
+    int pivot_pos = -1;
+    std::vector<std::pair<int, double>> entries;  // (position, value)
+  };
+
+  void apply_eta(const Eta& eta, std::vector<double>& w) const;
+  void apply_eta_transposed(const Eta& eta, std::vector<double>& z) const;
+
+  int m_ = 0;
+  // Elimination step k: pivot row/col, diagonal, L multipliers, U row.
+  std::vector<int> pivot_row_;   // row space index per step
+  std::vector<int> pivot_col_;   // basis-position index per step
+  std::vector<double> diag_;
+  std::vector<std::vector<std::pair<int, double>>> l_cols_;  // (row, mult)
+  std::vector<std::vector<std::pair<int, double>>> u_rows_;  // (position, val)
+  std::vector<Eta> etas_;
+  std::size_t lu_nnz_ = 0;
+  std::size_t eta_nnz_ = 0;
+};
+
+}  // namespace arrow::solver

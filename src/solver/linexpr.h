@@ -1,0 +1,63 @@
+// Linear expressions over model variables, with the usual operator sugar so
+// formulations read close to the paper's math.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace arrow::solver {
+
+// Opaque variable handle returned by Model::add_var.
+struct VarId {
+  std::int32_t index = -1;
+  bool valid() const { return index >= 0; }
+  friend bool operator==(VarId a, VarId b) { return a.index == b.index; }
+};
+
+// Sparse linear expression: sum of coefficient * variable (+ constant).
+class LinExpr {
+ public:
+  LinExpr() = default;
+  /*implicit*/ LinExpr(VarId v) { terms_.emplace_back(v, 1.0); }
+
+  LinExpr& operator+=(const LinExpr& other) {
+    terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+    constant_ += other.constant_;
+    return *this;
+  }
+  LinExpr& operator-=(const LinExpr& other) {
+    for (const auto& [v, c] : other.terms_) terms_.emplace_back(v, -c);
+    constant_ -= other.constant_;
+    return *this;
+  }
+  LinExpr& operator+=(double k) {
+    constant_ += k;
+    return *this;
+  }
+  LinExpr& operator*=(double k) {
+    for (auto& [v, c] : terms_) c *= k;
+    constant_ *= k;
+    return *this;
+  }
+
+  void add_term(VarId v, double coeff) { terms_.emplace_back(v, coeff); }
+
+  const std::vector<std::pair<VarId, double>>& terms() const { return terms_; }
+  double constant() const { return constant_; }
+
+ private:
+  std::vector<std::pair<VarId, double>> terms_;
+  double constant_ = 0.0;
+};
+
+inline LinExpr operator+(LinExpr a, const LinExpr& b) { return a += b; }
+inline LinExpr operator-(LinExpr a, const LinExpr& b) { return a -= b; }
+inline LinExpr operator*(double k, LinExpr e) { return e *= k; }
+inline LinExpr operator*(LinExpr e, double k) { return e *= k; }
+inline LinExpr operator+(LinExpr a, double k) { return a += k; }
+inline LinExpr operator-(LinExpr a, double k) { return a += -k; }
+
+enum class Sense { kLe, kGe, kEq };
+
+}  // namespace arrow::solver

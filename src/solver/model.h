@@ -1,0 +1,105 @@
+// Gurobi-style model builder on top of the simplex core.
+//
+// The paper's artifact calls Gurobi from Julia; this Model class plays the
+// same role here: declare variables and linear constraints, call solve(),
+// read back values. Integer/binary variables trigger a small best-first
+// branch-and-bound (used only for the paper's ILP baselines on small nets:
+// Table 9's binary ticket selection and the RWA ILP cross-checks).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "solver/linexpr.h"
+#include "solver/lp.h"
+
+namespace arrow::solver {
+
+enum class VarType : char { kContinuous, kInteger, kBinary };
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kNodeLimit,
+  kNumericalError,
+};
+
+const char* to_string(SolveStatus s);
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::kNumericalError;
+  double objective = 0.0;
+  int simplex_iterations = 0;
+  int bb_nodes = 0;  // 0 for pure LPs
+  bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+class Model {
+ public:
+  Model() = default;
+
+  // --- construction -------------------------------------------------------
+  VarId add_var(double lb, double ub, double obj_coeff,
+                std::string name = {}, VarType type = VarType::kContinuous);
+  VarId add_binary(double obj_coeff, std::string name = {}) {
+    return add_var(0.0, 1.0, obj_coeff, std::move(name), VarType::kBinary);
+  }
+  void add_constr(const LinExpr& lhs, Sense sense, double rhs,
+                  std::string name = {});
+  void set_objective_coeff(VarId v, double coeff);
+  void set_maximize() { maximize_ = true; }
+  void set_minimize() { maximize_ = false; }
+
+  // Tightens a variable's bounds (also how branch-and-bound branches).
+  void set_bounds(VarId v, double lb, double ub);
+
+  // --- solving -------------------------------------------------------------
+  SolveResult solve();
+
+  // --- solution access ------------------------------------------------------
+  double value(VarId v) const;
+  double objective() const { return result_.objective; }
+  // Dual value of the i-th constraint (LPs only; insertion order).
+  double dual(int constraint_index) const;
+
+  // --- introspection ---------------------------------------------------------
+  int num_vars() const { return static_cast<int>(vars_.size()); }
+  int num_constrs() const { return static_cast<int>(rows_.size()); }
+  int num_integer_vars() const;
+  const std::string& var_name(VarId v) const;
+
+  SimplexOptions& simplex_options() { return simplex_options_; }
+  // Branch-and-bound node budget for MIPs.
+  void set_node_limit(int limit) { node_limit_ = limit; }
+
+ private:
+  struct VarData {
+    double lb, ub, obj;
+    VarType type;
+    std::string name;
+  };
+  struct RowData {
+    std::vector<std::pair<int, double>> terms;  // (var index, coeff), merged
+    Sense sense;
+    double rhs;
+    std::string name;
+  };
+
+  Lp build_lp(const std::vector<double>& lb_override,
+              const std::vector<double>& ub_override) const;
+  SolveResult solve_mip();
+
+  std::vector<VarData> vars_;
+  std::vector<RowData> rows_;
+  bool maximize_ = false;
+  SimplexOptions simplex_options_;
+  int node_limit_ = 200000;
+
+  SolveResult result_;
+  std::vector<double> solution_;  // structural variable values
+  std::vector<double> duals_;     // per-row duals (sign: user-sense space)
+};
+
+}  // namespace arrow::solver

@@ -1,0 +1,562 @@
+// Bounded-variable revised primal simplex on the computational-form LP.
+//
+// Structure:
+//  * initial basis = the all-slack basis (the Model always appends one slack
+//    column per row, so the basis matrix starts as the identity);
+//  * phase 1 minimizes the sum of primal infeasibilities of the basic
+//    variables (Maros-style composite objective, re-derived every iteration);
+//  * phase 2 minimizes the true cost; both phases share pricing, FTRAN and
+//    the two-pass (Harris-lite) ratio test;
+//  * the basis inverse is a Markowitz-ordered sparse LU (LuBasis) with
+//    product-form updates, refreshed every `refactor_interval` pivots or
+//    when the eta file grows dense;
+//  * after `bland_threshold` consecutive degenerate pivots the pivot rule
+//    switches to Bland's rule until progress resumes.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "solver/lp.h"
+#include "solver/basis.h"
+#include "util/check.h"
+
+namespace arrow::solver {
+
+const char* to_string(LpStatus s) {
+  switch (s) {
+    case LpStatus::kOptimal: return "optimal";
+    case LpStatus::kInfeasible: return "infeasible";
+    case LpStatus::kUnbounded: return "unbounded";
+    case LpStatus::kIterationLimit: return "iteration-limit";
+    case LpStatus::kNumericalError: return "numerical-error";
+  }
+  return "unknown";
+}
+
+double primal_violation(const Lp& lp, const std::vector<double>& x) {
+  const int m = lp.a.rows;
+  const int n = lp.a.cols;
+  ARROW_CHECK(static_cast<int>(x.size()) == n, "x size mismatch");
+  std::vector<double> ax(static_cast<std::size_t>(m), 0.0);
+  for (int j = 0; j < n; ++j) {
+    for (int k = lp.a.col_start[j]; k < lp.a.col_start[j + 1]; ++k) {
+      ax[static_cast<std::size_t>(lp.a.row_index[k])] +=
+          lp.a.value[static_cast<std::size_t>(k)] *
+          x[static_cast<std::size_t>(j)];
+    }
+  }
+  double viol = 0.0;
+  for (int i = 0; i < m; ++i) {
+    viol = std::max(viol, std::abs(ax[static_cast<std::size_t>(i)] -
+                                   lp.rhs[static_cast<std::size_t>(i)]));
+  }
+  for (int j = 0; j < n; ++j) {
+    viol = std::max(viol, lp.lower[static_cast<std::size_t>(j)] -
+                              x[static_cast<std::size_t>(j)]);
+    viol = std::max(viol, x[static_cast<std::size_t>(j)] -
+                              lp.upper[static_cast<std::size_t>(j)]);
+  }
+  return viol;
+}
+
+namespace {
+
+enum class VStat : char { kBasic, kAtLower, kAtUpper, kFree };
+
+class Simplex {
+ public:
+  Simplex(const Lp& lp, const SimplexOptions& opt) : lp_(lp), opt_(opt) {
+    m_ = lp.a.rows;
+    n_ = lp.a.cols;
+    max_iter_ = opt.max_iterations > 0 ? opt.max_iterations
+                                       : 20000 + 100 * (m_ + n_);
+  }
+
+  LpSolution run() {
+    LpSolution sol;
+    if (m_ == 0) return solve_trivial();
+    init_basis();
+    if (!refactorize()) {
+      sol.status = LpStatus::kNumericalError;
+      return sol;
+    }
+    LpStatus st = iterate(/*phase=*/1);
+    if (st == LpStatus::kOptimal && total_infeasibility() > feas_total_tol()) {
+      st = LpStatus::kInfeasible;
+    }
+    if (st == LpStatus::kOptimal) {
+      st = iterate(/*phase=*/2);
+    }
+    return extract(st);
+  }
+
+ private:
+  // An LP with no rows: each variable independently goes to its best bound.
+  LpSolution solve_trivial() {
+    LpSolution sol;
+    sol.x.assign(static_cast<std::size_t>(n_), 0.0);
+    for (int j = 0; j < n_; ++j) {
+      const double c = lp_.cost[static_cast<std::size_t>(j)];
+      const double lo = lp_.lower[static_cast<std::size_t>(j)];
+      const double hi = lp_.upper[static_cast<std::size_t>(j)];
+      if (lo > hi) {
+        sol.status = LpStatus::kInfeasible;
+        return sol;
+      }
+      double v;
+      if (c > 0.0) {
+        v = lo;
+      } else if (c < 0.0) {
+        v = hi;
+      } else {
+        v = std::isfinite(lo) ? lo : (std::isfinite(hi) ? hi : 0.0);
+      }
+      if (!std::isfinite(v)) {
+        sol.status = LpStatus::kUnbounded;
+        return sol;
+      }
+      sol.x[static_cast<std::size_t>(j)] = v;
+      sol.objective += c * v;
+    }
+    sol.status = LpStatus::kOptimal;
+    return sol;
+  }
+
+  void init_basis() {
+    // Model guarantees the last m columns are the per-row slacks (identity).
+    basis_.resize(static_cast<std::size_t>(m_));
+    vstat_.assign(static_cast<std::size_t>(n_), VStat::kAtLower);
+    for (int j = 0; j < n_; ++j) {
+      const double lo = lp_.lower[static_cast<std::size_t>(j)];
+      const double hi = lp_.upper[static_cast<std::size_t>(j)];
+      if (std::isfinite(lo) && (std::abs(lo) <= std::abs(hi) || !std::isfinite(hi))) {
+        vstat_[static_cast<std::size_t>(j)] = VStat::kAtLower;
+      } else if (std::isfinite(hi)) {
+        vstat_[static_cast<std::size_t>(j)] = VStat::kAtUpper;
+      } else {
+        vstat_[static_cast<std::size_t>(j)] = VStat::kFree;
+      }
+    }
+    for (int i = 0; i < m_; ++i) {
+      const int slack = n_ - m_ + i;
+      basis_[static_cast<std::size_t>(i)] = slack;
+      vstat_[static_cast<std::size_t>(slack)] = VStat::kBasic;
+    }
+  }
+
+  double nonbasic_value(int j) const {
+    switch (vstat_[static_cast<std::size_t>(j)]) {
+      case VStat::kAtLower: return lp_.lower[static_cast<std::size_t>(j)];
+      case VStat::kAtUpper: return lp_.upper[static_cast<std::size_t>(j)];
+      case VStat::kFree: return 0.0;
+      case VStat::kBasic: break;
+    }
+    ARROW_CHECK(false, "nonbasic_value on basic variable");
+    return 0.0;
+  }
+
+  bool refactorize() {
+    std::vector<LuBasis::Column> cols(static_cast<std::size_t>(m_));
+    for (int p = 0; p < m_; ++p) {
+      const int j = basis_[static_cast<std::size_t>(p)];
+      auto& col = cols[static_cast<std::size_t>(p)];
+      for (int k = lp_.a.col_start[j]; k < lp_.a.col_start[j + 1]; ++k) {
+        col.emplace_back(lp_.a.row_index[k],
+                         lp_.a.value[static_cast<std::size_t>(k)]);
+      }
+    }
+    if (!inv_.factorize(m_, cols, opt_.pivot_tol)) return false;
+    recompute_basic_values();
+    return true;
+  }
+
+  void recompute_basic_values() {
+    std::vector<double> rhs(lp_.rhs);
+    for (int j = 0; j < n_; ++j) {
+      if (vstat_[static_cast<std::size_t>(j)] == VStat::kBasic) continue;
+      const double v = nonbasic_value(j);
+      if (v == 0.0) continue;
+      for (int k = lp_.a.col_start[j]; k < lp_.a.col_start[j + 1]; ++k) {
+        rhs[static_cast<std::size_t>(lp_.a.row_index[k])] -=
+            lp_.a.value[static_cast<std::size_t>(k)] * v;
+      }
+    }
+    inv_.ftran(rhs);
+    xb_.swap(rhs);
+  }
+
+  double total_infeasibility() const {
+    double s = 0.0;
+    for (int p = 0; p < m_; ++p) {
+      const int j = basis_[static_cast<std::size_t>(p)];
+      const double v = xb_[static_cast<std::size_t>(p)];
+      s += std::max(0.0, lp_.lower[static_cast<std::size_t>(j)] - v);
+      s += std::max(0.0, v - lp_.upper[static_cast<std::size_t>(j)]);
+    }
+    return s;
+  }
+
+  double feas_total_tol() const {
+    return opt_.feas_tol * (1.0 + static_cast<double>(m_));
+  }
+
+  // Phase-aware cost of column j (phase-1 structural costs are zero; the
+  // infeasibility objective lives entirely on the basic variables).
+  double phase_cost(int phase, int j) const {
+    return phase == 1 ? 0.0 : lp_.cost[static_cast<std::size_t>(j)];
+  }
+
+  LpStatus iterate(int phase) {
+    int degenerate_streak = 0;
+    std::vector<double> y(static_cast<std::size_t>(m_));
+    std::vector<double> w(static_cast<std::size_t>(m_));
+    std::vector<double> rho(static_cast<std::size_t>(m_));
+    int stall_refactors = 0;
+    const bool devex = opt_.pricing == Pricing::kDevex;
+    devex_w_.assign(static_cast<std::size_t>(n_), 1.0);
+
+    while (true) {
+      if (iterations_ >= max_iter_) return LpStatus::kIterationLimit;
+      if (inv_.updates_since_factorize() >= opt_.refactor_interval ||
+          (inv_.updates_since_factorize() > 0 &&
+           inv_.work_nnz() > 2 * inv_.factor_nnz() +
+                                40u * static_cast<std::size_t>(m_) + 1000u)) {
+        if (!refactorize()) return LpStatus::kNumericalError;
+      }
+      if (phase == 1 && total_infeasibility() <= feas_total_tol()) {
+        return LpStatus::kOptimal;  // feasible; caller moves to phase 2
+      }
+
+      // BTRAN: dual vector for the phase-aware basic costs.
+      for (int p = 0; p < m_; ++p) {
+        const int j = basis_[static_cast<std::size_t>(p)];
+        double c = phase_cost(phase, j);
+        if (phase == 1) {
+          const double v = xb_[static_cast<std::size_t>(p)];
+          if (v < lp_.lower[static_cast<std::size_t>(j)] - opt_.feas_tol) {
+            c = -1.0;
+          } else if (v > lp_.upper[static_cast<std::size_t>(j)] + opt_.feas_tol) {
+            c = 1.0;
+          } else {
+            c = 0.0;
+          }
+        }
+        y[static_cast<std::size_t>(p)] = c;
+      }
+      inv_.btran(y);
+
+      // Pricing: pick the entering column. Dantzig scores by |d|; Devex by
+      // d^2 / w_j with reference weights updated after each pivot.
+      const bool bland = degenerate_streak > opt_.bland_threshold;
+      int entering = -1;
+      int dir = 0;
+      double best_score = 0.0;
+      for (int j = 0; j < n_; ++j) {
+        const VStat st = vstat_[static_cast<std::size_t>(j)];
+        if (st == VStat::kBasic) continue;
+        double d = phase_cost(phase, j);
+        for (int k = lp_.a.col_start[j]; k < lp_.a.col_start[j + 1]; ++k) {
+          d -= y[static_cast<std::size_t>(lp_.a.row_index[k])] *
+               lp_.a.value[static_cast<std::size_t>(k)];
+        }
+        int cand_dir = 0;
+        if ((st == VStat::kAtLower || st == VStat::kFree) && d < -opt_.opt_tol) {
+          cand_dir = +1;
+        } else if ((st == VStat::kAtUpper || st == VStat::kFree) &&
+                   d > opt_.opt_tol) {
+          cand_dir = -1;
+        }
+        if (cand_dir == 0) continue;
+        if (bland) {
+          entering = j;
+          dir = cand_dir;
+          break;  // lowest improving index
+        }
+        const double score =
+            devex ? d * d / devex_w_[static_cast<std::size_t>(j)]
+                  : std::abs(d);
+        if (score > best_score) {
+          best_score = score;
+          entering = j;
+          dir = cand_dir;
+        }
+      }
+      if (entering < 0) {
+        // Phase 1: stalled with residual infeasibility => infeasible (checked
+        // by the caller). Phase 2: optimal.
+        return LpStatus::kOptimal;
+      }
+
+      // FTRAN: w = B^{-1} A_entering (in basis-position space).
+      std::fill(w.begin(), w.end(), 0.0);
+      for (int k = lp_.a.col_start[entering];
+           k < lp_.a.col_start[entering + 1]; ++k) {
+        w[static_cast<std::size_t>(lp_.a.row_index[k])] =
+            lp_.a.value[static_cast<std::size_t>(k)];
+      }
+      inv_.ftran(w);
+
+      // Ratio test. The entering variable moves by t >= 0 in direction
+      // `dir`; basic variable at position p changes at rate -dir * w[p].
+      const double kNone = kInf;
+      double limit = kNone;
+      int leave_pos = -1;
+      double leave_target = 0.0;
+      // Entering variable's own bound-flip breakpoint.
+      double flip_limit = kNone;
+      if (vstat_[static_cast<std::size_t>(entering)] != VStat::kFree) {
+        const double lo = lp_.lower[static_cast<std::size_t>(entering)];
+        const double hi = lp_.upper[static_cast<std::size_t>(entering)];
+        if (std::isfinite(lo) && std::isfinite(hi)) flip_limit = hi - lo;
+      }
+
+      // Pass 1: tightest breakpoint.
+      double min_ratio = kNone;
+      for (int p = 0; p < m_; ++p) {
+        const double alpha = -static_cast<double>(dir) *
+                             w[static_cast<std::size_t>(p)];
+        if (std::abs(alpha) < opt_.pivot_tol) continue;
+        const int j = basis_[static_cast<std::size_t>(p)];
+        const double v = xb_[static_cast<std::size_t>(p)];
+        const double lo = lp_.lower[static_cast<std::size_t>(j)];
+        const double hi = lp_.upper[static_cast<std::size_t>(j)];
+        double target;
+        if (alpha > 0.0) {
+          // Value increasing: a below-lower infeasible variable first reaches
+          // its lower bound; otherwise it blocks at its upper bound.
+          if (phase == 1 && v < lo - opt_.feas_tol) {
+            target = lo;
+          } else if (std::isfinite(hi)) {
+            target = hi;
+          } else {
+            continue;
+          }
+          if (phase == 1 && v > hi + opt_.feas_tol) continue;  // worsening leg
+        } else {
+          if (phase == 1 && v > hi + opt_.feas_tol) {
+            target = hi;
+          } else if (std::isfinite(lo)) {
+            target = lo;
+          } else {
+            continue;
+          }
+          if (phase == 1 && v < lo - opt_.feas_tol) continue;
+        }
+        const double ratio = std::max(0.0, (target - v) / alpha);
+        if (ratio < min_ratio) min_ratio = ratio;
+      }
+
+      // Pass 2: among near-minimal breakpoints pick the largest pivot (or
+      // the lowest index under Bland's rule).
+      if (min_ratio < kNone) {
+        const double cutoff = min_ratio + opt_.feas_tol;
+        double best_pivot = 0.0;
+        for (int p = 0; p < m_; ++p) {
+          const double alpha = -static_cast<double>(dir) *
+                               w[static_cast<std::size_t>(p)];
+          if (std::abs(alpha) < opt_.pivot_tol) continue;
+          const int j = basis_[static_cast<std::size_t>(p)];
+          const double v = xb_[static_cast<std::size_t>(p)];
+          const double lo = lp_.lower[static_cast<std::size_t>(j)];
+          const double hi = lp_.upper[static_cast<std::size_t>(j)];
+          double target;
+          if (alpha > 0.0) {
+            if (phase == 1 && v < lo - opt_.feas_tol) {
+              target = lo;
+            } else if (std::isfinite(hi)) {
+              target = hi;
+            } else {
+              continue;
+            }
+            if (phase == 1 && v > hi + opt_.feas_tol) continue;
+          } else {
+            if (phase == 1 && v > hi + opt_.feas_tol) {
+              target = hi;
+            } else if (std::isfinite(lo)) {
+              target = lo;
+            } else {
+              continue;
+            }
+            if (phase == 1 && v < lo - opt_.feas_tol) continue;
+          }
+          const double ratio = std::max(0.0, (target - v) / alpha);
+          if (ratio > cutoff) continue;
+          if (bland) {
+            if (leave_pos < 0 || j < basis_[static_cast<std::size_t>(leave_pos)]) {
+              leave_pos = p;
+              leave_target = target;
+              limit = ratio;
+            }
+          } else if (std::abs(alpha) > best_pivot) {
+            best_pivot = std::abs(alpha);
+            leave_pos = p;
+            leave_target = target;
+            limit = ratio;
+          }
+        }
+      }
+
+      const bool flip_first = flip_limit < limit;
+      double step = flip_first ? flip_limit : limit;
+      if (!std::isfinite(step)) {
+        if (phase == 2) return LpStatus::kUnbounded;
+        // An improving phase-1 direction must hit a breakpoint; not finding
+        // one is numerical trouble. Refactor once and retry, then give up.
+        if (++stall_refactors > 3) return LpStatus::kNumericalError;
+        if (!refactorize()) return LpStatus::kNumericalError;
+        continue;
+      }
+      stall_refactors = 0;
+      ++iterations_;
+      if (phase == 1) ++phase1_iterations_;
+      degenerate_streak = step < 1e-10 ? degenerate_streak + 1 : 0;
+
+      // Apply the step to the basic values.
+      for (int p = 0; p < m_; ++p) {
+        const double alpha = -static_cast<double>(dir) *
+                             w[static_cast<std::size_t>(p)];
+        if (alpha != 0.0) {
+          xb_[static_cast<std::size_t>(p)] += alpha * step;
+        }
+      }
+
+      if (flip_first) {
+        // Entering variable travels bound-to-bound; basis unchanged.
+        vstat_[static_cast<std::size_t>(entering)] =
+            dir > 0 ? VStat::kAtUpper : VStat::kAtLower;
+        continue;
+      }
+
+      // Basis change.
+      const int leaving = basis_[static_cast<std::size_t>(leave_pos)];
+      const double entering_start =
+          vstat_[static_cast<std::size_t>(entering)] == VStat::kFree
+              ? 0.0
+              : nonbasic_value(entering);
+
+      // Devex reference-weight update needs the pivot row of B^{-1}N under
+      // the *outgoing* basis: rho = B^{-T} e_p, alpha_j = rho . A_j.
+      bool devex_reset = false;
+      if (devex && !bland) {
+        std::fill(rho.begin(), rho.end(), 0.0);
+        rho[static_cast<std::size_t>(leave_pos)] = 1.0;
+        inv_.btran(rho);
+        const double alpha_q = w[static_cast<std::size_t>(leave_pos)];
+        const double wq = devex_w_[static_cast<std::size_t>(entering)];
+        const double inv_aq2 = 1.0 / (alpha_q * alpha_q);
+        for (int j = 0; j < n_; ++j) {
+          if (vstat_[static_cast<std::size_t>(j)] == VStat::kBasic ||
+              j == entering) {
+            continue;
+          }
+          double alpha_j = 0.0;
+          for (int k = lp_.a.col_start[j]; k < lp_.a.col_start[j + 1]; ++k) {
+            alpha_j += rho[static_cast<std::size_t>(lp_.a.row_index[k])] *
+                       lp_.a.value[static_cast<std::size_t>(k)];
+          }
+          if (alpha_j == 0.0) continue;
+          const double cand = alpha_j * alpha_j * inv_aq2 * wq;
+          if (cand > devex_w_[static_cast<std::size_t>(j)]) {
+            devex_w_[static_cast<std::size_t>(j)] = cand;
+            if (cand > 1e10) devex_reset = true;
+          }
+        }
+        devex_w_[static_cast<std::size_t>(leaving)] =
+            std::max(wq * inv_aq2, 1.0);
+      }
+
+      if (!inv_.update(leave_pos, w, opt_.pivot_tol)) {
+        // Stale factorization made the pivot look acceptable when it is not;
+        // rebuild and retry the whole iteration.
+        for (int p = 0; p < m_; ++p) {
+          const double alpha = -static_cast<double>(dir) *
+                               w[static_cast<std::size_t>(p)];
+          if (alpha != 0.0) xb_[static_cast<std::size_t>(p)] -= alpha * step;
+        }
+        if (++stall_refactors > 3) return LpStatus::kNumericalError;
+        if (!refactorize()) return LpStatus::kNumericalError;
+        continue;
+      }
+      basis_[static_cast<std::size_t>(leave_pos)] = entering;
+      vstat_[static_cast<std::size_t>(entering)] = VStat::kBasic;
+      xb_[static_cast<std::size_t>(leave_pos)] =
+          entering_start + static_cast<double>(dir) * step;
+      const double leave_lo = lp_.lower[static_cast<std::size_t>(leaving)];
+      vstat_[static_cast<std::size_t>(leaving)] =
+          std::abs(leave_target - leave_lo) <= opt_.feas_tol ? VStat::kAtLower
+                                                             : VStat::kAtUpper;
+      if (devex_reset) {
+        // Reference framework degraded: restart the weights.
+        devex_w_.assign(static_cast<std::size_t>(n_), 1.0);
+      }
+    }
+  }
+
+  LpSolution extract(LpStatus st) {
+    LpSolution sol;
+    sol.status = st;
+    sol.iterations = iterations_;
+    sol.phase1_iterations = phase1_iterations_;
+    sol.x.assign(static_cast<std::size_t>(n_), 0.0);
+    if (st == LpStatus::kInfeasible || st == LpStatus::kNumericalError) {
+      return sol;
+    }
+    for (int j = 0; j < n_; ++j) {
+      if (vstat_[static_cast<std::size_t>(j)] != VStat::kBasic) {
+        sol.x[static_cast<std::size_t>(j)] = nonbasic_value(j);
+      }
+    }
+    for (int p = 0; p < m_; ++p) {
+      sol.x[static_cast<std::size_t>(basis_[static_cast<std::size_t>(p)])] =
+          xb_[static_cast<std::size_t>(p)];
+    }
+    for (int j = 0; j < n_; ++j) {
+      sol.objective += lp_.cost[static_cast<std::size_t>(j)] *
+                       sol.x[static_cast<std::size_t>(j)];
+    }
+    // Duals and reduced costs from the final basis.
+    std::vector<double> y(static_cast<std::size_t>(m_));
+    for (int p = 0; p < m_; ++p) {
+      y[static_cast<std::size_t>(p)] =
+          lp_.cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(p)])];
+    }
+    inv_.btran(y);
+    sol.dual = y;
+    sol.reduced_cost.assign(static_cast<std::size_t>(n_), 0.0);
+    for (int j = 0; j < n_; ++j) {
+      double d = lp_.cost[static_cast<std::size_t>(j)];
+      for (int k = lp_.a.col_start[j]; k < lp_.a.col_start[j + 1]; ++k) {
+        d -= y[static_cast<std::size_t>(lp_.a.row_index[k])] *
+             lp_.a.value[static_cast<std::size_t>(k)];
+      }
+      sol.reduced_cost[static_cast<std::size_t>(j)] = d;
+    }
+    return sol;
+  }
+
+  const Lp& lp_;
+  SimplexOptions opt_;
+  int m_ = 0;
+  int n_ = 0;
+  int max_iter_ = 0;
+  int iterations_ = 0;
+  int phase1_iterations_ = 0;
+  std::vector<int> basis_;
+  std::vector<VStat> vstat_;
+  std::vector<double> xb_;
+  std::vector<double> devex_w_;
+  LuBasis inv_;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const Lp& lp, const SimplexOptions& options) {
+  ARROW_CHECK(lp.a.cols == static_cast<int>(lp.cost.size()), "cost size");
+  ARROW_CHECK(lp.a.cols == static_cast<int>(lp.lower.size()), "lower size");
+  ARROW_CHECK(lp.a.cols == static_cast<int>(lp.upper.size()), "upper size");
+  ARROW_CHECK(lp.a.rows == static_cast<int>(lp.rhs.size()), "rhs size");
+  Simplex s(lp, options);
+  return s.run();
+}
+
+}  // namespace arrow::solver

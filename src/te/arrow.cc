@@ -1,0 +1,524 @@
+#include "te/arrow.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "solver/model.h"
+#include "util/check.h"
+
+namespace arrow::te {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct BaseVars {
+  std::vector<solver::VarId> b;
+  std::vector<std::vector<solver::VarId>> a;
+};
+
+// Constraints (1)-(3) / (7)-(9): flow cover, healthy capacity, demand caps.
+BaseVars add_base(solver::Model& model, const TeInput& input) {
+  const int F = input.num_flows();
+  BaseVars vars;
+  vars.b.resize(static_cast<std::size_t>(F));
+  vars.a.resize(static_cast<std::size_t>(F));
+  for (int f = 0; f < F; ++f) {
+    vars.b[static_cast<std::size_t>(f)] = model.add_var(
+        0.0, input.flows()[static_cast<std::size_t>(f)].demand_gbps, 1.0);
+    vars.a[static_cast<std::size_t>(f)].resize(
+        input.tunnels()[static_cast<std::size_t>(f)].size());
+    for (auto& v : vars.a[static_cast<std::size_t>(f)]) {
+      v = model.add_var(0.0, solver::kInf, 0.0);
+    }
+  }
+  for (int f = 0; f < F; ++f) {
+    solver::LinExpr sum;
+    for (const auto& v : vars.a[static_cast<std::size_t>(f)]) {
+      sum.add_term(v, 1.0);
+    }
+    sum -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
+    model.add_constr(sum, solver::Sense::kGe, 0.0);
+  }
+  for (const auto& link : input.net().ip_links) {
+    solver::LinExpr load;
+    for (int f = 0; f < F; ++f) {
+      for (std::size_t ti = 0; ti < vars.a[static_cast<std::size_t>(f)].size();
+           ++ti) {
+        if (input.tunnel_uses_link(f, static_cast<int>(ti), link.id)) {
+          load.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
+        }
+      }
+    }
+    if (!load.terms().empty()) {
+      model.add_constr(load, solver::Sense::kLe, link.capacity_gbps());
+    }
+  }
+  return vars;
+}
+
+// Per-(scenario, ticket) restorability flags for every flattened tunnel.
+std::vector<char> restorable_flags(const TeInput& input, int q,
+                                   const ticket::TicketSet& tickets,
+                                   const ticket::LotteryTicket& ticket) {
+  std::vector<char> flags(static_cast<std::size_t>(input.total_tunnels()), 0);
+  std::map<topo::IpLinkId, double> restored;
+  for (std::size_t i = 0; i < tickets.failed_links.size(); ++i) {
+    restored[tickets.failed_links[i]] = ticket.gbps[i];
+  }
+  for (int f = 0; f < input.num_flows(); ++f) {
+    const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+    for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
+      if (input.tunnel_alive(f, static_cast<int>(ti), q)) continue;
+      bool ok = true;
+      for (int e : tunnels[ti].links) {
+        const auto it = restored.find(e);
+        if (it != restored.end() && it->second <= 1e-9) {
+          ok = false;
+          break;
+        }
+        // A failed link not in the ticket's list cannot happen: the ticket
+        // covers exactly the scenario's failed links. A link absent from
+        // `restored` is healthy in q.
+        if (it == restored.end()) {
+          bool failed = false;
+          for (int fe : input.failed_links(q)) {
+            if (fe == e) {
+              failed = true;
+              break;
+            }
+          }
+          if (failed) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        flags[static_cast<std::size_t>(input.tunnel_index(f, static_cast<int>(ti)))] = 1;
+      }
+    }
+  }
+  return flags;
+}
+
+TeSolution extract_solution(solver::Model& model, const TeInput& input,
+                            const BaseVars& vars, const char* scheme,
+                            const solver::SolveResult& res, double seconds) {
+  TeSolution sol;
+  sol.scheme = scheme;
+  sol.optimal = res.optimal();
+  sol.objective = res.objective;
+  sol.solve_seconds = seconds;
+  sol.simplex_iterations = res.simplex_iterations;
+  if (!sol.optimal) return sol;
+  const int F = input.num_flows();
+  sol.admitted.resize(static_cast<std::size_t>(F));
+  sol.alloc.resize(static_cast<std::size_t>(F));
+  for (int f = 0; f < F; ++f) {
+    sol.admitted[static_cast<std::size_t>(f)] =
+        model.value(vars.b[static_cast<std::size_t>(f)]);
+    for (const auto& v : vars.a[static_cast<std::size_t>(f)]) {
+      sol.alloc[static_cast<std::size_t>(f)].push_back(model.value(v));
+    }
+  }
+  return sol;
+}
+
+const ticket::LotteryTicket& ticket_or_naive(
+    const ArrowPrepared& prepared, const std::vector<ticket::LotteryTicket>& naive,
+    int q, int z) {
+  if (z >= 0 &&
+      z < static_cast<int>(
+              prepared.tickets[static_cast<std::size_t>(q)].tickets.size())) {
+    return prepared.tickets[static_cast<std::size_t>(q)]
+        .tickets[static_cast<std::size_t>(z)];
+  }
+  return naive[static_cast<std::size_t>(q)];
+}
+
+// Phase II (Table 3) against a chosen ticket per scenario (z = -1 selects
+// the naive RWA ticket).
+TeSolution phase2(const TeInput& input, const ArrowPrepared& prepared,
+                  const std::vector<ticket::LotteryTicket>& naive,
+                  const std::vector<int>& winners, const char* scheme,
+                  double extra_seconds) {
+  const int Q = input.num_scenarios();
+  solver::Model model;
+  model.set_maximize();
+  BaseVars vars = add_base(model, input);
+
+  for (int q = 0; q < Q; ++q) {
+    const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+    const auto& ticket = ticket_or_naive(prepared, naive, q,
+                                         winners[static_cast<std::size_t>(q)]);
+    const auto restorable = restorable_flags(input, q, tickets, ticket);
+    // (10): residual + restorable tunnels cover b_f.
+    for (int f : input.affected_flows(q)) {
+      solver::LinExpr expr;
+      const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+      for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
+        const int flat = input.tunnel_index(f, static_cast<int>(ti));
+        if (input.tunnel_alive(f, static_cast<int>(ti), q) ||
+            restorable[static_cast<std::size_t>(flat)]) {
+          expr.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
+        }
+      }
+      expr -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
+      model.add_constr(expr, solver::Sense::kGe, 0.0);
+    }
+    // (11): restorable tunnels fit within restored capacity r*.
+    for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+      const topo::IpLinkId e = tickets.failed_links[li];
+      solver::LinExpr load;
+      for (int f = 0; f < input.num_flows(); ++f) {
+        const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+        for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
+          const int flat = input.tunnel_index(f, static_cast<int>(ti));
+          if (restorable[static_cast<std::size_t>(flat)] &&
+              input.tunnel_uses_link(f, static_cast<int>(ti), e)) {
+            load.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
+          }
+        }
+      }
+      if (!load.terms().empty()) {
+        model.add_constr(load, solver::Sense::kLe, ticket.gbps[li]);
+      }
+    }
+  }
+
+  const auto t0 = Clock::now();
+  const auto res = model.solve();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count() + extra_seconds;
+  TeSolution sol = extract_solution(model, input, vars, scheme, res, seconds);
+  sol.winner = winners;
+  sol.restored.resize(static_cast<std::size_t>(Q));
+  for (int q = 0; q < Q; ++q) {
+    const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+    const auto& ticket = ticket_or_naive(prepared, naive, q,
+                                         winners[static_cast<std::size_t>(q)]);
+    for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+      sol.restored[static_cast<std::size_t>(q)][tickets.failed_links[li]] =
+          ticket.gbps[li];
+    }
+  }
+  return sol;
+}
+
+std::vector<ticket::LotteryTicket> naive_tickets(const ArrowPrepared& prepared) {
+  std::vector<ticket::LotteryTicket> out;
+  out.reserve(prepared.rwa.size());
+  for (const auto& rwa : prepared.rwa) {
+    out.push_back(ticket::naive_ticket(rwa));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool tunnel_restorable(const TeInput& input, int f, int ti, int q,
+                       const ticket::TicketSet& tickets,
+                       const ticket::LotteryTicket& ticket) {
+  const auto flags = restorable_flags(input, q, tickets, ticket);
+  return flags[static_cast<std::size_t>(input.tunnel_index(f, ti))] != 0;
+}
+
+ArrowPrepared prepare_arrow(const TeInput& input, const ArrowParams& params,
+                            util::Rng& rng) {
+  ArrowPrepared prepared;
+  for (const auto& scenario : input.scenarios()) {
+    prepared.rwa.push_back(
+        optical::solve_rwa(input.net(), scenario.cuts, params.rwa));
+    auto tickets = ticket::generate_tickets(
+        input.net(), scenario.cuts, prepared.rwa.back(), params.tickets, rng);
+    // The RWA's own (floored) restoration plan is always a candidate — it is
+    // what |Z| = 1 degenerates to (ARROW-Naive, Fig. 14) — and sits first so
+    // slack ties resolve to it.
+    auto base = ticket::naive_ticket(prepared.rwa.back());
+    bool have_base = !params.include_naive_candidate;
+    for (const auto& t : tickets.tickets) {
+      if (t.waves == base.waves) {
+        have_base = true;
+        break;
+      }
+    }
+    if (!have_base && !base.waves.empty()) {
+      tickets.tickets.insert(tickets.tickets.begin(), std::move(base));
+      if (static_cast<int>(tickets.tickets.size()) > params.tickets.num_tickets &&
+          tickets.tickets.size() > 1) {
+        tickets.tickets.pop_back();
+      }
+    }
+    prepared.tickets.push_back(std::move(tickets));
+  }
+  return prepared;
+}
+
+TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
+                       const ArrowParams& params) {
+  const int Q = input.num_scenarios();
+  ARROW_CHECK(static_cast<int>(prepared.tickets.size()) == Q,
+              "prepared/scenario mismatch");
+  const auto naive = naive_tickets(prepared);
+
+  // ---- Phase I (Table 2) --------------------------------------------------
+  solver::Model model;
+  model.set_maximize();
+  BaseVars vars = add_base(model, input);
+
+  // Slack variables per (q, z, failed link): Delta = dp - dm, dp penalized.
+  struct SlackGroup {
+    std::vector<solver::VarId> dp, dm;  // parallel to failed_links
+  };
+  std::vector<std::vector<SlackGroup>> slack(static_cast<std::size_t>(Q));
+
+  for (int q = 0; q < Q; ++q) {
+    const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+    const int Z = std::max<int>(1, static_cast<int>(tickets.tickets.size()));
+    slack[static_cast<std::size_t>(q)].resize(static_cast<std::size_t>(Z));
+
+    // Restorability union across tickets. Constraint (4) uses the union:
+    // Phase I plans against the restoration the *winning* ticket will
+    // provide, and the per-ticket slack rows (5) measure how far each
+    // candidate is from supporting that plan. (A per-ticket hard (4) would
+    // make throughput fall as |Z| grows, contradicting Fig. 14.)
+    std::vector<char> restorable_any(
+        static_cast<std::size_t>(input.total_tunnels()), 0);
+    for (int z = 0; z < Z; ++z) {
+      const auto& ticket = ticket_or_naive(
+          prepared, naive, q, tickets.tickets.empty() ? -1 : z);
+      const auto flags = restorable_flags(input, q, tickets, ticket);
+      for (std::size_t i = 0; i < restorable_any.size(); ++i) {
+        restorable_any[i] |= flags[i];
+      }
+    }
+
+    // (4): residual + restorable (under the best candidate) tunnels cover b_f.
+    for (int f : input.affected_flows(q)) {
+      solver::LinExpr expr;
+      const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+      for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
+        const int flat = input.tunnel_index(f, static_cast<int>(ti));
+        if (input.tunnel_alive(f, static_cast<int>(ti), q) ||
+            restorable_any[static_cast<std::size_t>(flat)]) {
+          expr.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
+        }
+      }
+      expr -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
+      model.add_constr(expr, solver::Sense::kGe, 0.0);
+    }
+
+    // Shared load expressions: allocation of union-restorable tunnels
+    // crossing each failed link. Under a candidate ticket z, whatever part
+    // of this load exceeds r_e^{z,q} must spill into the slack Delta.
+    std::vector<solver::LinExpr> link_load(tickets.failed_links.size());
+    for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+      const topo::IpLinkId e = tickets.failed_links[li];
+      for (int f = 0; f < input.num_flows(); ++f) {
+        const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+        for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
+          const int flat = input.tunnel_index(f, static_cast<int>(ti));
+          if (restorable_any[static_cast<std::size_t>(flat)] &&
+              input.tunnel_uses_link(f, static_cast<int>(ti), e)) {
+            link_load[li].add_term(vars.a[static_cast<std::size_t>(f)][ti],
+                                   1.0);
+          }
+        }
+      }
+    }
+
+    // (5) with slacks per candidate ticket. The ReLU penalty on dp makes the
+    // LP set dp = max(0, load - r) exactly, so after the solve dp measures
+    // each ticket's unsupported allocation. The M^{z,q} = alpha * sum_e r
+    // budget of constraint (6) is enforced during winner post-processing
+    // (a hard per-ticket budget row would let one bad candidate render the
+    // whole Phase I infeasible under the shared allocation).
+    for (int z = 0; z < Z; ++z) {
+      const auto& ticket = ticket_or_naive(
+          prepared, naive, q, tickets.tickets.empty() ? -1 : z);
+      auto& group = slack[static_cast<std::size_t>(q)][static_cast<std::size_t>(z)];
+      for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+        const double r = ticket.gbps[li];
+        const auto dp = model.add_var(0.0, solver::kInf, -params.slack_penalty);
+        const auto dm = model.add_var(0.0, solver::kInf, 0.0);
+        group.dp.push_back(dp);
+        group.dm.push_back(dm);
+        solver::LinExpr row = link_load[li];
+        row.add_term(dp, -1.0);
+        row.add_term(dm, 1.0);
+        model.add_constr(row, solver::Sense::kLe, r);
+      }
+    }
+  }
+
+  const auto t0 = Clock::now();
+  const auto res = model.solve();
+  const double phase1_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  if (!res.optimal()) {
+    TeSolution sol;
+    sol.scheme = "ARROW";
+    sol.solve_seconds = phase1_seconds;
+    sol.simplex_iterations = res.simplex_iterations;
+    return sol;
+  }
+
+  // ---- Winner post-processing: min sum_e max(0, Delta) --------------------
+  // Tickets within the alpha budget of constraint (6) are preferred; if no
+  // candidate stays within budget the global minimum wins anyway.
+  std::vector<int> winners(static_cast<std::size_t>(Q), -1);
+  for (int q = 0; q < Q; ++q) {
+    const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+    if (tickets.tickets.empty()) continue;  // fall back to naive (-1)
+    double best = solver::kInf;
+    double best_in_budget = solver::kInf;
+    int best_z = -1;
+    int best_in_budget_z = -1;
+    for (std::size_t z = 0; z < tickets.tickets.size(); ++z) {
+      double total = 0.0;
+      const auto& group = slack[static_cast<std::size_t>(q)][z];
+      for (std::size_t li = 0; li < group.dp.size(); ++li) {
+        const double delta =
+            model.value(group.dp[li]) - model.value(group.dm[li]);
+        total += std::max(0.0, delta);
+      }
+      const double budget =
+          params.alpha * tickets.tickets[z].total_gbps();
+      // Primary: least unsupported allocation. Tie-break: most restored
+      // capacity (a slack-free ticket with more restoration gives Phase II
+      // strictly more room).
+      const double gbps = tickets.tickets[z].total_gbps();
+      const auto better = [&](double incumbent, int incumbent_z) {
+        if (total < incumbent - 1e-9) return true;
+        if (total > incumbent + 1e-9 || incumbent_z < 0) return total < incumbent;
+        return gbps > tickets.tickets[static_cast<std::size_t>(incumbent_z)]
+                          .total_gbps() + 1e-9;
+      };
+      if (better(best, best_z)) {
+        best = total;
+        best_z = static_cast<int>(z);
+      }
+      if (total <= budget && better(best_in_budget, best_in_budget_z)) {
+        best_in_budget = total;
+        best_in_budget_z = static_cast<int>(z);
+      }
+    }
+    winners[static_cast<std::size_t>(q)] =
+        best_in_budget_z >= 0 ? best_in_budget_z : best_z;
+  }
+
+  // ---- Phase II -----------------------------------------------------------
+  TeSolution sol =
+      phase2(input, prepared, naive, winners, "ARROW", phase1_seconds);
+  return sol;
+}
+
+TeSolution solve_arrow_naive(const TeInput& input,
+                             const ArrowPrepared& prepared,
+                             const ArrowParams& /*params*/) {
+  const auto naive = naive_tickets(prepared);
+  std::vector<int> winners(static_cast<std::size_t>(input.num_scenarios()), -1);
+  return phase2(input, prepared, naive, winners, "ARROW-Naive", 0.0);
+}
+
+TeSolution solve_arrow_with_winners(const TeInput& input,
+                                    const ArrowPrepared& prepared,
+                                    const std::vector<int>& winners) {
+  ARROW_CHECK(static_cast<int>(winners.size()) == input.num_scenarios(),
+              "winner count mismatch");
+  const auto naive = naive_tickets(prepared);
+  return phase2(input, prepared, naive, winners, "ARROW-Fixed", 0.0);
+}
+
+TeSolution solve_arrow_ilp(const TeInput& input, const ArrowPrepared& prepared,
+                           const ArrowParams& /*params*/) {
+  const int Q = input.num_scenarios();
+  const auto naive = naive_tickets(prepared);
+  solver::Model model;
+  model.set_maximize();
+  BaseVars vars = add_base(model, input);
+
+  std::vector<std::vector<solver::VarId>> select(static_cast<std::size_t>(Q));
+  for (int q = 0; q < Q; ++q) {
+    const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+    const int Z = std::max<int>(1, static_cast<int>(tickets.tickets.size()));
+    solver::LinExpr one;
+    for (int z = 0; z < Z; ++z) {
+      const auto x = model.add_binary(0.0);
+      select[static_cast<std::size_t>(q)].push_back(x);
+      one.add_term(x, 1.0);
+      const auto& ticket = ticket_or_naive(
+          prepared, naive, q, tickets.tickets.empty() ? -1 : z);
+      const auto restorable = restorable_flags(input, q, tickets, ticket);
+      // (31): cover constraint relaxed unless ticket z is selected.
+      for (int f : input.affected_flows(q)) {
+        const double big_m =
+            input.flows()[static_cast<std::size_t>(f)].demand_gbps;
+        solver::LinExpr expr;
+        const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+        for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
+          const int flat = input.tunnel_index(f, static_cast<int>(ti));
+          if (input.tunnel_alive(f, static_cast<int>(ti), q) ||
+              restorable[static_cast<std::size_t>(flat)]) {
+            expr.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
+          }
+        }
+        expr -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
+        expr.add_term(x, -big_m);
+        model.add_constr(expr, solver::Sense::kGe, -big_m);
+      }
+      // (32): restored-capacity constraint relaxed unless selected.
+      for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+        const topo::IpLinkId e = tickets.failed_links[li];
+        const double big_m =
+            input.net().ip_links[static_cast<std::size_t>(e)].capacity_gbps();
+        solver::LinExpr load;
+        for (int f = 0; f < input.num_flows(); ++f) {
+          const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+          for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
+            const int flat = input.tunnel_index(f, static_cast<int>(ti));
+            if (restorable[static_cast<std::size_t>(flat)] &&
+                input.tunnel_uses_link(f, static_cast<int>(ti), e)) {
+              load.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
+            }
+          }
+        }
+        load.add_term(x, big_m);
+        model.add_constr(load, solver::Sense::kLe, ticket.gbps[li] + big_m);
+      }
+    }
+    model.add_constr(one, solver::Sense::kEq, 1.0);  // (33)
+  }
+
+  const auto t0 = Clock::now();
+  const auto res = model.solve();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  TeSolution sol =
+      extract_solution(model, input, vars, "ARROW-ILP", res, seconds);
+  sol.bb_nodes_hint = res.bb_nodes;
+  if (!sol.optimal) return sol;
+  sol.winner.assign(static_cast<std::size_t>(Q), -1);
+  sol.restored.resize(static_cast<std::size_t>(Q));
+  for (int q = 0; q < Q; ++q) {
+    const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+    for (std::size_t z = 0; z < select[static_cast<std::size_t>(q)].size(); ++z) {
+      if (model.value(select[static_cast<std::size_t>(q)][z]) > 0.5) {
+        sol.winner[static_cast<std::size_t>(q)] =
+            tickets.tickets.empty() ? -1 : static_cast<int>(z);
+        break;
+      }
+    }
+    const auto& ticket = ticket_or_naive(prepared, naive, q,
+                                         sol.winner[static_cast<std::size_t>(q)]);
+    for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+      sol.restored[static_cast<std::size_t>(q)][tickets.failed_links[li]] =
+          ticket.gbps[li];
+    }
+  }
+  return sol;
+}
+
+}  // namespace arrow::te

@@ -1,0 +1,70 @@
+// ARROW's restoration-aware TE (paper §3.3, Tables 2/3, Appendix A.5).
+//
+// Offline stage: per failure scenario, solve the restoration RWA LP and
+// expand it into LotteryTickets (prepare_arrow).
+//
+// Online stage (solve_arrow): Phase I picks the winning ticket per scenario
+// via slack variables; Phase II re-optimizes tunnel allocations against the
+// winners. ARROW-Naive bypasses Phase I using the raw RWA restoration plan.
+// The exact binary-ILP selection (Table 9) is available for small instances.
+#pragma once
+
+#include "te/input.h"
+#include "te/solution.h"
+#include "ticket/ticket.h"
+
+namespace arrow::te {
+
+struct ArrowParams {
+  ticket::TicketParams tickets;   // |Z|, rounding stride, feasibility filter
+  optical::RwaOptions rwa;        // surrogate-path search configuration
+  // M^{z,q} = alpha * sum_e r_e^{z,q} (footnote 4: alpha in {0.2, 0.1, 0.05}).
+  double alpha = 0.1;
+  // ReLU-style penalty on positive slack (footnote 5); keeps Phase I's slack
+  // variables meaningful without turning the LP into an ILP.
+  double slack_penalty = 1e-3;
+  // Always include the deterministic RWA-floor plan among the candidates.
+  // Algorithm 1 as written generates all |Z| tickets by randomized rounding;
+  // adding the floor plan is a strict improvement (ARROW then never does
+  // worse than ARROW-Naive). Disable for paper-faithful Fig. 14 runs.
+  bool include_naive_candidate = true;
+};
+
+// Offline artifacts, reusable across TE runs while the IP/optical mapping is
+// unchanged (§3.1: this stage does not run at TE frequency).
+struct ArrowPrepared {
+  std::vector<optical::RwaResult> rwa;      // per scenario
+  std::vector<ticket::TicketSet> tickets;   // per scenario
+};
+
+ArrowPrepared prepare_arrow(const TeInput& input, const ArrowParams& params,
+                            util::Rng& rng);
+
+// Phase I + winner post-processing + Phase II.
+TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
+                       const ArrowParams& params);
+
+// Phase II only, with the RWA-derived restoration plan as the sole ticket.
+TeSolution solve_arrow_naive(const TeInput& input,
+                             const ArrowPrepared& prepared,
+                             const ArrowParams& params);
+
+// Phase II only, against an explicit winner ticket index per scenario
+// (-1 selects the naive RWA plan). Used by ablations and oracle baselines.
+TeSolution solve_arrow_with_winners(const TeInput& input,
+                                    const ArrowPrepared& prepared,
+                                    const std::vector<int>& winners);
+
+// Exact ticket selection via binary ILP (Table 9); exponential — small
+// instances only. Used to validate the two-phase LP in tests/ablations.
+TeSolution solve_arrow_ilp(const TeInput& input, const ArrowPrepared& prepared,
+                           const ArrowParams& params);
+
+// Is tunnel (f, ti) restorable under scenario q and the given ticket? True
+// iff the tunnel is dead in q and every failed link it crosses has restored
+// capacity > 0 (§3.3 "Phase I input parameters").
+bool tunnel_restorable(const TeInput& input, int f, int ti, int q,
+                       const ticket::TicketSet& tickets,
+                       const ticket::LotteryTicket& ticket);
+
+}  // namespace arrow::te

@@ -1,0 +1,132 @@
+#include "te/basic.h"
+
+#include <chrono>
+
+#include "solver/model.h"
+#include "util/check.h"
+
+namespace arrow::te {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+TeSolution solve_max_throughput(const TeInput& input) {
+  solver::Model model;
+  model.set_maximize();
+  const int F = input.num_flows();
+  std::vector<solver::VarId> b(static_cast<std::size_t>(F));
+  std::vector<std::vector<solver::VarId>> a(static_cast<std::size_t>(F));
+  for (int f = 0; f < F; ++f) {
+    b[static_cast<std::size_t>(f)] = model.add_var(
+        0.0, input.flows()[static_cast<std::size_t>(f)].demand_gbps, 1.0);
+    a[static_cast<std::size_t>(f)].resize(input.tunnels()[static_cast<std::size_t>(f)].size());
+    for (auto& v : a[static_cast<std::size_t>(f)]) {
+      v = model.add_var(0.0, solver::kInf, 0.0);
+    }
+  }
+  for (int f = 0; f < F; ++f) {
+    solver::LinExpr sum;
+    for (const auto& v : a[static_cast<std::size_t>(f)]) sum.add_term(v, 1.0);
+    sum -= solver::LinExpr(b[static_cast<std::size_t>(f)]);
+    model.add_constr(sum, solver::Sense::kGe, 0.0);
+  }
+  for (const auto& link : input.net().ip_links) {
+    solver::LinExpr load;
+    for (int f = 0; f < F; ++f) {
+      for (std::size_t ti = 0; ti < a[static_cast<std::size_t>(f)].size(); ++ti) {
+        if (input.tunnel_uses_link(f, static_cast<int>(ti), link.id)) {
+          load.add_term(a[static_cast<std::size_t>(f)][ti], 1.0);
+        }
+      }
+    }
+    if (!load.terms().empty()) {
+      model.add_constr(load, solver::Sense::kLe, link.capacity_gbps());
+    }
+  }
+
+  const auto t0 = Clock::now();
+  const auto res = model.solve();
+  TeSolution sol;
+  sol.scheme = "MaxThroughput";
+  sol.optimal = res.optimal();
+  sol.objective = res.objective;
+  sol.solve_seconds = seconds_since(t0);
+  sol.simplex_iterations = res.simplex_iterations;
+  if (!sol.optimal) return sol;
+  sol.admitted.resize(static_cast<std::size_t>(F));
+  sol.alloc.resize(static_cast<std::size_t>(F));
+  for (int f = 0; f < F; ++f) {
+    sol.admitted[static_cast<std::size_t>(f)] =
+        model.value(b[static_cast<std::size_t>(f)]);
+    for (const auto& v : a[static_cast<std::size_t>(f)]) {
+      sol.alloc[static_cast<std::size_t>(f)].push_back(model.value(v));
+    }
+  }
+  return sol;
+}
+
+TeSolution solve_ecmp(const TeInput& input) {
+  TeSolution sol;
+  sol.scheme = "ECMP";
+  sol.optimal = true;
+  const int F = input.num_flows();
+  sol.admitted.resize(static_cast<std::size_t>(F));
+  sol.alloc.resize(static_cast<std::size_t>(F));
+  for (int f = 0; f < F; ++f) {
+    const auto& flow = input.flows()[static_cast<std::size_t>(f)];
+    const auto n = input.tunnels()[static_cast<std::size_t>(f)].size();
+    sol.admitted[static_cast<std::size_t>(f)] = flow.demand_gbps;
+    sol.alloc[static_cast<std::size_t>(f)].assign(
+        n, flow.demand_gbps / static_cast<double>(n));
+  }
+  sol.objective = sol.total_admitted();
+  return sol;
+}
+
+double max_satisfiable_scale(const TeInput& input) {
+  solver::Model model;
+  model.set_maximize();
+  const int F = input.num_flows();
+  const auto s = model.add_var(0.0, solver::kInf, 1.0, "scale");
+  std::vector<std::vector<solver::VarId>> a(static_cast<std::size_t>(F));
+  for (int f = 0; f < F; ++f) {
+    a[static_cast<std::size_t>(f)].resize(
+        input.tunnels()[static_cast<std::size_t>(f)].size());
+    for (auto& v : a[static_cast<std::size_t>(f)]) {
+      v = model.add_var(0.0, solver::kInf, 0.0);
+    }
+  }
+  for (int f = 0; f < F; ++f) {
+    const double d = input.flows()[static_cast<std::size_t>(f)].demand_gbps;
+    if (d <= 0.0) continue;
+    solver::LinExpr sum;
+    for (const auto& v : a[static_cast<std::size_t>(f)]) sum.add_term(v, 1.0);
+    sum.add_term(s, -d);
+    model.add_constr(sum, solver::Sense::kGe, 0.0);
+  }
+  for (const auto& link : input.net().ip_links) {
+    solver::LinExpr load;
+    for (int f = 0; f < F; ++f) {
+      for (std::size_t ti = 0; ti < a[static_cast<std::size_t>(f)].size(); ++ti) {
+        if (input.tunnel_uses_link(f, static_cast<int>(ti), link.id)) {
+          load.add_term(a[static_cast<std::size_t>(f)][ti], 1.0);
+        }
+      }
+    }
+    if (!load.terms().empty()) {
+      model.add_constr(load, solver::Sense::kLe, link.capacity_gbps());
+    }
+  }
+  const auto res = model.solve();
+  ARROW_CHECK(res.optimal(), "calibration LP failed");
+  return model.value(s);
+}
+
+}  // namespace arrow::te

@@ -1,0 +1,24 @@
+// Failure-oblivious building blocks: the plain max-throughput TE LP, ECMP,
+// and demand-scale calibration (the paper starts every sweep from a state
+// where 100% of demand is satisfiable, §6 "Demand scaling").
+#pragma once
+
+#include "te/input.h"
+#include "te/solution.h"
+
+namespace arrow::te {
+
+// max sum_f b_f subject to tunnel/capacity constraints only (no failure
+// scenarios). This is also the hypothetical "Fully Restorable TE" of Fig. 16:
+// a TE that can always restore everything needs no failure headroom.
+TeSolution solve_max_throughput(const TeInput& input);
+
+// ECMP baseline (§6): every flow splits its demand equally across its
+// tunnels; no failure awareness, no admission control.
+TeSolution solve_ecmp(const TeInput& input);
+
+// Largest uniform demand multiplier s such that s * demands are fully
+// satisfiable in the healthy state (LP: maximize s).
+double max_satisfiable_scale(const TeInput& input);
+
+}  // namespace arrow::te

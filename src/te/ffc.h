@@ -1,0 +1,21 @@
+// Forward Fault Correction TE (Liu et al., SIGCOMM'14), extended to the
+// optical layer as in the paper (§6): guarantee zero loss for every scenario
+// of up to k fiber cuts. FFC-k admits only as much traffic as survives the
+// worst k-cut combination on residual tunnels.
+#pragma once
+
+#include "te/input.h"
+#include "te/solution.h"
+
+namespace arrow::te {
+
+struct FfcParams {
+  int k = 1;  // FFC-1 or FFC-2
+  // Safety valve for very large topologies: cap on enumerated double-cut
+  // scenarios (0 = unlimited). The paper's B4/IBM runs never hit this.
+  int max_double_scenarios = 0;
+};
+
+TeSolution solve_ffc(const TeInput& input, const FfcParams& params = {});
+
+}  // namespace arrow::te

@@ -1,0 +1,42 @@
+#include "te/joint.h"
+
+namespace arrow::te {
+
+JointFormulationSize joint_formulation_size(const TeInput& input, int k_paths,
+                                            int slots) {
+  JointFormulationSize size;
+  const auto& net = input.net();
+  const std::int64_t num_fibers =
+      static_cast<std::int64_t>(net.optical.fibers.size());
+  const std::int64_t F = input.num_flows();
+  const std::int64_t E = static_cast<std::int64_t>(net.ip_links.size());
+  const std::int64_t K = k_paths;
+  const std::int64_t W = slots;
+
+  size.continuous_vars = F + input.total_tunnels();  // b_f and a_{f,t}
+
+  for (int q = 0; q < input.num_scenarios(); ++q) {
+    const std::int64_t failed =
+        static_cast<std::int64_t>(input.failed_links(q).size());
+    // xi_{phi,w}^{e,k,q}: every failed link x surrogate path x fiber x slot.
+    size.binary_vars += failed * K * num_fibers * W;
+    // lambda_e^{k,q}.
+    size.integer_vars += failed * K;
+    // (21) per flow, (22) per failed link.
+    size.constraints += F + failed;
+    // (23) per (fiber, slot).
+    size.constraints += num_fibers * W;
+    // (24) per (e, k, fiber).
+    size.constraints += failed * K * num_fibers;
+    // (25) wavelength continuity per (e, k, w) and consecutive fiber pair —
+    // bounded by path length, counted with the fiber count as in Table 8.
+    size.constraints += failed * K * W * num_fibers;
+    // (26), (27) per failed link.
+    size.constraints += 2 * failed;
+  }
+  // (18)-(20): healthy-state rows.
+  size.constraints += 2 * F + E;
+  return size;
+}
+
+}  // namespace arrow::te

@@ -1,0 +1,25 @@
+// Size accounting for the joint IP/optical restoration-aware TE ILP
+// (paper Appendix A.4, Tables 7/8). The joint formulation is intractable —
+// the point of Table 8 is showing *how* intractable — so we count variables
+// and constraints symbolically instead of materializing the model.
+#pragma once
+
+#include <cstdint>
+
+#include "te/input.h"
+
+namespace arrow::te {
+
+struct JointFormulationSize {
+  std::int64_t binary_vars = 0;      // xi_{phi,w}^{e,k,q}
+  std::int64_t integer_vars = 0;     // lambda_e^{k,q}
+  std::int64_t continuous_vars = 0;  // b_f, a_{f,t}
+  std::int64_t constraints = 0;      // (18)-(27)
+};
+
+// k_paths: surrogate paths per failed link; slots: wavelength slots per
+// fiber (96 under the ITU-T grid).
+JointFormulationSize joint_formulation_size(const TeInput& input, int k_paths,
+                                            int slots = topo::kSpectrumSlots);
+
+}  // namespace arrow::te

@@ -1,0 +1,20 @@
+#include "te/solution.h"
+
+namespace arrow::te {
+
+std::vector<std::vector<double>> TeSolution::splitting_ratios() const {
+  std::vector<std::vector<double>> ratios(alloc.size());
+  constexpr double kEps = 1e-4;  // footnote 6: avoid division by zero
+  for (std::size_t f = 0; f < alloc.size(); ++f) {
+    double total = 0.0;
+    for (double a : alloc[f]) total += a > 0.0 ? a : kEps;
+    ratios[f].resize(alloc[f].size());
+    for (std::size_t t = 0; t < alloc[f].size(); ++t) {
+      const double a = alloc[f][t] > 0.0 ? alloc[f][t] : kEps;
+      ratios[f][t] = total > 0.0 ? a / total : 0.0;
+    }
+  }
+  return ratios;
+}
+
+}  // namespace arrow::te

@@ -1,0 +1,24 @@
+// TeaVaR (Bogle et al., SIGCOMM'19): probabilistic failure-aware TE that
+// minimizes the beta-CVaR of per-flow fractional loss over the probabilistic
+// scenario set. Allocations are static across scenarios; availability comes
+// from provisioning backup tunnel bandwidth ahead of time.
+#pragma once
+
+#include "te/input.h"
+#include "te/solution.h"
+
+namespace arrow::te {
+
+struct TeaVarParams {
+  double beta = 0.999;  // paper sets TeaVaR's availability target at 99.9%
+  // Cap on total allocation per flow, as a multiple of demand. TeaVaR wants
+  // headroom (backup tunnels carry extra allocation); the cap removes the
+  // degenerate freedom of parking unbounded allocation on idle links.
+  double allocation_headroom = 2.5;
+  // Tiny penalty steering the solver to lean allocations among optima.
+  double allocation_penalty = 1e-6;
+};
+
+TeSolution solve_teavar(const TeInput& input, const TeaVarParams& params = {});
+
+}  // namespace arrow::te

@@ -1,0 +1,198 @@
+#include "ticket/ticket.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/check.h"
+
+namespace arrow::ticket {
+
+namespace {
+
+constexpr double kIntEps = 1e-9;
+
+// Distribute `want` waves of link `lr` across its surrogate paths, favouring
+// paths the RWA leaned on (largest fractional share first), capped by each
+// path's continuity-feasible slot count. Returns per-path counts; the sum
+// may fall short of `want` when the paths cannot host that many waves.
+std::vector<int> distribute_over_paths(const optical::LinkRestoration& lr,
+                                       int want) {
+  std::vector<std::size_t> order(lr.paths.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return lr.paths[a].fractional_waves > lr.paths[b].fractional_waves;
+  });
+  std::vector<int> out(lr.paths.size(), 0);
+  int left = want;
+  for (std::size_t pi : order) {
+    if (left <= 0) break;
+    const int cap = static_cast<int>(lr.paths[pi].usable_slots.size());
+    const int take = std::min(left, cap);
+    out[pi] = take;
+    left -= take;
+  }
+  return out;
+}
+
+// One Algorithm-1 rounding draw for a single link. The paper's pseudocode
+// adds the stride x1 on top of the ceil/floor; we use (x1 - 1) so that
+// delta = 1 degenerates to classic randomized rounding while larger delta
+// widens the exploration exactly one extra wave per stride step.
+int round_link(double lambda, int gamma, const TicketParams& p,
+               util::Rng& rng) {
+  const double floor_v = std::floor(lambda);
+  const double frac = lambda - floor_v;
+  int r;
+  if (frac < kIntEps || frac > 1.0 - kIntEps) {
+    // Non-fractional case (Appendix A.2): widen the exploration space.
+    const int base = static_cast<int>(std::llround(lambda));
+    const double u = rng.uniform();
+    const int x1 = rng.uniform_int(1, p.delta);
+    if (u < p.nonfractional_up) {
+      r = base + x1;
+    } else if (u < p.nonfractional_up + p.nonfractional_down) {
+      r = base - x1;
+    } else {
+      r = base;
+    }
+  } else {
+    const int stride = rng.uniform_int(1, p.delta) - 1;  // step 1
+    const double x2 = rng.uniform();                     // step 2
+    if (x2 < frac) {
+      r = static_cast<int>(std::ceil(lambda)) + stride;  // round up
+    } else {
+      r = static_cast<int>(std::floor(lambda)) - stride;  // round down
+    }
+  }
+  return std::clamp(r, 0, gamma);
+}
+
+}  // namespace
+
+TicketSet generate_tickets(const topo::Network& net,
+                           const std::vector<topo::FiberId>& cuts,
+                           const optical::RwaResult& rwa,
+                           const TicketParams& params, util::Rng& rng) {
+  ARROW_CHECK(params.num_tickets > 0, "num_tickets must be positive");
+  ARROW_CHECK(params.delta >= 1, "delta must be >= 1");
+  TicketSet set;
+  for (const auto& lr : rwa.links) set.failed_links.push_back(lr.link);
+
+  std::set<std::vector<int>> seen;
+  const int max_attempts = params.num_tickets * params.max_attempts_factor;
+  while (static_cast<int>(set.tickets.size()) < params.num_tickets &&
+         set.attempts < max_attempts) {
+    ++set.attempts;
+    LotteryTicket t;
+    t.waves.reserve(rwa.links.size());
+    t.path_waves.reserve(rwa.links.size());
+    for (const auto& lr : rwa.links) {
+      const int want =
+          round_link(lr.fractional_waves(), lr.lost_waves, params, rng);
+      auto per_path = distribute_over_paths(lr, want);
+      int realized = 0;
+      for (int w : per_path) realized += w;
+      t.waves.push_back(realized);
+      t.path_waves.push_back(std::move(per_path));
+    }
+    if (!seen.insert(t.waves).second) {
+      ++set.dropped_duplicates;
+      continue;
+    }
+    if (params.feasibility_filter) {
+      auto links_copy = rwa.links;
+      if (!optical::assign_slots_first_fit(net, cuts, links_copy,
+                                           t.path_waves)) {
+        ++set.dropped_infeasible;
+        continue;
+      }
+    }
+    // Restored capacity per link (Algorithm 1 line 12): waves x modulation,
+    // per surrogate path since modulation is path-length dependent.
+    for (std::size_t li = 0; li < rwa.links.size(); ++li) {
+      double g = 0.0;
+      for (std::size_t pi = 0; pi < rwa.links[li].paths.size(); ++pi) {
+        g += static_cast<double>(t.path_waves[li][pi]) *
+             rwa.links[li].paths[pi].gbps;
+      }
+      t.gbps.push_back(g);
+    }
+    set.tickets.push_back(std::move(t));
+  }
+  return set;
+}
+
+LotteryTicket naive_ticket(const optical::RwaResult& rwa) {
+  LotteryTicket t;
+  for (const auto& lr : rwa.links) {
+    const int want = static_cast<int>(std::floor(lr.fractional_waves() + kIntEps));
+    auto per_path = distribute_over_paths(lr, want);
+    int realized = 0;
+    double g = 0.0;
+    for (std::size_t pi = 0; pi < per_path.size(); ++pi) {
+      realized += per_path[pi];
+      g += static_cast<double>(per_path[pi]) * lr.paths[pi].gbps;
+    }
+    t.waves.push_back(realized);
+    t.gbps.push_back(g);
+    t.path_waves.push_back(std::move(per_path));
+  }
+  return t;
+}
+
+double ticket_probability(const optical::RwaResult& rwa,
+                          const std::vector<int>& target,
+                          const TicketParams& params) {
+  ARROW_CHECK(target.size() == rwa.links.size(), "target size mismatch");
+  double kappa = 1.0;
+  for (std::size_t li = 0; li < rwa.links.size(); ++li) {
+    const auto& lr = rwa.links[li];
+    const double lambda = lr.fractional_waves();
+    const int gamma = lr.lost_waves;
+    const double floor_v = std::floor(lambda);
+    const double frac = lambda - floor_v;
+    const int want = target[li];
+
+    double p_link = 0.0;
+    const double p_stride = 1.0 / static_cast<double>(params.delta);
+    if (frac < kIntEps || frac > 1.0 - kIntEps) {
+      const int base = static_cast<int>(std::llround(lambda));
+      const double p_keep =
+          1.0 - params.nonfractional_up - params.nonfractional_down;
+      if (std::clamp(base, 0, gamma) == want) p_link += p_keep;
+      for (int x1 = 1; x1 <= params.delta; ++x1) {
+        if (std::clamp(base + x1, 0, gamma) == want) {
+          p_link += params.nonfractional_up * p_stride;
+        }
+        if (std::clamp(base - x1, 0, gamma) == want) {
+          p_link += params.nonfractional_down * p_stride;
+        }
+      }
+    } else {
+      const int up = static_cast<int>(std::ceil(lambda));
+      const int down = static_cast<int>(std::floor(lambda));
+      for (int x1 = 1; x1 <= params.delta; ++x1) {
+        const int stride = x1 - 1;
+        if (std::clamp(up + stride, 0, gamma) == want) {
+          p_link += frac * p_stride;  // P[round up] = fractional part
+        }
+        if (std::clamp(down - stride, 0, gamma) == want) {
+          p_link += (1.0 - frac) * p_stride;
+        }
+      }
+    }
+    kappa *= p_link;
+    if (kappa == 0.0) break;
+  }
+  return kappa;
+}
+
+double optimality_probability(double kappa, int num_tickets) {
+  ARROW_CHECK(kappa >= 0.0 && kappa <= 1.0, "kappa out of range");
+  ARROW_CHECK(num_tickets >= 0, "negative ticket count");
+  return 1.0 - std::pow(1.0 - kappa, num_tickets);
+}
+
+}  // namespace arrow::ticket

@@ -1,0 +1,45 @@
+// Topology builders: the three evaluation WANs from Table 4 (B4, IBM, and a
+// synthetic stand-in for the Facebook backbone) plus the 4-ROADM testbed of
+// Fig. 10. Optical skeletons are fixed; the IP layer is provisioned on top
+// by provision.h following the paper's Fig. 22 distributions.
+#pragma once
+
+#include "topo/network.h"
+#include "topo/provision.h"
+#include "util/rng.h"
+
+namespace arrow::topo {
+
+// Optical-layer skeleton before IP provisioning.
+struct Skeleton {
+  std::string name;
+  int num_sites = 0;
+  std::vector<NodeId> roadm_of_site;
+  OpticalTopology optical;
+};
+
+// Google B4: 12 sites / 12 ROADMs, 19 fiber spans (Table 4).
+Skeleton b4_skeleton();
+
+// IBM WAN (via SMORE): 17 sites / 17 ROADMs, 23 fiber spans.
+Skeleton ibm_skeleton();
+
+// Synthetic Facebook-backbone stand-in: 34 sites, 84 ROADMs (50 intermediate
+// pass-through ROADMs from subdivided long spans), 156 fibers. Deterministic
+// given the seed.
+Skeleton fbsynth_skeleton(std::uint64_t seed = 20210823);
+
+// The production-level testbed of Fig. 10: ring A-B-C-D-A, 2,160 km of
+// fiber, sized so ~34 amplifier sites at ~64 km spacing.
+Skeleton testbed_skeleton();
+
+// Convenience: skeleton + IP provisioning with the paper's per-topology
+// IP-link counts (52 / 85 / 262) and sensible defaults.
+Network build_b4(std::uint64_t seed = 1);
+Network build_ibm(std::uint64_t seed = 1);
+Network build_fbsynth(std::uint64_t seed = 1);
+// The testbed provisioned exactly as Fig. 11(a): 16 wavelengths at 200 Gbps
+// in 4 port-channels (A-B 0.4T, A-C 1.2T, B-D 1.2T, C-D 0.4T).
+Network build_testbed();
+
+}  // namespace arrow::topo

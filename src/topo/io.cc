@@ -1,0 +1,174 @@
+#include "topo/io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace arrow::topo {
+
+namespace {
+
+[[noreturn]] void parse_error(int line, const std::string& what) {
+  throw std::logic_error("arrow-topology parse error at line " +
+                         std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+void save_network(const Network& net, std::ostream& out) {
+  out.precision(17);  // round-trip exact doubles
+  out << "# arrow-topology v1\n";
+  out << "network " << (net.name.empty() ? "unnamed" : net.name) << " sites "
+      << net.num_sites << " roadms " << net.optical.num_roadms << "\n";
+  for (const auto& f : net.optical.fibers) {
+    out << "fiber " << f.id << " " << f.a << " " << f.b << " " << f.length_km
+        << " " << f.slots << "\n";
+  }
+  for (const auto& link : net.ip_links) {
+    out << "iplink " << link.id << " " << link.src << " " << link.dst << "\n";
+    for (const auto& w : link.waves) {
+      out << "wave " << link.id << " " << w.slot << " " << w.gbps << " ";
+      for (std::size_t i = 0; i < w.fiber_path.size(); ++i) {
+        out << (i ? "," : "") << w.fiber_path[i];
+      }
+      out << "\n";
+    }
+  }
+}
+
+void save_network_file(const Network& net, const std::string& path) {
+  std::ofstream out(path);
+  ARROW_CHECK(out.good(), "cannot open network file for writing");
+  save_network(net, out);
+}
+
+Network load_network(std::istream& in) {
+  Network net;
+  bool have_header = false;
+  std::map<IpLinkId, std::size_t> link_index;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string kind;
+    ss >> kind;
+    if (kind == "network") {
+      std::string sites_kw, roadms_kw;
+      if (!(ss >> net.name >> sites_kw >> net.num_sites >> roadms_kw >>
+            net.optical.num_roadms) ||
+          sites_kw != "sites" || roadms_kw != "roadms") {
+        parse_error(line_no, "bad network header");
+      }
+      if (net.num_sites <= 0 || net.optical.num_roadms < net.num_sites) {
+        parse_error(line_no, "invalid site/roadm counts");
+      }
+      net.roadm_of_site.clear();
+      for (SiteId s = 0; s < net.num_sites; ++s) {
+        net.roadm_of_site.push_back(s);
+      }
+      have_header = true;
+    } else if (kind == "fiber") {
+      if (!have_header) parse_error(line_no, "fiber before network header");
+      Fiber f;
+      if (!(ss >> f.id >> f.a >> f.b >> f.length_km >> f.slots)) {
+        parse_error(line_no, "bad fiber line");
+      }
+      if (f.id != static_cast<int>(net.optical.fibers.size())) {
+        parse_error(line_no, "fiber ids must be consecutive from 0");
+      }
+      net.optical.fibers.push_back(f);
+    } else if (kind == "iplink") {
+      if (!have_header) parse_error(line_no, "iplink before network header");
+      IpLink link;
+      if (!(ss >> link.id >> link.src >> link.dst)) {
+        parse_error(line_no, "bad iplink line");
+      }
+      if (link.id != static_cast<int>(net.ip_links.size())) {
+        parse_error(line_no, "iplink ids must be consecutive from 0");
+      }
+      link_index[link.id] = net.ip_links.size();
+      net.ip_links.push_back(std::move(link));
+    } else if (kind == "wave") {
+      IpLinkId link_id;
+      Wavelength w;
+      std::string path;
+      if (!(ss >> link_id >> w.slot >> w.gbps >> path)) {
+        parse_error(line_no, "bad wave line");
+      }
+      const auto it = link_index.find(link_id);
+      if (it == link_index.end()) parse_error(line_no, "wave for unknown link");
+      std::istringstream ps(path);
+      std::string tok;
+      while (std::getline(ps, tok, ',')) {
+        try {
+          w.fiber_path.push_back(std::stoi(tok));
+        } catch (const std::exception&) {
+          parse_error(line_no, "bad fiber id in wave path");
+        }
+      }
+      for (FiberId f : w.fiber_path) {
+        if (f < 0 || f >= static_cast<int>(net.optical.fibers.size())) {
+          parse_error(line_no, "wave path references unknown fiber");
+        }
+        w.path_km += net.optical.fiber_length(f);
+      }
+      net.ip_links[it->second].waves.push_back(std::move(w));
+    } else {
+      parse_error(line_no, "unknown record '" + kind + "'");
+    }
+  }
+  if (!have_header) parse_error(line_no, "missing network header");
+  net.optical.finalize();
+  net.validate();  // full model invariants, incl. continuity + slot clashes
+  return net;
+}
+
+Network load_network_file(const std::string& path) {
+  std::ifstream in(path);
+  ARROW_CHECK(in.good(), "cannot open network file for reading");
+  return load_network(in);
+}
+
+void save_traffic(const traffic::TrafficMatrix& tm, std::ostream& out) {
+  out << "# arrow-traffic v1\n";
+  for (const auto& d : tm.demands) {
+    out << "demand " << d.src << " " << d.dst << " " << d.gbps << "\n";
+  }
+}
+
+traffic::TrafficMatrix load_traffic(std::istream& in) {
+  traffic::TrafficMatrix tm;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string kind;
+    traffic::Demand d;
+    if (!(ss >> kind >> d.src >> d.dst >> d.gbps) || kind != "demand") {
+      parse_error(line_no, "bad demand line");
+    }
+    tm.demands.push_back(d);
+  }
+  return tm;
+}
+
+void save_traffic_file(const traffic::TrafficMatrix& tm,
+                       const std::string& path) {
+  std::ofstream out(path);
+  ARROW_CHECK(out.good(), "cannot open traffic file for writing");
+  save_traffic(tm, out);
+}
+
+traffic::TrafficMatrix load_traffic_file(const std::string& path) {
+  std::ifstream in(path);
+  ARROW_CHECK(in.good(), "cannot open traffic file for reading");
+  return load_traffic(in);
+}
+
+}  // namespace arrow::topo

@@ -1,0 +1,38 @@
+// Plain-text serialization for networks and traffic matrices, so downstream
+// users can run ARROW on their own topologies without writing C++:
+//
+//   # arrow-topology v1
+//   network <name> sites <N> roadms <M>
+//   fiber <id> <roadm_a> <roadm_b> <length_km> <slots>
+//   iplink <id> <src_site> <dst_site>
+//   wave <link_id> <slot> <gbps> <fiber_id>[,<fiber_id>...]
+//
+//   # arrow-traffic v1
+//   demand <src_site> <dst_site> <gbps>
+//
+// Lines starting with '#' and blank lines are ignored. load_network()
+// validates the full model (paths, slots, continuity) before returning.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/network.h"
+#include "traffic/traffic.h"
+
+namespace arrow::topo {
+
+void save_network(const Network& net, std::ostream& out);
+void save_network_file(const Network& net, const std::string& path);
+
+// Throws std::logic_error (with a line number) on malformed input.
+Network load_network(std::istream& in);
+Network load_network_file(const std::string& path);
+
+void save_traffic(const traffic::TrafficMatrix& tm, std::ostream& out);
+traffic::TrafficMatrix load_traffic(std::istream& in);
+void save_traffic_file(const traffic::TrafficMatrix& tm,
+                       const std::string& path);
+traffic::TrafficMatrix load_traffic_file(const std::string& path);
+
+}  // namespace arrow::topo

@@ -1,0 +1,44 @@
+// Optical transponder datarate-vs-reach specification (paper Table 6) and
+// DWDM spectrum constants.
+#pragma once
+
+#include <array>
+
+namespace arrow::topo {
+
+// ITU-T G.694.1 fixed-grid C-band: 96 slots at 50 GHz spacing (the paper's
+// RWA appendix uses 96 wavelength slots).
+inline constexpr int kSpectrumSlots = 96;
+
+// Table 6: terrestrial long-haul transponder spec sheet.
+struct ModulationSpec {
+  double gbps;      // per-wavelength datarate
+  double reach_km;  // maximum transmission distance
+};
+
+inline constexpr std::array<ModulationSpec, 4> kModulationTable = {{
+    {400.0, 1000.0},
+    {300.0, 1500.0},
+    {200.0, 3000.0},
+    {100.0, 5000.0},
+}};
+
+// Highest datarate whose reach covers `path_km`; 0 if the path exceeds the
+// 100 Gbps reach (unreachable with this spec sheet).
+inline double best_modulation_gbps(double path_km) {
+  for (const auto& spec : kModulationTable) {
+    if (path_km <= spec.reach_km) return spec.gbps;
+  }
+  return 0.0;
+}
+
+// Maximum reach achievable at a given datarate; 0 if the rate is not in the
+// spec sheet.
+inline double reach_for_gbps(double gbps) {
+  for (const auto& spec : kModulationTable) {
+    if (spec.gbps == gbps) return spec.reach_km;
+  }
+  return 0.0;
+}
+
+}  // namespace arrow::topo

@@ -1,0 +1,133 @@
+#include "topo/network.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace arrow::topo {
+
+void OpticalTopology::finalize() {
+  incident.assign(static_cast<std::size_t>(num_roadms), {});
+  for (const Fiber& f : fibers) {
+    ARROW_CHECK(f.a >= 0 && f.a < num_roadms && f.b >= 0 && f.b < num_roadms,
+                "fiber endpoint out of range");
+    ARROW_CHECK(f.a != f.b, "self-loop fiber");
+    incident[static_cast<std::size_t>(f.a)].push_back(f.id);
+    incident[static_cast<std::size_t>(f.b)].push_back(f.id);
+  }
+}
+
+std::vector<std::vector<bool>> Network::spectrum_occupancy() const {
+  std::vector<std::vector<bool>> occ(optical.fibers.size());
+  for (std::size_t f = 0; f < optical.fibers.size(); ++f) {
+    occ[f].assign(static_cast<std::size_t>(optical.fibers[f].slots), false);
+  }
+  for (const IpLink& link : ip_links) {
+    for (const Wavelength& w : link.waves) {
+      for (FiberId f : w.fiber_path) {
+        occ[static_cast<std::size_t>(f)][static_cast<std::size_t>(w.slot)] =
+            true;
+      }
+    }
+  }
+  return occ;
+}
+
+std::vector<double> Network::spectrum_utilization() const {
+  const auto occ = spectrum_occupancy();
+  std::vector<double> util(occ.size(), 0.0);
+  for (std::size_t f = 0; f < occ.size(); ++f) {
+    int used = 0;
+    for (bool b : occ[f]) used += b ? 1 : 0;
+    util[f] = occ[f].empty()
+                  ? 0.0
+                  : static_cast<double>(used) / static_cast<double>(occ[f].size());
+  }
+  return util;
+}
+
+std::vector<IpLinkId> Network::failed_ip_links(
+    const std::vector<FiberId>& cuts) const {
+  std::set<FiberId> cut_set(cuts.begin(), cuts.end());
+  std::vector<IpLinkId> failed;
+  for (const IpLink& link : ip_links) {
+    bool hit = false;
+    for (FiberId f : link.fiber_path()) {
+      if (cut_set.count(f)) {
+        hit = true;
+        break;
+      }
+    }
+    if (hit) failed.push_back(link.id);
+  }
+  return failed;
+}
+
+double Network::provisioned_gbps(FiberId f) const {
+  double total = 0.0;
+  for (const IpLink& link : ip_links) {
+    for (const Wavelength& w : link.waves) {
+      if (std::find(w.fiber_path.begin(), w.fiber_path.end(), f) !=
+          w.fiber_path.end()) {
+        total += w.gbps;
+      }
+    }
+  }
+  return total;
+}
+
+double Network::ip_link_path_km(IpLinkId e) const {
+  const IpLink& link = ip_links[static_cast<std::size_t>(e)];
+  double km = 0.0;
+  for (FiberId f : link.fiber_path()) km += optical.fiber_length(f);
+  return km;
+}
+
+int Network::total_wavelengths() const {
+  int n = 0;
+  for (const IpLink& link : ip_links) n += static_cast<int>(link.waves.size());
+  return n;
+}
+
+void upgrade_spectrum(Network& net, int new_slots) {
+  for (auto& fiber : net.optical.fibers) {
+    ARROW_CHECK(new_slots >= fiber.slots,
+                "spectrum upgrade cannot shrink a fiber");
+    fiber.slots = new_slots;
+  }
+  net.validate();
+}
+
+void Network::validate() const {
+  ARROW_CHECK(static_cast<int>(roadm_of_site.size()) == num_sites,
+              "roadm_of_site size");
+  std::set<std::pair<FiberId, int>> used;  // (fiber, slot) uniqueness
+  for (const IpLink& link : ip_links) {
+    ARROW_CHECK(link.src >= 0 && link.src < num_sites, "ip link src");
+    ARROW_CHECK(link.dst >= 0 && link.dst < num_sites, "ip link dst");
+    ARROW_CHECK(link.src != link.dst, "ip link self-loop");
+    ARROW_CHECK(!link.waves.empty(), "ip link with no wavelengths");
+    for (const Wavelength& w : link.waves) {
+      ARROW_CHECK(!w.fiber_path.empty(), "wavelength with empty path");
+      ARROW_CHECK(w.slot >= 0, "negative slot");
+      ARROW_CHECK(w.gbps > 0.0, "non-positive wavelength rate");
+      ARROW_CHECK(w.fiber_path == link.fiber_path(),
+                  "wavelengths of one IP link must share the fiber path");
+      // Path must be a connected walk from src ROADM to dst ROADM.
+      NodeId at = roadm_of_site[static_cast<std::size_t>(link.src)];
+      for (FiberId f : w.fiber_path) {
+        const Fiber& fiber = optical.fibers[static_cast<std::size_t>(f)];
+        ARROW_CHECK(fiber.touches(at), "disconnected wavelength path");
+        ARROW_CHECK(w.slot < fiber.slots, "slot beyond fiber spectrum");
+        ARROW_CHECK(used.insert({f, w.slot}).second,
+                    "two wavelengths share a (fiber, slot)");
+        at = fiber.other(at);
+      }
+      ARROW_CHECK(at == roadm_of_site[static_cast<std::size_t>(link.dst)],
+                  "wavelength path does not end at dst");
+    }
+  }
+}
+
+}  // namespace arrow::topo

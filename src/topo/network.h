@@ -1,0 +1,119 @@
+// Two-layer (IP over optical) network model, mirroring the paper's Fig. 1:
+// sites host routers; ROADMs are optical nodes (every site has one, plus
+// optional intermediate ROADMs with no router); fibers connect ROADMs and
+// carry wavelengths; an IP link is a port-channel between two sites whose
+// capacity is the sum of its wavelengths' datarates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/modulation.h"
+
+namespace arrow::topo {
+
+using NodeId = int;   // ROADM index in the optical graph
+using SiteId = int;   // router/datacenter site index
+using FiberId = int;
+using IpLinkId = int;
+
+// A unidirectional-capacity fiber span between two ROADMs. (Real spans are
+// bidirectional pairs; like the paper's analysis we model the span once and
+// treat a cut as taking out both directions.)
+struct Fiber {
+  FiberId id = -1;
+  NodeId a = -1;
+  NodeId b = -1;
+  double length_km = 0.0;
+  int slots = kSpectrumSlots;
+
+  NodeId other(NodeId n) const { return n == a ? b : a; }
+  bool touches(NodeId n) const { return n == a || n == b; }
+};
+
+// A provisioned wavelength: a spectrum slot lit end-to-end along a fiber
+// path (wavelength continuity: the same slot index on every fiber).
+struct Wavelength {
+  int slot = -1;
+  double gbps = 0.0;               // modulation datarate
+  std::vector<FiberId> fiber_path;  // ordered ROADM-to-ROADM fiber spans
+  double path_km = 0.0;
+};
+
+// An IP link (port-channel) between two sites. All wavelengths of one IP
+// link follow the same primary fiber path in this model (as in Fig. 1 where
+// a port-channel maps onto one fiber), which is what makes a single fiber
+// cut take down whole IP links.
+struct IpLink {
+  IpLinkId id = -1;
+  SiteId src = -1;
+  SiteId dst = -1;
+  std::vector<Wavelength> waves;
+
+  double capacity_gbps() const {
+    double c = 0.0;
+    for (const auto& w : waves) c += w.gbps;
+    return c;
+  }
+  // All waves share the fiber path; convenience accessor.
+  const std::vector<FiberId>& fiber_path() const {
+    static const std::vector<FiberId> kEmpty;
+    return waves.empty() ? kEmpty : waves.front().fiber_path;
+  }
+};
+
+struct OpticalTopology {
+  int num_roadms = 0;
+  std::vector<Fiber> fibers;
+
+  // Fibers incident to each ROADM (built by finalize()).
+  std::vector<std::vector<FiberId>> incident;
+
+  void finalize();
+  double fiber_length(FiberId f) const { return fibers[static_cast<std::size_t>(f)].length_km; }
+};
+
+struct Network {
+  std::string name;
+  int num_sites = 0;
+  // ROADM hosting each site: roadm_of_site[s]. Sites always come first in
+  // ROADM numbering for the built-in topologies (roadm i == site i for
+  // i < num_sites), but use this mapping to stay generic.
+  std::vector<NodeId> roadm_of_site;
+  OpticalTopology optical;
+  std::vector<IpLink> ip_links;
+
+  // --- derived views ------------------------------------------------------
+
+  // Spectrum occupancy: occupancy[f][s] is true if slot s on fiber f is used
+  // by a provisioned wavelength (everything else carries ASE noise under
+  // ARROW's noise loading).
+  std::vector<std::vector<bool>> spectrum_occupancy() const;
+
+  // Fraction of occupied slots per fiber (Fig. 5a).
+  std::vector<double> spectrum_utilization() const;
+
+  // IP links whose primary fiber path traverses any of the given cut fibers.
+  std::vector<IpLinkId> failed_ip_links(const std::vector<FiberId>& cuts) const;
+
+  // Provisioned bandwidth over a fiber: sum of datarates of wavelengths
+  // whose path includes it (W_phi in §2.3).
+  double provisioned_gbps(FiberId f) const;
+
+  double ip_link_path_km(IpLinkId e) const;
+
+  // Total number of provisioned wavelengths (router ports/transponders).
+  int total_wavelengths() const;
+
+  // Sanity invariants (used by tests): wavelength paths are connected walks,
+  // no two wavelengths share a (fiber, slot), slot indices in range.
+  void validate() const;
+};
+
+// C+L band upgrade (paper Appendix A.10): expanding every fiber's spectrum
+// from the C band to C+L doubles the slot count. Provisioned wavelengths
+// stay where they are; the new band starts out noise-loaded and is available
+// to restoration. `new_slots` must be at least the current slot count.
+void upgrade_spectrum(Network& net, int new_slots = 2 * kSpectrumSlots);
+
+}  // namespace arrow::topo

@@ -1,0 +1,266 @@
+#include "topo/provision.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "topo/builders.h"
+#include "util/check.h"
+
+namespace arrow::topo {
+
+namespace {
+
+// Dijkstra over the ROADM graph. Fiber weight is km inflated by current
+// spectrum load so parallel fibers share provisioned wavelengths.
+std::vector<FiberId> route(const OpticalTopology& opt, NodeId src, NodeId dst,
+                           const std::vector<int>& used_slots) {
+  const auto n = static_cast<std::size_t>(opt.num_roadms);
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<FiberId> via(n, -1);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  pq.emplace(0.0, src);
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    if (u == dst) break;
+    for (FiberId fid : opt.incident[static_cast<std::size_t>(u)]) {
+      const Fiber& f = opt.fibers[static_cast<std::size_t>(fid)];
+      const double load =
+          static_cast<double>(used_slots[static_cast<std::size_t>(fid)]) /
+          static_cast<double>(f.slots);
+      const double w = f.length_km * (1.0 + 2.0 * load);
+      const NodeId v = f.other(u);
+      if (d + w < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = d + w;
+        via[static_cast<std::size_t>(v)] = fid;
+        pq.emplace(d + w, v);
+      }
+    }
+  }
+  std::vector<FiberId> path;
+  if (via[static_cast<std::size_t>(dst)] < 0 && src != dst) return path;
+  NodeId at = dst;
+  while (at != src) {
+    const FiberId fid = via[static_cast<std::size_t>(at)];
+    path.push_back(fid);
+    at = opt.fibers[static_cast<std::size_t>(fid)].other(at);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int sample_wave_count(const ProvisionParams& p, util::Rng& rng) {
+  std::vector<double> weights;
+  weights.reserve(p.waves_per_link_weights.size());
+  for (const auto& [v, w] : p.waves_per_link_weights) {
+    (void)v;
+    weights.push_back(w);
+  }
+  return p.waves_per_link_weights[rng.weighted_index(weights)].first;
+}
+
+}  // namespace
+
+Network provision_ip_layer(const Skeleton& skeleton,
+                           const ProvisionParams& params, util::Rng& rng) {
+  Network net;
+  net.name = skeleton.name;
+  net.num_sites = skeleton.num_sites;
+  net.roadm_of_site = skeleton.roadm_of_site;
+  net.optical = skeleton.optical;
+  net.optical.finalize();
+
+  const auto& opt = net.optical;
+  std::vector<std::vector<bool>> occ(opt.fibers.size());
+  for (std::size_t f = 0; f < opt.fibers.size(); ++f) {
+    occ[f].assign(static_cast<std::size_t>(opt.fibers[f].slots), false);
+  }
+  std::vector<int> used_slots(opt.fibers.size(), 0);
+
+  // Site-level adjacency: pairs of sites joined by a pure pass-through fiber
+  // path with no other site in between. For skeletons without intermediate
+  // ROADMs this is just fiber adjacency.
+  std::set<NodeId> site_roadms(net.roadm_of_site.begin(),
+                               net.roadm_of_site.end());
+  std::vector<SiteId> site_of_roadm(static_cast<std::size_t>(opt.num_roadms),
+                                    -1);
+  for (SiteId s = 0; s < net.num_sites; ++s) {
+    site_of_roadm[static_cast<std::size_t>(net.roadm_of_site[static_cast<std::size_t>(s)])] = s;
+  }
+  // Walk from each site ROADM through degree-2 intermediate ROADMs to find
+  // neighbouring sites.
+  std::set<std::pair<SiteId, SiteId>> adjacency;
+  for (SiteId s = 0; s < net.num_sites; ++s) {
+    const NodeId start = net.roadm_of_site[static_cast<std::size_t>(s)];
+    for (FiberId first : opt.incident[static_cast<std::size_t>(start)]) {
+      NodeId prev = start;
+      NodeId at = opt.fibers[static_cast<std::size_t>(first)].other(start);
+      FiberId via = first;
+      int guard = 0;
+      while (site_of_roadm[static_cast<std::size_t>(at)] < 0 &&
+             ++guard < opt.num_roadms) {
+        // Intermediate ROADM: continue along the other fiber (intermediates
+        // are degree-2 by construction in our skeletons).
+        FiberId next = -1;
+        for (FiberId fid : opt.incident[static_cast<std::size_t>(at)]) {
+          if (fid != via) {
+            next = fid;
+            break;
+          }
+        }
+        if (next < 0) break;
+        prev = at;
+        at = opt.fibers[static_cast<std::size_t>(next)].other(at);
+        via = next;
+      }
+      (void)prev;
+      const SiteId t = site_of_roadm[static_cast<std::size_t>(at)];
+      if (t >= 0 && t != s) {
+        adjacency.insert({std::min(s, t), std::max(s, t)});
+      }
+    }
+  }
+
+  // Candidate express pairs: site pairs at 2..max_express_hops in the
+  // site-adjacency graph.
+  std::vector<std::vector<SiteId>> site_neighbors(
+      static_cast<std::size_t>(net.num_sites));
+  for (const auto& [u, v] : adjacency) {
+    site_neighbors[static_cast<std::size_t>(u)].push_back(v);
+    site_neighbors[static_cast<std::size_t>(v)].push_back(u);
+  }
+  std::vector<std::pair<SiteId, SiteId>> express_pairs;
+  for (SiteId s = 0; s < net.num_sites; ++s) {
+    // BFS up to max_express_hops.
+    std::vector<int> hops(static_cast<std::size_t>(net.num_sites), -1);
+    std::queue<SiteId> bfs;
+    bfs.push(s);
+    hops[static_cast<std::size_t>(s)] = 0;
+    while (!bfs.empty()) {
+      const SiteId u = bfs.front();
+      bfs.pop();
+      if (hops[static_cast<std::size_t>(u)] >= params.max_express_hops) continue;
+      for (SiteId v : site_neighbors[static_cast<std::size_t>(u)]) {
+        if (hops[static_cast<std::size_t>(v)] < 0) {
+          hops[static_cast<std::size_t>(v)] = hops[static_cast<std::size_t>(u)] + 1;
+          bfs.push(v);
+        }
+      }
+    }
+    for (SiteId t = s + 1; t < net.num_sites; ++t) {
+      if (hops[static_cast<std::size_t>(t)] >= 2) express_pairs.emplace_back(s, t);
+    }
+  }
+  rng.shuffle(express_pairs);
+
+  const auto try_add_ip_link = [&](SiteId s, SiteId t) -> bool {
+    const NodeId src = net.roadm_of_site[static_cast<std::size_t>(s)];
+    const NodeId dst = net.roadm_of_site[static_cast<std::size_t>(t)];
+    const auto path = route(opt, src, dst, used_slots);
+    if (path.empty()) return false;
+    double km = 0.0;
+    for (FiberId f : path) km += opt.fiber_length(f);
+    const double gbps = best_modulation_gbps(km);
+    if (gbps <= 0.0) return false;
+
+    const int want = sample_wave_count(params, rng);
+    // Common free slots across the path (wavelength continuity). Chosen at
+    // random rather than first-fit: production spectrum is fragmented by
+    // years of independent provisioning, and that fragmentation is exactly
+    // what makes restoration only partially possible (§2.3).
+    std::vector<int> candidates;
+    const int total_slots = opt.fibers[static_cast<std::size_t>(path.front())].slots;
+    for (int slot = 0; slot < total_slots; ++slot) {
+      bool free = true;
+      for (FiberId f : path) {
+        const auto fs = static_cast<std::size_t>(f);
+        const double util_after =
+            static_cast<double>(used_slots[fs] + 1) /
+            static_cast<double>(opt.fibers[fs].slots);
+        if (occ[fs][static_cast<std::size_t>(slot)] ||
+            util_after > params.max_fiber_utilization) {
+          free = false;
+          break;
+        }
+      }
+      if (free) candidates.push_back(slot);
+    }
+    if (candidates.empty()) return false;
+    rng.shuffle(candidates);
+    // Take up to `want` slots, re-checking the utilization cap as each slot
+    // is committed (a multi-wave port-channel must not blow past the cap).
+    std::vector<int> slots;
+    for (int slot : candidates) {
+      if (static_cast<int>(slots.size()) >= want) break;
+      bool ok = true;
+      for (FiberId f : path) {
+        const auto fs = static_cast<std::size_t>(f);
+        const double util_after =
+            static_cast<double>(used_slots[fs] + 1 +
+                                static_cast<int>(slots.size())) /
+            static_cast<double>(opt.fibers[fs].slots);
+        if (util_after > params.max_fiber_utilization) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) break;
+      slots.push_back(slot);
+    }
+    if (slots.empty()) return false;
+    std::sort(slots.begin(), slots.end());
+
+    IpLink link;
+    link.id = static_cast<IpLinkId>(net.ip_links.size());
+    link.src = s;
+    link.dst = t;
+    for (int slot : slots) {
+      Wavelength w;
+      w.slot = slot;
+      w.gbps = gbps;
+      w.fiber_path = path;
+      w.path_km = km;
+      link.waves.push_back(std::move(w));
+      for (FiberId f : path) {
+        occ[static_cast<std::size_t>(f)][static_cast<std::size_t>(slot)] = true;
+        ++used_slots[static_cast<std::size_t>(f)];
+      }
+    }
+    net.ip_links.push_back(std::move(link));
+    return true;
+  };
+
+  // Pass 1: one IP link per adjacent site pair (IP-layer connectivity).
+  std::vector<std::pair<SiteId, SiteId>> base(adjacency.begin(),
+                                              adjacency.end());
+  for (const auto& [s, t] : base) try_add_ip_link(s, t);
+
+  // Pass 2: fill to target with a mix of parallel and express links.
+  int attempts = 0;
+  std::size_t express_cursor = 0;
+  while (static_cast<int>(net.ip_links.size()) < params.target_ip_links &&
+         attempts < params.target_ip_links * 20) {
+    ++attempts;
+    const bool express = !express_pairs.empty() &&
+                         rng.uniform() < params.express_fraction;
+    if (express) {
+      const auto& [s, t] = express_pairs[express_cursor++ % express_pairs.size()];
+      try_add_ip_link(s, t);
+    } else if (!base.empty()) {
+      const auto& [s, t] =
+          base[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<int>(base.size()) - 1))];
+      try_add_ip_link(s, t);
+    }
+  }
+
+  net.validate();
+  return net;
+}
+
+}  // namespace arrow::topo

@@ -1,0 +1,41 @@
+// IP-over-optical provisioning: places IP links (port-channels) and their
+// wavelengths onto an optical skeleton, mimicking how the paper generates
+// realistic IP layers from the measured Facebook distributions (Fig. 22:
+// IP links per fiber, wavelengths per IP link) while keeping fiber spectrum
+// utilization in the measured range (Fig. 5: 95% of fibers < 60%).
+#pragma once
+
+#include <vector>
+
+#include "topo/network.h"
+#include "util/rng.h"
+
+namespace arrow::topo {
+
+struct Skeleton;
+
+struct ProvisionParams {
+  int target_ip_links = 50;
+  // Share of IP links between optically non-adjacent sites (express links
+  // passing through intermediate ROADMs entirely in the optical domain,
+  // like IP1 in Fig. 2).
+  double express_fraction = 0.25;
+  int max_express_hops = 3;  // site-graph hops for express link endpoints
+  // Wavelengths-per-IP-link distribution (Fig. 22b): value -> weight.
+  std::vector<std::pair<int, double>> waves_per_link_weights = {
+      {1, 0.12}, {2, 0.22}, {3, 0.20}, {4, 0.16}, {5, 0.10},
+      {6, 0.08}, {8, 0.07}, {10, 0.03}, {12, 0.02},
+  };
+  // Hard cap on per-fiber spectrum utilization during provisioning.
+  double max_fiber_utilization = 0.62;
+};
+
+// Generates the IP layer. Guarantees at least one IP link per adjacent site
+// pair (so the IP graph is connected whenever the site graph is), then adds
+// parallel and express IP links up to target_ip_links. Wavelength slots are
+// assigned first-fit subject to the wavelength continuity constraint;
+// modulation follows Table 6 given the fiber-path length.
+Network provision_ip_layer(const Skeleton& skeleton,
+                           const ProvisionParams& params, util::Rng& rng);
+
+}  // namespace arrow::topo

@@ -1,0 +1,74 @@
+#include "traffic/traffic.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace arrow::traffic {
+
+std::vector<TrafficMatrix> generate_traffic(const topo::Network& net,
+                                            const TrafficParams& params,
+                                            util::Rng& rng) {
+  ARROW_CHECK(params.num_matrices > 0, "need at least one matrix");
+  const int n = net.num_sites;
+
+  // Gravity weights: large sites attract/emit proportionally more traffic.
+  std::vector<double> weight(static_cast<std::size_t>(n));
+  for (auto& w : weight) w = rng.lognormal(0.0, params.site_weight_sigma);
+
+  // Per-pair diurnal phase: sites in different "regions" peak at different
+  // epochs, so matrices genuinely differ in shape, not just magnitude.
+  std::vector<std::vector<double>> phase(
+      static_cast<std::size_t>(n), std::vector<double>(static_cast<std::size_t>(n)));
+  for (int s = 0; s < n; ++s) {
+    for (int t = 0; t < n; ++t) {
+      phase[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)] =
+          rng.uniform(0.0, 2.0 * M_PI);
+    }
+  }
+
+  double total_capacity = 0.0;
+  for (const auto& link : net.ip_links) total_capacity += link.capacity_gbps();
+  const double target_total = params.load_fraction * total_capacity;
+
+  // Base (mean) gravity shares.
+  double share_sum = 0.0;
+  std::vector<std::vector<double>> share(
+      static_cast<std::size_t>(n), std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  for (int s = 0; s < n; ++s) {
+    for (int t = 0; t < n; ++t) {
+      if (s == t) continue;
+      share[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)] =
+          weight[static_cast<std::size_t>(s)] * weight[static_cast<std::size_t>(t)];
+      share_sum += share[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)];
+    }
+  }
+  const double mean_demand = target_total / static_cast<double>(n * (n - 1));
+
+  std::vector<TrafficMatrix> matrices;
+  matrices.reserve(static_cast<std::size_t>(params.num_matrices));
+  for (int i = 0; i < params.num_matrices; ++i) {
+    const double epoch = 2.0 * M_PI * static_cast<double>(i) /
+                         static_cast<double>(params.num_matrices);
+    TrafficMatrix tm;
+    for (int s = 0; s < n; ++s) {
+      for (int t = 0; t < n; ++t) {
+        if (s == t) continue;
+        const double base =
+            target_total *
+            share[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)] /
+            share_sum;
+        if (base < params.min_share * mean_demand) continue;
+        const double mod =
+            1.0 + params.diurnal_amplitude *
+                      std::sin(epoch + phase[static_cast<std::size_t>(s)]
+                                             [static_cast<std::size_t>(t)]);
+        tm.demands.push_back(Demand{s, t, base * mod});
+      }
+    }
+    matrices.push_back(std::move(tm));
+  }
+  return matrices;
+}
+
+}  // namespace arrow::traffic

@@ -1,0 +1,58 @@
+// Traffic matrix generation.
+//
+// The paper uses 30 SMORE matrices (B4/IBM) and 12 production matrices
+// (Facebook). We substitute a gravity model with per-site lognormal weights
+// modulated by diurnal/weekly sinusoids — the same statistical role: a
+// family of skewed matrices with realistic time variation (see DESIGN.md).
+#pragma once
+
+#include <vector>
+
+#include "topo/network.h"
+#include "util/rng.h"
+
+namespace arrow::traffic {
+
+struct Demand {
+  topo::SiteId src = -1;
+  topo::SiteId dst = -1;
+  double gbps = 0.0;
+};
+
+struct TrafficMatrix {
+  std::vector<Demand> demands;
+
+  double total_gbps() const {
+    double t = 0.0;
+    for (const auto& d : demands) t += d.gbps;
+    return t;
+  }
+  TrafficMatrix scaled(double factor) const {
+    TrafficMatrix out = *this;
+    for (auto& d : out.demands) d.gbps *= factor;
+    return out;
+  }
+};
+
+struct TrafficParams {
+  int num_matrices = 12;
+  // Lognormal sigma of per-site gravity weights (traffic skew).
+  double site_weight_sigma = 0.8;
+  // Diurnal modulation amplitude (fraction of the mean).
+  double diurnal_amplitude = 0.3;
+  // Total demand of the mean matrix as a fraction of total IP capacity.
+  // Benches later rescale uniformly (demand scaling, §6), so this only
+  // anchors the starting point.
+  double load_fraction = 0.25;
+  // Drop site pairs whose gravity share falls below this fraction of the
+  // mean demand (keeps matrices realistically sparse).
+  double min_share = 0.05;
+};
+
+// One matrix per time epoch; epoch i is phase-shifted along the diurnal
+// cycle. Deterministic given the rng.
+std::vector<TrafficMatrix> generate_traffic(const topo::Network& net,
+                                            const TrafficParams& params,
+                                            util::Rng& rng);
+
+}  // namespace arrow::traffic

@@ -1,0 +1,29 @@
+// Lightweight invariant checking.
+//
+// ARROW_CHECK is always on (the cost is negligible relative to LP solves)
+// and throws std::logic_error so tests can assert on violations.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace arrow::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace arrow::util
+
+#define ARROW_CHECK(cond, ...)                                         \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::arrow::util::check_failed(#cond, __FILE__, __LINE__,           \
+                                  ::std::string{"" __VA_ARGS__});      \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,34 @@
+#include "util/csv.h"
+
+#include "util/check.h"
+
+namespace arrow::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  ARROW_CHECK(out_.good(), "CsvWriter: cannot open file");
+  add_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  ARROW_CHECK(cells.size() == columns_, "CsvWriter: column count mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace arrow::util

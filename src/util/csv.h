@@ -1,0 +1,24 @@
+// Minimal CSV writer so bench binaries can optionally dump figure series
+// for external plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace arrow::util {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace arrow::util

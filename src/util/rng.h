@@ -1,0 +1,124 @@
+// Deterministic random number generation for ARROW.
+//
+// Every stochastic component in this repository (topology synthesis, traffic
+// matrices, randomized rounding, failure sampling) draws from this generator
+// so that all benches and tests are reproducible given a seed.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace arrow::util {
+
+// xoshiro256** seeded via SplitMix64. Small, fast, and good enough for the
+// Monte-Carlo style sampling done here; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int uniform_int(int lo, int hi) {
+    ARROW_CHECK(lo <= hi, "uniform_int: empty range");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next_u64() % span);
+  }
+
+  // Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Weibull(shape k, scale lambda) sample via inverse transform.
+  // Used to model per-fiber failure probabilities, following TeaVaR.
+  double weibull(double shape, double scale) {
+    double u = uniform();
+    if (u <= 0.0) u = 1e-300;  // guard log(0)
+    return scale * std::pow(-std::log(1.0 - u), 1.0 / shape);
+  }
+
+  // Exponential(rate) sample.
+  double exponential(double rate) {
+    double u = uniform();
+    if (u <= 0.0) u = 1e-300;
+    return -std::log(1.0 - u) / rate;
+  }
+
+  // Log-normal sample with the given mu/sigma of the underlying normal.
+  double lognormal(double mu, double sigma) {
+    return std::exp(mu + sigma * normal());
+  }
+
+  // Standard normal via Box-Muller (one value per call; the pair's second
+  // half is intentionally discarded to keep the state trajectory simple).
+  double normal() {
+    double u1 = uniform();
+    if (u1 <= 0.0) u1 = 1e-300;
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = next_u64() % i;
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Pick an index according to non-negative weights (sum must be > 0).
+  std::size_t weighted_index(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    ARROW_CHECK(total > 0.0, "weighted_index: weights sum to zero");
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  // Derive an independent child generator (for parallel or per-entity use).
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace arrow::util

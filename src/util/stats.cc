@@ -1,0 +1,100 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace arrow::util {
+
+namespace {
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  s.p50 = percentile_sorted(values, 50.0);
+  s.p90 = percentile_sorted(values, 90.0);
+  s.p99 = percentile_sorted(values, 99.0);
+  return s;
+}
+
+double percentile(std::vector<double> values, double p) {
+  ARROW_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, p);
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  ARROW_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
+  return percentile_sorted(sorted_, q * 100.0);
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(int points) const {
+  std::vector<std::pair<double, double>> rows;
+  if (sorted_.empty() || points <= 0) return rows;
+  rows.reserve(static_cast<std::size_t>(points) + 1);
+  for (int i = 0; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    rows.emplace_back(quantile(q), q);
+  }
+  return rows;
+}
+
+Tally tally_around(const std::vector<double>& samples, double value,
+                   double eps) {
+  Tally t;
+  if (samples.empty()) return t;
+  std::size_t below = 0, equal = 0, above = 0;
+  for (double s : samples) {
+    if (std::abs(s - value) <= eps) {
+      ++equal;
+    } else if (s < value) {
+      ++below;
+    } else {
+      ++above;
+    }
+  }
+  const double n = static_cast<double>(samples.size());
+  t.below = static_cast<double>(below) / n;
+  t.equal = static_cast<double>(equal) / n;
+  t.above = static_cast<double>(above) / n;
+  return t;
+}
+
+}  // namespace arrow::util

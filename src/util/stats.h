@@ -1,0 +1,60 @@
+// Descriptive statistics and empirical-CDF helpers used by the
+// measurement-study reproductions (Figs. 3-6, 17, 19, 22) and the
+// availability evaluation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace arrow::util {
+
+// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+Summary summarize(std::vector<double> values);
+
+// Percentile with linear interpolation; p in [0, 100]. The input need not be
+// sorted. Returns 0 for an empty sample.
+double percentile(std::vector<double> values, double p);
+
+// Empirical CDF evaluated at fixed points.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  // P[X <= x].
+  double at(double x) const;
+
+  // Inverse CDF (quantile), q in [0, 1].
+  double quantile(double q) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+  // Rows "x cdf" sampled at `points` evenly spaced quantiles, for printing
+  // paper-style CDF figures from benches.
+  std::vector<std::pair<double, double>> curve(int points = 20) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// Fraction of samples strictly below / equal (within eps) / above a value.
+struct Tally {
+  double below = 0.0;
+  double equal = 0.0;
+  double above = 0.0;
+};
+Tally tally_around(const std::vector<double>& samples, double value,
+                   double eps = 1e-9);
+
+}  // namespace arrow::util

@@ -1,0 +1,36 @@
+// Fixed-width table printer for reproducing the paper's tables and figure
+// data series on stdout from the bench binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace arrow::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Append one row; cells beyond the header width are dropped, missing cells
+  // are blank.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 3);
+  // Format as a multiplier, e.g. "2.4x".
+  static std::string mult(double v, int precision = 1);
+  // Format as percent, e.g. "99.99%".
+  static std::string pct(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace arrow::util

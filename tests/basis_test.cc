@@ -1,0 +1,259 @@
+// Direct tests of the LU basis engine against dense linear algebra, plus
+// LinExpr/model-building edge cases.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "solver/basis.h"
+#include "solver/linexpr.h"
+#include "solver/model.h"
+#include "util/rng.h"
+
+namespace arrow::solver {
+namespace {
+
+// Dense solve of A x = b via Gaussian elimination (reference).
+std::vector<double> dense_solve(std::vector<std::vector<double>> a,
+                                std::vector<double> b) {
+  const int n = static_cast<int>(b.size());
+  for (int c = 0; c < n; ++c) {
+    int piv = c;
+    for (int r = c + 1; r < n; ++r) {
+      if (std::abs(a[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]) >
+          std::abs(a[static_cast<std::size_t>(piv)][static_cast<std::size_t>(c)])) {
+        piv = r;
+      }
+    }
+    std::swap(a[static_cast<std::size_t>(c)], a[static_cast<std::size_t>(piv)]);
+    std::swap(b[static_cast<std::size_t>(c)], b[static_cast<std::size_t>(piv)]);
+    for (int r = 0; r < n; ++r) {
+      if (r == c) continue;
+      const double f = a[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] /
+                       a[static_cast<std::size_t>(c)][static_cast<std::size_t>(c)];
+      for (int k = c; k < n; ++k) {
+        a[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)] -=
+            f * a[static_cast<std::size_t>(c)][static_cast<std::size_t>(k)];
+      }
+      b[static_cast<std::size_t>(r)] -= f * b[static_cast<std::size_t>(c)];
+    }
+  }
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] =
+        b[static_cast<std::size_t>(i)] /
+        a[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+  }
+  return x;
+}
+
+std::vector<LuBasis::Column> to_columns(
+    const std::vector<std::vector<double>>& dense) {
+  const int n = static_cast<int>(dense.size());
+  std::vector<LuBasis::Column> cols(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      if (dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] !=
+          0.0) {
+        cols[static_cast<std::size_t>(j)].emplace_back(
+            i, dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+  return cols;
+}
+
+TEST(LuBasis, IdentityFactorization) {
+  LuBasis basis;
+  std::vector<LuBasis::Column> cols = {{{0, 1.0}}, {{1, 1.0}}, {{2, 1.0}}};
+  ASSERT_TRUE(basis.factorize(3, cols, 1e-10));
+  std::vector<double> x = {3.0, -1.0, 2.0};
+  basis.ftran(x);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], -1.0, 1e-12);
+  EXPECT_NEAR(x[2], 2.0, 1e-12);
+  std::vector<double> y = {1.0, 2.0, 3.0};
+  basis.btran(y);
+  EXPECT_NEAR(y[1], 2.0, 1e-12);
+}
+
+TEST(LuBasis, DetectsSingularMatrix) {
+  LuBasis basis;
+  // Two identical columns.
+  std::vector<LuBasis::Column> cols = {
+      {{0, 1.0}, {1, 2.0}}, {{0, 1.0}, {1, 2.0}}};
+  EXPECT_FALSE(basis.factorize(2, cols, 1e-10));
+}
+
+class LuBasisRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuBasisRandom, FtranBtranMatchDenseSolves) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 41 + 3);
+  const int n = rng.uniform_int(3, 25);
+  std::vector<std::vector<double>> dense(
+      static_cast<std::size_t>(n), std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  // Random sparse nonsingular-ish matrix: diagonal + random off-diagonals.
+  for (int i = 0; i < n; ++i) {
+    dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] =
+        rng.uniform(1.0, 3.0) * (rng.bernoulli(0.5) ? 1 : -1);
+    for (int j = 0; j < n; ++j) {
+      if (i != j && rng.bernoulli(0.2)) {
+        dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            rng.uniform(-2.0, 2.0);
+      }
+    }
+  }
+  LuBasis basis;
+  ASSERT_TRUE(basis.factorize(n, to_columns(dense), 1e-10));
+
+  // FTRAN: solve B x = b.
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-5.0, 5.0);
+  std::vector<double> x = b;
+  basis.ftran(x);
+  const auto x_ref = dense_solve(dense, b);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)], x_ref[static_cast<std::size_t>(i)],
+                1e-8 * (1.0 + std::abs(x_ref[static_cast<std::size_t>(i)])));
+  }
+
+  // BTRAN: solve B' y = c  <=>  y = dense_solve(transpose, c).
+  std::vector<double> c(static_cast<std::size_t>(n));
+  for (auto& v : c) v = rng.uniform(-5.0, 5.0);
+  std::vector<double> y = c;
+  basis.btran(y);
+  std::vector<std::vector<double>> transposed(
+      static_cast<std::size_t>(n), std::vector<double>(static_cast<std::size_t>(n)));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      transposed[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          dense[static_cast<std::size_t>(j)][static_cast<std::size_t>(i)];
+    }
+  }
+  const auto y_ref = dense_solve(transposed, c);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], y_ref[static_cast<std::size_t>(i)],
+                1e-8 * (1.0 + std::abs(y_ref[static_cast<std::size_t>(i)])));
+  }
+}
+
+TEST_P(LuBasisRandom, UpdateMatchesRefactorization) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 11);
+  const int n = rng.uniform_int(4, 15);
+  std::vector<std::vector<double>> dense(
+      static_cast<std::size_t>(n), std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  for (int i = 0; i < n; ++i) {
+    dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] =
+        rng.uniform(1.0, 3.0);
+    for (int j = 0; j < n; ++j) {
+      if (i != j && rng.bernoulli(0.25)) {
+        dense[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            rng.uniform(-1.5, 1.5);
+      }
+    }
+  }
+  LuBasis basis;
+  ASSERT_TRUE(basis.factorize(n, to_columns(dense), 1e-10));
+
+  // Replace a column via update(); verify B_new^{-1} b against a fresh
+  // factorization of the modified matrix.
+  const int pos = rng.uniform_int(0, n - 1);
+  std::vector<double> newcol(static_cast<std::size_t>(n));
+  for (auto& v : newcol) v = rng.bernoulli(0.4) ? rng.uniform(-2.0, 2.0) : 0.0;
+  newcol[static_cast<std::size_t>(pos)] += 2.5;  // keep it nonsingular-ish
+
+  std::vector<double> w = newcol;
+  basis.ftran(w);
+  if (!basis.update(pos, w, 1e-8)) GTEST_SKIP() << "tiny pivot";
+
+  auto modified = dense;
+  for (int i = 0; i < n; ++i) {
+    modified[static_cast<std::size_t>(i)][static_cast<std::size_t>(pos)] =
+        newcol[static_cast<std::size_t>(i)];
+  }
+  LuBasis fresh;
+  ASSERT_TRUE(fresh.factorize(n, to_columns(modified), 1e-10));
+
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.uniform(-3.0, 3.0);
+  std::vector<double> x_updated = b;
+  basis.ftran(x_updated);
+  std::vector<double> x_fresh = b;
+  fresh.ftran(x_fresh);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(x_updated[static_cast<std::size_t>(i)],
+                x_fresh[static_cast<std::size_t>(i)],
+                1e-7 * (1.0 + std::abs(x_fresh[static_cast<std::size_t>(i)])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LuBasisRandom, ::testing::Range(0, 10));
+
+TEST(LinExpr, OperatorAlgebra) {
+  const VarId x{0}, y{1};
+  LinExpr e = 2.0 * LinExpr(x) + LinExpr(y) * 3.0 - LinExpr(x) + 1.5;
+  double cx = 0.0, cy = 0.0;
+  for (const auto& [v, c] : e.terms()) {
+    if (v == x) cx += c;
+    if (v == y) cy += c;
+  }
+  EXPECT_DOUBLE_EQ(cx, 1.0);
+  EXPECT_DOUBLE_EQ(cy, 3.0);
+  EXPECT_DOUBLE_EQ(e.constant(), 1.5);
+}
+
+TEST(Model, DuplicateTermsAreMerged) {
+  Model m;
+  m.set_maximize();
+  const auto x = m.add_var(0, 10, 1);
+  LinExpr e;
+  e.add_term(x, 1.0);
+  e.add_term(x, 1.0);  // 2x <= 10 total
+  m.add_constr(e, Sense::kLe, 10);
+  ASSERT_EQ(m.solve().status, SolveStatus::kOptimal);
+  EXPECT_NEAR(m.value(x), 5.0, 1e-7);
+}
+
+TEST(Model, ConstantsFoldIntoRhs) {
+  Model m;
+  m.set_maximize();
+  const auto x = m.add_var(0, 100, 1);
+  m.add_constr(LinExpr(x) + 3.0, Sense::kLe, 10);  // x <= 7
+  ASSERT_EQ(m.solve().status, SolveStatus::kOptimal);
+  EXPECT_NEAR(m.value(x), 7.0, 1e-7);
+}
+
+TEST(Model, IterationLimitSurfaces) {
+  Model m;
+  m.set_maximize();
+  m.simplex_options().max_iterations = 1;
+  std::vector<VarId> xs;
+  for (int i = 0; i < 20; ++i) xs.push_back(m.add_var(0, 1, 1));
+  LinExpr sum;
+  for (const auto& v : xs) sum.add_term(v, 1.0);
+  m.add_constr(sum, Sense::kLe, 5);
+  EXPECT_EQ(m.solve().status, SolveStatus::kIterationLimit);
+}
+
+TEST(Model, SetBoundsTightensSolution) {
+  Model m;
+  m.set_maximize();
+  const auto x = m.add_var(0, 10, 1);
+  m.add_constr(LinExpr(x), Sense::kLe, 8);
+  ASSERT_EQ(m.solve().status, SolveStatus::kOptimal);
+  EXPECT_NEAR(m.value(x), 8.0, 1e-7);
+  m.set_bounds(x, 0, 3);
+  ASSERT_EQ(m.solve().status, SolveStatus::kOptimal);
+  EXPECT_NEAR(m.value(x), 3.0, 1e-7);
+}
+
+TEST(Model, MinimizeDualSign) {
+  // min x st x >= 4: dual of the >= row is 1 (cost decreases as rhs drops).
+  Model m;
+  const auto x = m.add_var(0, kInf, 1);
+  m.add_constr(LinExpr(x), Sense::kGe, 4);
+  ASSERT_EQ(m.solve().status, SolveStatus::kOptimal);
+  EXPECT_NEAR(m.dual(0), 1.0, 1e-7);
+}
+
+}  // namespace
+}  // namespace arrow::solver

@@ -1,0 +1,178 @@
+// Tests for the event-driven WAN controller simulation.
+#include <gtest/gtest.h>
+
+#include "controller/controller.h"
+#include "topo/builders.h"
+
+namespace arrow::ctrl {
+namespace {
+
+class ControllerFixture : public ::testing::Test {
+ protected:
+  ControllerFixture() : net_(topo::build_b4()) {
+    util::Rng rng(7);
+    traffic::TrafficParams tp;
+    tp.num_matrices = 2;
+    tms_ = traffic::generate_traffic(net_, tp, rng);
+    config_.horizon_s = 2.0 * 3600.0;  // two hours
+    config_.te_interval_s = 600.0;
+    config_.tunnels.tunnels_per_flow = 4;
+    config_.arrow.tickets.num_tickets = 4;
+    config_.scenarios.probability_cutoff = 0.002;
+    config_.demand_scale = 0.5;
+  }
+  topo::Network net_;
+  std::vector<traffic::TrafficMatrix> tms_;
+  ControllerConfig config_;
+};
+
+TEST_F(ControllerFixture, NoFailuresMeansFullAvailabilityAtLowLoad) {
+  util::Rng rng(1);
+  config_.scheme = Scheme::kFfc1;
+  config_.demand_scale = 0.15;  // low enough for FFC-1 to admit everything
+  const auto report = run_controller(net_, tms_, {}, config_, rng);
+  EXPECT_GT(report.offered_gbps_seconds, 0.0);
+  EXPECT_NEAR(report.availability(), 1.0, 1e-3);
+  EXPECT_EQ(report.cuts_handled, 0);
+  EXPECT_EQ(report.te_runs, 2);
+  EXPECT_NEAR(report.lost_gbps_seconds, 0.0,
+              1e-6 * report.offered_gbps_seconds);
+}
+
+TEST_F(ControllerFixture, DeliveredNeverExceedsOffered) {
+  util::Rng rng(2);
+  const auto trace = sample_failure_trace(net_, config_.horizon_s,
+                                          /*cuts_per_day=*/12.0, rng);
+  for (Scheme s : {Scheme::kArrow, Scheme::kFfc1, Scheme::kEcmp}) {
+    config_.scheme = s;
+    util::Rng run_rng(3);
+    const auto report = run_controller(net_, tms_, trace, config_, run_rng);
+    EXPECT_LE(report.delivered_gbps_seconds,
+              report.offered_gbps_seconds + 1e-6)
+        << to_string(s);
+    EXPECT_GE(report.availability(), 0.0);
+    EXPECT_LE(report.availability(), 1.0 + 1e-9);
+  }
+}
+
+TEST_F(ControllerFixture, ArrowRestoresWhatFfcCannot) {
+  // One long-lived cut on a fiber that carries traffic.
+  topo::FiberId busy = 0;
+  double best = 0.0;
+  for (const auto& f : net_.optical.fibers) {
+    const double g = net_.provisioned_gbps(f.id);
+    if (g > best) {
+      best = g;
+      busy = f.id;
+    }
+  }
+  std::vector<FailureEvent> trace{{600.0, busy, 3.0 * 3600.0}};
+  // Guarantee a precomputed plan exists for this cut.
+  config_.explicit_scenarios = {{{busy}, 0.01}};
+
+  config_.scheme = Scheme::kArrow;
+  util::Rng r1(5);
+  const auto arrow_report = run_controller(net_, tms_, trace, config_, r1);
+  config_.scheme = Scheme::kFfc1;
+  util::Rng r2(5);
+  const auto ffc_report = run_controller(net_, tms_, trace, config_, r2);
+
+  EXPECT_EQ(arrow_report.cuts_handled, 1);
+  EXPECT_EQ(arrow_report.cuts_with_plan, 1);
+  EXPECT_GT(arrow_report.worst_restoration_s, 0.0);
+  // With restoration the delivered volume under the cut can only be higher
+  // (same trace, same demand).
+  EXPECT_GE(arrow_report.delivered_gbps_seconds,
+            ffc_report.delivered_gbps_seconds - 1e-6);
+}
+
+TEST_F(ControllerFixture, NoiseLoadingShrinksTransientLoss) {
+  topo::FiberId busy = 0;
+  double best = 0.0;
+  for (const auto& f : net_.optical.fibers) {
+    const double g = net_.provisioned_gbps(f.id);
+    if (g > best) {
+      best = g;
+      busy = f.id;
+    }
+  }
+  std::vector<FailureEvent> trace{{600.0, busy, 1.5 * 3600.0}};
+  config_.explicit_scenarios = {{{busy}, 0.01}};
+  config_.scheme = Scheme::kArrow;
+
+  config_.latency.noise_loading = true;
+  util::Rng r1(6);
+  const auto fast = run_controller(net_, tms_, trace, config_, r1);
+  config_.latency.noise_loading = false;
+  util::Rng r2(6);
+  const auto slow = run_controller(net_, tms_, trace, config_, r2);
+
+  EXPECT_LT(fast.worst_restoration_s, 60.0);
+  EXPECT_GT(slow.worst_restoration_s, 300.0);
+  EXPECT_LE(fast.transient_loss_gbps_seconds,
+            slow.transient_loss_gbps_seconds + 1e-6);
+}
+
+TEST_F(ControllerFixture, TimelineIsTimeOrdered) {
+  util::Rng rng(8);
+  const auto trace =
+      sample_failure_trace(net_, config_.horizon_s, 24.0, rng);
+  config_.scheme = Scheme::kArrow;
+  util::Rng run_rng(9);
+  const auto report = run_controller(net_, tms_, trace, config_, run_rng);
+  ASSERT_FALSE(report.timeline.empty());
+  for (std::size_t i = 1; i < report.timeline.size(); ++i) {
+    EXPECT_GE(report.timeline[i].first, report.timeline[i - 1].first);
+  }
+}
+
+
+TEST_F(ControllerFixture, DeterministicGivenSeedAndTrace) {
+  util::Rng trace_rng(12);
+  const auto trace =
+      sample_failure_trace(net_, config_.horizon_s, 18.0, trace_rng);
+  config_.scheme = Scheme::kArrow;
+  util::Rng r1(44), r2(44);
+  const auto a = run_controller(net_, tms_, trace, config_, r1);
+  const auto b = run_controller(net_, tms_, trace, config_, r2);
+  EXPECT_DOUBLE_EQ(a.delivered_gbps_seconds, b.delivered_gbps_seconds);
+  EXPECT_DOUBLE_EQ(a.offered_gbps_seconds, b.offered_gbps_seconds);
+  EXPECT_EQ(a.cuts_handled, b.cuts_handled);
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.timeline[i].second, b.timeline[i].second);
+  }
+}
+
+TEST_F(ControllerFixture, TransientLossIsPartOfTotalLoss) {
+  util::Rng rng(13);
+  const auto trace =
+      sample_failure_trace(net_, config_.horizon_s, 24.0, rng);
+  config_.scheme = Scheme::kArrow;
+  util::Rng run_rng(14);
+  const auto r = run_controller(net_, tms_, trace, config_, run_rng);
+  EXPECT_LE(r.transient_loss_gbps_seconds, r.lost_gbps_seconds + 1e-6);
+  EXPECT_NEAR(r.offered_gbps_seconds,
+              r.delivered_gbps_seconds + r.lost_gbps_seconds,
+              1e-6 * r.offered_gbps_seconds);
+}
+
+TEST(FailureTrace, RespectsHorizonAndRates) {
+  const topo::Network net = topo::build_b4();
+  util::Rng rng(11);
+  const double horizon = 30.0 * 24.0 * 3600.0;  // a month
+  const auto trace = sample_failure_trace(net, horizon, 16.0 / 30.0, rng);
+  // ~16 cuts expected over the month (the §2.2 rate).
+  EXPECT_GT(trace.size(), 5u);
+  EXPECT_LT(trace.size(), 40u);
+  for (const auto& ev : trace) {
+    EXPECT_GE(ev.t_s, 0.0);
+    EXPECT_LT(ev.t_s, horizon);
+    EXPECT_GT(ev.repair_s, 0.0);
+    EXPECT_GE(ev.fiber, 0);
+    EXPECT_LT(ev.fiber, static_cast<int>(net.optical.fibers.size()));
+  }
+}
+
+}  // namespace
+}  // namespace arrow::ctrl

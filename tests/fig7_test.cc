@@ -1,0 +1,195 @@
+// Paper-fidelity integration test: the Fig. 7 example, end to end.
+//
+// Two IP links traverse fiber B-C: IP1 (A<->C, 4 waves) and IP2 (B<->C,
+// 8 waves), 100 Gbps per wave. When B-C is cut, the top surrogate path
+// (B-D-C) has exactly 3 continuity-feasible free slots and the bottom one
+// (B-E-C) has 2 — so only 5 of 12 waves (500 Gbps) are restorable, split
+// between IP1 and IP2 in several ways:
+//
+//   candidate 1: (IP1=200, IP2=300)  ->  throughput 100 + 300 = 400
+//   candidate 2: (IP1=100, IP2=400)  ->  throughput 100 + 400 = 500  (best)
+//   candidate 3: (IP1=300, IP2=200)  ->  throughput 100 + 200 = 300
+//
+// with demands IP1=100, IP2=400. All candidates restore the same total
+// (500 Gbps): only the demand-aware choice separates them — exactly the
+// paper's motivation for LotteryTickets.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "optical/rwa.h"
+#include "te/arrow.h"
+#include "te/basic.h"
+#include "ticket/ticket.h"
+#include "topo/network.h"
+#include "traffic/traffic.h"
+
+namespace arrow {
+namespace {
+
+// Sites/ROADMs: A=0, B=1, C=2, D=3, E=4.
+// Fibers: 0:B-C (cut), 1:B-D, 2:D-C (top), 3:B-E, 4:E-C (bottom), 5:A-B.
+topo::Network fig7_network() {
+  topo::Network net;
+  net.name = "Fig7";
+  net.num_sites = 5;
+  net.roadm_of_site = {0, 1, 2, 3, 4};
+  net.optical.num_roadms = 5;
+  const auto fiber = [](int id, int a, int b) {
+    topo::Fiber f;
+    f.id = id;
+    f.a = a;
+    f.b = b;
+    f.length_km = 100.0;
+    f.slots = 12;
+    return f;
+  };
+  net.optical.fibers = {fiber(0, 1, 2), fiber(1, 1, 3), fiber(2, 3, 2),
+                        fiber(3, 1, 4), fiber(4, 4, 2), fiber(5, 0, 1)};
+  net.optical.finalize();
+
+  const auto add_link = [&](int src, int dst, std::vector<int> path,
+                            int first_slot, int waves) {
+    topo::IpLink link;
+    link.id = static_cast<int>(net.ip_links.size());
+    link.src = src;
+    link.dst = dst;
+    double km = 0.0;
+    for (int f : path) km += net.optical.fiber_length(f);
+    for (int i = 0; i < waves; ++i) {
+      topo::Wavelength w;
+      w.slot = first_slot + i;
+      w.gbps = 100.0;
+      w.fiber_path = path;
+      w.path_km = km;
+      link.waves.push_back(std::move(w));
+    }
+    net.ip_links.push_back(std::move(link));
+  };
+  // IP1: A<->C through B (pass-through at the optical layer), 4 waves.
+  add_link(0, 2, {5, 0}, 0, 4);
+  // IP2: B<->C, 8 waves.
+  add_link(1, 2, {0}, 4, 8);
+  // Spectrum blockers: dummy links leaving exactly 3 free common slots on
+  // the top path (B-D occupies slots 0-8) and 2 on the bottom (B-E
+  // occupies 0-9). D-C and E-C stay empty, so continuity binds at B-D/B-E.
+  add_link(1, 3, {1}, 0, 9);
+  add_link(1, 4, {3}, 0, 10);
+  net.validate();
+  return net;
+}
+
+traffic::TrafficMatrix fig7_demands() {
+  traffic::TrafficMatrix tm;
+  tm.demands.push_back({0, 2, 100.0});  // IP1's flow
+  tm.demands.push_back({1, 2, 400.0});  // IP2's flow
+  return tm;
+}
+
+class Fig7 : public ::testing::Test {
+ protected:
+  Fig7()
+      : net_(fig7_network()),
+        scenarios_{{{0}, 0.01}},
+        input_(net_, fig7_demands(), scenarios_, tunnel_params()) {}
+
+  static te::TunnelParams tunnel_params() {
+    te::TunnelParams p;
+    p.tunnels_per_flow = 1;  // each flow rides exactly its IP link
+    return p;
+  }
+
+  topo::Network net_;
+  std::vector<scenario::Scenario> scenarios_;
+  te::TeInput input_;
+};
+
+TEST_F(Fig7, RwaRestoresExactlyFiveWaves) {
+  const auto rwa = optical::solve_rwa(net_, {0});
+  ASSERT_TRUE(rwa.optimal);
+  ASSERT_EQ(rwa.links.size(), 2u);
+  EXPECT_NEAR(rwa.total_restored_waves, 5.0, 1e-6);
+  // Both links' surrogate paths avoid the cut fiber and stay in reach.
+  for (const auto& lr : rwa.links) {
+    EXPECT_EQ(lr.original_gbps, 100.0);
+    for (const auto& sp : lr.paths) {
+      EXPECT_EQ(std::find(sp.fibers.begin(), sp.fibers.end(), 0),
+                sp.fibers.end());
+    }
+  }
+}
+
+TEST_F(Fig7, CandidateThroughputsMatchThePaper) {
+  const auto rwa = optical::solve_rwa(net_, {0});
+  ASSERT_TRUE(rwa.optimal);
+  te::ArrowParams ap;
+  te::ArrowPrepared prepared;
+  prepared.rwa.push_back(rwa);
+
+  // Hand-build the three candidates of Figs. 7(b)-(d). Ticket link order
+  // follows rwa.links (IP link 0 = IP1 first).
+  const bool ip1_first = rwa.links[0].link == 0;
+  const auto make = [&](int ip1_waves, int ip2_waves) {
+    ticket::LotteryTicket t;
+    const int w0 = ip1_first ? ip1_waves : ip2_waves;
+    const int w1 = ip1_first ? ip2_waves : ip1_waves;
+    t.waves = {w0, w1};
+    t.gbps = {100.0 * w0, 100.0 * w1};
+    t.path_waves = {{w0, 0}, {w1, 0}};  // path split irrelevant to the TE
+    return t;
+  };
+  ticket::TicketSet set;
+  set.failed_links = {rwa.links[0].link, rwa.links[1].link};
+  set.tickets = {make(2, 3), make(1, 4), make(3, 2)};
+  prepared.tickets.push_back(set);
+
+  const double expected[] = {400.0, 500.0, 300.0};
+  for (int z = 0; z < 3; ++z) {
+    const auto sol = te::solve_arrow_with_winners(input_, prepared, {z});
+    ASSERT_TRUE(sol.optimal) << "candidate " << z + 1;
+    EXPECT_NEAR(sol.total_admitted(), expected[z], 1e-4)
+        << "candidate " << z + 1;
+  }
+
+  // ARROW's Phase I must pick candidate 2 (the demand-aware winner).
+  const auto arrow_sol = te::solve_arrow(input_, prepared, ap);
+  ASSERT_TRUE(arrow_sol.optimal);
+  EXPECT_EQ(arrow_sol.winner[0], 1);
+  EXPECT_NEAR(arrow_sol.total_admitted(), 500.0, 1e-4);
+}
+
+TEST_F(Fig7, FullPipelineFindsTheWinner) {
+  // End to end: RWA -> Algorithm 1 tickets -> Phase I -> Phase II. With
+  // enough tickets the (1, 4) split must be discovered and selected.
+  te::ArrowParams ap;
+  ap.tickets.num_tickets = 24;
+  ap.tickets.delta = 2;
+  ap.include_naive_candidate = false;
+  util::Rng rng(5);
+  const auto prepared = te::prepare_arrow(input_, ap, rng);
+  const auto sol = te::solve_arrow(input_, prepared, ap);
+  ASSERT_TRUE(sol.optimal);
+  EXPECT_NEAR(sol.total_admitted(), 500.0, 1e-4);
+  // The winning ticket gives IP2 400 Gbps and IP1 100 Gbps.
+  const auto& restored = sol.restored[0];
+  EXPECT_NEAR(restored.at(0), 100.0, 1e-6);
+  EXPECT_NEAR(restored.at(1), 400.0, 1e-6);
+}
+
+TEST_F(Fig7, NaiveCanBeSuboptimalHere) {
+  // The optical-only plan maximizes total restoration but is free to pick
+  // any split; whatever it picks, ARROW with tickets does at least as well.
+  te::ArrowParams ap;
+  ap.tickets.num_tickets = 24;
+  util::Rng rng(6);
+  const auto prepared = te::prepare_arrow(input_, ap, rng);
+  const auto naive = te::solve_arrow_naive(input_, prepared, ap);
+  const auto arrow_sol = te::solve_arrow(input_, prepared, ap);
+  ASSERT_TRUE(naive.optimal);
+  ASSERT_TRUE(arrow_sol.optimal);
+  EXPECT_GE(arrow_sol.total_admitted(), naive.total_admitted() - 1e-6);
+  EXPECT_NEAR(arrow_sol.total_admitted(), 500.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace arrow

@@ -1,0 +1,121 @@
+// Tests for the plain-text network / traffic serialization.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+#include "topo/io.h"
+
+namespace arrow::topo {
+namespace {
+
+void expect_equal_networks(const Network& a, const Network& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.num_sites, b.num_sites);
+  EXPECT_EQ(a.optical.num_roadms, b.optical.num_roadms);
+  ASSERT_EQ(a.optical.fibers.size(), b.optical.fibers.size());
+  for (std::size_t i = 0; i < a.optical.fibers.size(); ++i) {
+    EXPECT_EQ(a.optical.fibers[i].a, b.optical.fibers[i].a);
+    EXPECT_EQ(a.optical.fibers[i].b, b.optical.fibers[i].b);
+    EXPECT_DOUBLE_EQ(a.optical.fibers[i].length_km,
+                     b.optical.fibers[i].length_km);
+    EXPECT_EQ(a.optical.fibers[i].slots, b.optical.fibers[i].slots);
+  }
+  ASSERT_EQ(a.ip_links.size(), b.ip_links.size());
+  for (std::size_t i = 0; i < a.ip_links.size(); ++i) {
+    EXPECT_EQ(a.ip_links[i].src, b.ip_links[i].src);
+    EXPECT_EQ(a.ip_links[i].dst, b.ip_links[i].dst);
+    ASSERT_EQ(a.ip_links[i].waves.size(), b.ip_links[i].waves.size());
+    for (std::size_t w = 0; w < a.ip_links[i].waves.size(); ++w) {
+      EXPECT_EQ(a.ip_links[i].waves[w].slot, b.ip_links[i].waves[w].slot);
+      EXPECT_DOUBLE_EQ(a.ip_links[i].waves[w].gbps,
+                       b.ip_links[i].waves[w].gbps);
+      EXPECT_EQ(a.ip_links[i].waves[w].fiber_path,
+                b.ip_links[i].waves[w].fiber_path);
+    }
+  }
+}
+
+class IoRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(IoRoundTrip, NetworkSurvivesSaveLoad) {
+  const std::string which = GetParam();
+  const Network original = which == "b4"        ? build_b4()
+                           : which == "ibm"     ? build_ibm()
+                           : which == "testbed" ? build_testbed()
+                                                : build_fbsynth();
+  std::stringstream ss;
+  save_network(original, ss);
+  const Network reloaded = load_network(ss);
+  expect_equal_networks(original, reloaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, IoRoundTrip,
+                         ::testing::Values("b4", "ibm", "testbed", "fbsynth"));
+
+TEST(Io, TrafficRoundTrip) {
+  traffic::TrafficMatrix tm;
+  tm.demands = {{0, 1, 12.5}, {3, 2, 900.0}};
+  std::stringstream ss;
+  save_traffic(tm, ss);
+  const auto reloaded = load_traffic(ss);
+  ASSERT_EQ(reloaded.demands.size(), 2u);
+  EXPECT_EQ(reloaded.demands[1].src, 3);
+  EXPECT_DOUBLE_EQ(reloaded.demands[1].gbps, 900.0);
+}
+
+TEST(Io, RejectsMissingHeader) {
+  std::stringstream ss("fiber 0 0 1 100 96\n");
+  EXPECT_THROW(load_network(ss), std::logic_error);
+}
+
+TEST(Io, RejectsUnknownRecord) {
+  std::stringstream ss("network x sites 2 roadms 2\nbogus 1 2 3\n");
+  EXPECT_THROW(load_network(ss), std::logic_error);
+}
+
+TEST(Io, RejectsWaveOnUnknownFiber) {
+  std::stringstream ss(
+      "network x sites 2 roadms 2\n"
+      "fiber 0 0 1 100 96\n"
+      "iplink 0 0 1\n"
+      "wave 0 0 100 7\n");
+  EXPECT_THROW(load_network(ss), std::logic_error);
+}
+
+TEST(Io, RejectsNonConsecutiveFiberIds) {
+  std::stringstream ss(
+      "network x sites 2 roadms 2\n"
+      "fiber 3 0 1 100 96\n");
+  EXPECT_THROW(load_network(ss), std::logic_error);
+}
+
+TEST(Io, ValidatesModelInvariantsOnLoad) {
+  // Two waves on the same (fiber, slot): load_network must refuse.
+  std::stringstream ss(
+      "network x sites 2 roadms 2\n"
+      "fiber 0 0 1 100 96\n"
+      "iplink 0 0 1\n"
+      "wave 0 5 100 0\n"
+      "wave 0 5 100 0\n");
+  EXPECT_THROW(load_network(ss), std::logic_error);
+}
+
+TEST(Io, IgnoresCommentsAndBlankLines) {
+  std::stringstream ss(
+      "# hello\n"
+      "\n"
+      "network tiny sites 2 roadms 2\n"
+      "# a fiber\n"
+      "fiber 0 0 1 250.5 48\n"
+      "iplink 0 0 1\n"
+      "wave 0 0 200 0\n");
+  const Network net = load_network(ss);
+  EXPECT_EQ(net.name, "tiny");
+  EXPECT_EQ(net.optical.fibers[0].slots, 48);
+  EXPECT_DOUBLE_EQ(net.ip_links[0].capacity_gbps(), 200.0);
+  EXPECT_DOUBLE_EQ(net.ip_links[0].waves[0].path_km, 250.5);
+}
+
+}  // namespace
+}  // namespace arrow::topo

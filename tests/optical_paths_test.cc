@@ -1,0 +1,116 @@
+// Tests for the shortest-path / Yen k-shortest-path machinery.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "optical/paths.h"
+#include "util/rng.h"
+
+namespace arrow::optical {
+namespace {
+
+Graph diamond() {
+  // 0 -1- 1 -1- 3, 0 -2- 2 -2- 3, plus direct 0-3 weight 5.
+  return Graph(4, {
+                      {0, 0, 1, 1.0},
+                      {1, 1, 3, 1.0},
+                      {2, 0, 2, 2.0},
+                      {3, 2, 3, 2.0},
+                      {4, 0, 3, 5.0},
+                  });
+}
+
+TEST(Graph, ShortestPathPicksCheapest) {
+  const Graph g = diamond();
+  const auto p = g.shortest_path(0, 3);
+  EXPECT_EQ(p, (std::vector<int>{0, 1}));
+  EXPECT_DOUBLE_EQ(g.path_weight(p), 2.0);
+}
+
+TEST(Graph, ShortestPathHonoursBans) {
+  const Graph g = diamond();
+  std::vector<char> ban(5, 0);
+  ban[0] = 1;  // kill edge 0-1
+  const auto p = g.shortest_path(0, 3, ban);
+  EXPECT_EQ(p, (std::vector<int>{2, 3}));
+}
+
+TEST(Graph, ShortestPathUnreachable) {
+  const Graph g(3, {{0, 0, 1, 1.0}});
+  EXPECT_TRUE(g.shortest_path(0, 2).empty());
+}
+
+TEST(Graph, PathNodesWalksEdges) {
+  const Graph g = diamond();
+  const auto nodes = g.path_nodes(0, {0, 1});
+  EXPECT_EQ(nodes, (std::vector<int>{0, 1, 3}));
+}
+
+TEST(Graph, KShortestReturnsOrderedDistinctPaths) {
+  const Graph g = diamond();
+  const auto paths = g.k_shortest_paths(0, 3, 5);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_DOUBLE_EQ(g.path_weight(paths[0]), 2.0);
+  EXPECT_DOUBLE_EQ(g.path_weight(paths[1]), 4.0);
+  EXPECT_DOUBLE_EQ(g.path_weight(paths[2]), 5.0);
+}
+
+TEST(Graph, KShortestRespectsMaxWeight) {
+  const Graph g = diamond();
+  const auto paths = g.k_shortest_paths(0, 3, 5, /*max_weight=*/4.0);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(Graph, KShortestHandlesParallelEdges) {
+  const Graph g(2, {{0, 0, 1, 1.0}, {1, 0, 1, 2.0}});
+  const auto paths = g.k_shortest_paths(0, 1, 3);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], (std::vector<int>{0}));
+  EXPECT_EQ(paths[1], (std::vector<int>{1}));
+}
+
+TEST(Graph, RejectsBadEdgeIds) {
+  EXPECT_THROW(Graph(2, {{5, 0, 1, 1.0}}), std::logic_error);
+}
+
+// Properties on random graphs: paths are loopless walks, sorted by weight,
+// and pairwise distinct.
+class KspProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KspProperty, PathsAreLooplessSortedDistinct) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const int n = rng.uniform_int(5, 12);
+  std::vector<Edge> edges;
+  int id = 0;
+  // Random connected-ish graph: ring + random chords.
+  for (int i = 0; i < n; ++i) {
+    edges.push_back({id++, i, (i + 1) % n, rng.uniform(1.0, 5.0)});
+  }
+  for (int i = 0; i < n; ++i) {
+    const int a = rng.uniform_int(0, n - 1);
+    const int b = rng.uniform_int(0, n - 1);
+    if (a != b) edges.push_back({id++, a, b, rng.uniform(1.0, 5.0)});
+  }
+  const Graph g(n, std::move(edges));
+  const int src = 0, dst = n / 2;
+  const auto paths = g.k_shortest_paths(src, dst, 6);
+  ASSERT_FALSE(paths.empty());
+  std::set<std::vector<int>> seen;
+  double prev = 0.0;
+  for (const auto& p : paths) {
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate path";
+    const double w = g.path_weight(p);
+    EXPECT_GE(w, prev - 1e-12) << "paths not sorted";
+    prev = w;
+    // Loopless: node sequence has no repeats.
+    const auto nodes = g.path_nodes(src, p);
+    std::set<int> uniq(nodes.begin(), nodes.end());
+    EXPECT_EQ(uniq.size(), nodes.size()) << "path has a loop";
+    EXPECT_EQ(nodes.back(), dst);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KspProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace arrow::optical

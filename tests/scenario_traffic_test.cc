@@ -1,0 +1,181 @@
+// Tests for probabilistic fiber-cut scenario generation and gravity-model
+// traffic matrices.
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.h"
+#include "topo/builders.h"
+#include "traffic/traffic.h"
+
+namespace arrow {
+namespace {
+
+TEST(Scenario, ProbabilitiesFormAValidSubdistribution) {
+  const topo::Network net = topo::build_b4();
+  util::Rng rng(5);
+  scenario::ScenarioParams p;
+  p.probability_cutoff = 1e-6;  // keep almost everything
+  const auto set = scenario::generate_scenarios(net, p, rng);
+  double total = set.no_failure_probability;
+  for (const auto& s : set.scenarios) {
+    EXPECT_GT(s.probability, 0.0);
+    total += s.probability;
+  }
+  // Singles + doubles + none is a strict subset of the event space.
+  EXPECT_LE(total, 1.0 + 1e-9);
+  EXPECT_GT(total, 0.5);
+  EXPECT_NEAR(set.covered_probability(), total, 1e-12);
+}
+
+TEST(Scenario, SingleCutProbabilityFormula) {
+  const topo::Network net = topo::build_b4();
+  util::Rng rng(6);
+  scenario::ScenarioParams p;
+  p.probability_cutoff = 0.0;
+  p.include_double_cuts = false;
+  const auto set = scenario::generate_scenarios(net, p, rng);
+  ASSERT_EQ(set.scenarios.size(), net.optical.fibers.size());
+  for (const auto& s : set.scenarios) {
+    const double pf =
+        set.fiber_fail_prob[static_cast<std::size_t>(s.cuts[0])];
+    const double expect = set.no_failure_probability * pf / (1.0 - pf);
+    EXPECT_NEAR(s.probability, expect, 1e-12);
+  }
+}
+
+TEST(Scenario, CutoffFiltersLowProbability) {
+  const topo::Network net = topo::build_ibm();
+  util::Rng rng(7);
+  scenario::ScenarioParams p;
+  p.probability_cutoff = 0.01;
+  const auto set = scenario::generate_scenarios(net, p, rng);
+  for (const auto& s : set.scenarios) {
+    EXPECT_GE(s.probability, p.probability_cutoff);
+  }
+}
+
+TEST(Scenario, SortedByProbabilityDescending) {
+  const topo::Network net = topo::build_fbsynth();
+  util::Rng rng(8);
+  scenario::ScenarioParams p;
+  p.probability_cutoff = 1e-5;
+  const auto set = scenario::generate_scenarios(net, p, rng);
+  for (std::size_t i = 1; i < set.scenarios.size(); ++i) {
+    EXPECT_GE(set.scenarios[i - 1].probability,
+              set.scenarios[i].probability);
+  }
+}
+
+TEST(Scenario, DoubleCutsAppearWhenProbable) {
+  const topo::Network net = topo::build_b4();
+  util::Rng rng(9);
+  scenario::ScenarioParams p;
+  p.probability_cutoff = 1e-9;
+  const auto set = scenario::generate_scenarios(net, p, rng);
+  int doubles = 0;
+  for (const auto& s : set.scenarios) doubles += s.cuts.size() == 2 ? 1 : 0;
+  EXPECT_EQ(doubles, 19 * 18 / 2);
+}
+
+TEST(Scenario, ExhaustiveEnumerationCounts) {
+  const topo::Network net = topo::build_b4();
+  EXPECT_EQ(scenario::enumerate_exhaustive(net, 1).size(), 19u);
+  EXPECT_EQ(scenario::enumerate_exhaustive(net, 2).size(),
+            19u + 19u * 18u / 2u);
+}
+
+TEST(Scenario, RemoveDisconnectingKeepsConnectedCuts) {
+  const topo::Network net = topo::build_testbed();
+  // Cutting fibers 0, 1, or 3 leaves the IP layer connected; cutting fiber
+  // C-D (id 2) fails three of the four IP links and isolates C and D at the
+  // IP layer — exactly the Fig. 11 trial that restoration fixes.
+  std::vector<scenario::Scenario> singles;
+  for (int f = 0; f < 4; ++f) singles.push_back({{f}, 0.1});
+  const auto kept = scenario::remove_disconnecting(net, singles);
+  ASSERT_EQ(kept.size(), 3u);
+  for (const auto& s : kept) EXPECT_NE(s.cuts[0], 2);
+  // Cutting fibers 0 and 3 kills IP links A-B and A-C: site A is isolated.
+  std::vector<scenario::Scenario> pair{{{0, 3}, 0.1}};
+  EXPECT_TRUE(scenario::remove_disconnecting(net, pair).empty());
+}
+
+TEST(Traffic, TotalsMatchLoadFraction) {
+  const topo::Network net = topo::build_b4();
+  util::Rng rng(10);
+  traffic::TrafficParams p;
+  p.num_matrices = 4;
+  p.diurnal_amplitude = 0.0;  // no modulation: exact total
+  const auto ms = traffic::generate_traffic(net, p, rng);
+  ASSERT_EQ(ms.size(), 4u);
+  double capacity = 0.0;
+  for (const auto& l : net.ip_links) capacity += l.capacity_gbps();
+  for (const auto& tm : ms) {
+    // min_share trimming loses a little mass; stays within 20%.
+    EXPECT_LE(tm.total_gbps(), p.load_fraction * capacity + 1e-6);
+    EXPECT_GT(tm.total_gbps(), 0.6 * p.load_fraction * capacity);
+  }
+}
+
+TEST(Traffic, DiurnalModulationVariesAcrossEpochs) {
+  const topo::Network net = topo::build_b4();
+  util::Rng rng(11);
+  traffic::TrafficParams p;
+  p.num_matrices = 8;
+  p.diurnal_amplitude = 0.4;
+  const auto ms = traffic::generate_traffic(net, p, rng);
+  // Pick a demand pair present in all epochs and check it actually moves.
+  const auto& first = ms[0].demands[0];
+  double lo = first.gbps, hi = first.gbps;
+  for (const auto& tm : ms) {
+    for (const auto& d : tm.demands) {
+      if (d.src == first.src && d.dst == first.dst) {
+        lo = std::min(lo, d.gbps);
+        hi = std::max(hi, d.gbps);
+      }
+    }
+  }
+  EXPECT_GT(hi / lo, 1.05);
+}
+
+TEST(Traffic, DemandsArePositiveAndOffDiagonal) {
+  const topo::Network net = topo::build_fbsynth();
+  util::Rng rng(12);
+  traffic::TrafficParams p;
+  const auto ms = traffic::generate_traffic(net, p, rng);
+  for (const auto& tm : ms) {
+    for (const auto& d : tm.demands) {
+      EXPECT_GT(d.gbps, 0.0);
+      EXPECT_NE(d.src, d.dst);
+      EXPECT_LT(d.src, net.num_sites);
+      EXPECT_LT(d.dst, net.num_sites);
+    }
+  }
+}
+
+TEST(Traffic, ScaledMultipliesEveryDemand) {
+  const topo::Network net = topo::build_b4();
+  util::Rng rng(13);
+  traffic::TrafficParams p;
+  p.num_matrices = 1;
+  const auto ms = traffic::generate_traffic(net, p, rng);
+  const auto scaled = ms[0].scaled(2.5);
+  ASSERT_EQ(scaled.demands.size(), ms[0].demands.size());
+  EXPECT_NEAR(scaled.total_gbps(), 2.5 * ms[0].total_gbps(), 1e-9);
+}
+
+TEST(Traffic, DeterministicGivenSeed) {
+  const topo::Network net = topo::build_ibm();
+  util::Rng r1(21), r2(21);
+  traffic::TrafficParams p;
+  const auto a = traffic::generate_traffic(net, p, r1);
+  const auto b = traffic::generate_traffic(net, p, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].total_gbps(), b[i].total_gbps());
+  }
+}
+
+}  // namespace
+}  // namespace arrow

@@ -1,0 +1,325 @@
+// Unit and property tests for the LP/MIP solver substrate.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "solver/lp.h"
+#include "solver/model.h"
+#include "util/rng.h"
+
+namespace arrow::solver {
+namespace {
+
+TEST(Model, SimpleMaximization) {
+  Model m;
+  m.set_maximize();
+  const auto x = m.add_var(0, kInf, 3, "x");
+  const auto y = m.add_var(0, kInf, 2, "y");
+  m.add_constr(LinExpr(x) + LinExpr(y), Sense::kLe, 4);
+  m.add_constr(LinExpr(x) + 3.0 * LinExpr(y), Sense::kLe, 6);
+  const auto res = m.solve();
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 12.0, 1e-7);
+  EXPECT_NEAR(m.value(x), 4.0, 1e-7);
+  EXPECT_NEAR(m.value(y), 0.0, 1e-7);
+}
+
+TEST(Model, EqualityAndBounds) {
+  Model m;
+  const auto x = m.add_var(0, 10, 1, "x");
+  const auto y = m.add_var(0, 10, 1, "y");
+  m.add_constr(LinExpr(x) + LinExpr(y), Sense::kGe, 2);
+  m.add_constr(LinExpr(x) - LinExpr(y), Sense::kEq, 0.5);
+  const auto res = m.solve();
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 2.0, 1e-7);
+  EXPECT_NEAR(m.value(x), 1.25, 1e-7);
+  EXPECT_NEAR(m.value(y), 0.75, 1e-7);
+}
+
+TEST(Model, DetectsInfeasible) {
+  Model m;
+  const auto x = m.add_var(0, kInf, 1);
+  m.add_constr(LinExpr(x), Sense::kLe, 1);
+  m.add_constr(LinExpr(x), Sense::kGe, 2);
+  EXPECT_EQ(m.solve().status, SolveStatus::kInfeasible);
+}
+
+TEST(Model, DetectsUnbounded) {
+  Model m;
+  m.set_maximize();
+  const auto x = m.add_var(0, kInf, 1);
+  m.add_constr(LinExpr(x), Sense::kGe, 0);
+  EXPECT_EQ(m.solve().status, SolveStatus::kUnbounded);
+}
+
+TEST(Model, FreeVariables) {
+  Model m;
+  const auto x = m.add_var(-kInf, kInf, 0, "x");
+  const auto y = m.add_var(-kInf, 100, 1, "y");
+  m.add_constr(LinExpr(y) - LinExpr(x), Sense::kGe, -3);
+  m.add_constr(LinExpr(y) + LinExpr(x), Sense::kGe, 3);
+  const auto res = m.solve();
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 0.0, 1e-7);
+  EXPECT_NEAR(m.value(x), 3.0, 1e-6);
+}
+
+TEST(Model, NegativeLowerBounds) {
+  Model m;
+  const auto x = m.add_var(-5, 5, 1, "x");
+  m.add_constr(LinExpr(x), Sense::kGe, -3);
+  const auto res = m.solve();
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(m.value(x), -3.0, 1e-7);
+}
+
+TEST(Model, FixedVariable) {
+  Model m;
+  m.set_maximize();
+  const auto x = m.add_var(2, 2, 1, "x");
+  const auto y = m.add_var(0, kInf, 1, "y");
+  m.add_constr(LinExpr(x) + LinExpr(y), Sense::kLe, 7);
+  const auto res = m.solve();
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(m.value(x), 2.0, 1e-7);
+  EXPECT_NEAR(m.value(y), 5.0, 1e-7);
+}
+
+TEST(Model, NoConstraints) {
+  Model m;
+  m.set_maximize();
+  const auto x = m.add_var(0, 4, 2, "x");
+  const auto res = m.solve();
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(m.value(x), 4.0, 1e-9);
+}
+
+TEST(Model, DualsHaveCorrectSigns) {
+  // max 3x + 2y st x + y <= 4 (binding), x <= 10 (slack)
+  Model m;
+  m.set_maximize();
+  const auto x = m.add_var(0, kInf, 3);
+  const auto y = m.add_var(0, kInf, 2);
+  m.add_constr(LinExpr(x) + LinExpr(y), Sense::kLe, 4);
+  m.add_constr(LinExpr(x), Sense::kLe, 10);
+  ASSERT_EQ(m.solve().status, SolveStatus::kOptimal);
+  EXPECT_NEAR(m.dual(0), 3.0, 1e-6);  // marginal value of capacity
+  EXPECT_NEAR(m.dual(1), 0.0, 1e-6);  // non-binding
+}
+
+TEST(Mip, Knapsack) {
+  Model m;
+  m.set_maximize();
+  const auto a = m.add_binary(10);
+  const auto b = m.add_binary(6);
+  const auto c = m.add_binary(4);
+  m.add_constr(5.0 * LinExpr(a) + 4.0 * LinExpr(b) + 3.0 * LinExpr(c),
+               Sense::kLe, 10);
+  const auto res = m.solve();
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 16.0, 1e-6);
+  EXPECT_GT(res.bb_nodes, 0);
+}
+
+TEST(Mip, IntegerVariablesRespectBounds) {
+  Model m;
+  m.set_maximize();
+  const auto x = m.add_var(0, 7.5, 1, "x", VarType::kInteger);
+  m.add_constr(LinExpr(x), Sense::kLe, 6.4);
+  const auto res = m.solve();
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(m.value(x), 6.0, 1e-6);
+}
+
+TEST(Mip, InfeasibleIntegerProblem) {
+  Model m;
+  const auto x = m.add_var(0, 1, 1, "x", VarType::kInteger);
+  m.add_constr(LinExpr(x), Sense::kGe, 0.4);
+  m.add_constr(LinExpr(x), Sense::kLe, 0.6);
+  EXPECT_EQ(m.solve().status, SolveStatus::kInfeasible);
+}
+
+TEST(Mip, MatchesLpWhenRelaxationIntegral) {
+  // Totally unimodular assignment-like problem: relaxation is integral.
+  Model mip;
+  mip.set_maximize();
+  std::vector<std::vector<VarId>> x(2, std::vector<VarId>(2));
+  const double profit[2][2] = {{3, 5}, {4, 1}};
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      x[i][j] = mip.add_binary(profit[i][j]);
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    LinExpr row, col;
+    for (int j = 0; j < 2; ++j) {
+      row += LinExpr(x[i][j]);
+      col += LinExpr(x[j][i]);
+    }
+    mip.add_constr(row, Sense::kEq, 1);
+    mip.add_constr(col, Sense::kEq, 1);
+  }
+  const auto res = mip.solve();
+  ASSERT_EQ(res.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(res.objective, 9.0, 1e-6);  // 5 + 4
+}
+
+// Property test: solutions satisfy primal feasibility and LP duality
+// (complementary slackness implies equal primal/dual objectives).
+class RandomLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpTest, OptimalSolutionsAreFeasibleAndDualityHolds) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = rng.uniform_int(2, 12);
+    const int mrows = rng.uniform_int(1, 10);
+    Model m;
+    m.set_maximize();
+    std::vector<VarId> vars;
+    std::vector<double> obj;
+    for (int j = 0; j < n; ++j) {
+      const double lo = rng.uniform(-4, 0);
+      const double hi = lo + rng.uniform(0, 6);
+      obj.push_back(rng.uniform(-5, 5));
+      vars.push_back(m.add_var(lo, hi, obj.back()));
+    }
+    std::vector<std::vector<double>> rows;
+    std::vector<double> rhs;
+    std::vector<Sense> senses;
+    for (int i = 0; i < mrows; ++i) {
+      LinExpr e;
+      std::vector<double> coeffs(static_cast<std::size_t>(n), 0.0);
+      for (int j = 0; j < n; ++j) {
+        if (rng.bernoulli(0.6)) {
+          coeffs[static_cast<std::size_t>(j)] = rng.uniform(-3, 3);
+          e.add_term(vars[static_cast<std::size_t>(j)],
+                     coeffs[static_cast<std::size_t>(j)]);
+        }
+      }
+      const double r = rng.uniform(-5, 8);
+      const Sense s = rng.bernoulli(0.8) ? Sense::kLe : Sense::kGe;
+      m.add_constr(e, s, r);
+      rows.push_back(coeffs);
+      rhs.push_back(r);
+      senses.push_back(s);
+    }
+    const auto res = m.solve();
+    if (res.status != SolveStatus::kOptimal) continue;
+    // Primal feasibility.
+    for (int i = 0; i < mrows; ++i) {
+      double lhs = 0.0;
+      for (int j = 0; j < n; ++j) {
+        lhs += rows[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+               m.value(vars[static_cast<std::size_t>(j)]);
+      }
+      if (senses[static_cast<std::size_t>(i)] == Sense::kLe) {
+        EXPECT_LE(lhs, rhs[static_cast<std::size_t>(i)] + 1e-5);
+      } else {
+        EXPECT_GE(lhs, rhs[static_cast<std::size_t>(i)] - 1e-5);
+      }
+    }
+    // Objective consistency.
+    double obj_check = 0.0;
+    for (int j = 0; j < n; ++j) {
+      obj_check += obj[static_cast<std::size_t>(j)] *
+                   m.value(vars[static_cast<std::size_t>(j)]);
+    }
+    EXPECT_NEAR(obj_check, res.objective, 1e-6 * (1.0 + std::abs(obj_check)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpTest, ::testing::Range(0, 8));
+
+// Property: LP relaxation bounds the MIP optimum.
+class RandomMipTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMipTest, RelaxationBoundsHold) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 5);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = rng.uniform_int(2, 6);
+    Model mip, lp;
+    mip.set_maximize();
+    lp.set_maximize();
+    std::vector<VarId> xi, xl;
+    for (int j = 0; j < n; ++j) {
+      const double c = rng.uniform(0, 5);
+      xi.push_back(mip.add_binary(c));
+      xl.push_back(lp.add_var(0, 1, c));
+    }
+    for (int i = 0; i < 3; ++i) {
+      LinExpr ei, el;
+      for (int j = 0; j < n; ++j) {
+        const double c = rng.uniform(0, 4);
+        ei.add_term(xi[static_cast<std::size_t>(j)], c);
+        el.add_term(xl[static_cast<std::size_t>(j)], c);
+      }
+      const double r = rng.uniform(1, 8);
+      mip.add_constr(ei, Sense::kLe, r);
+      lp.add_constr(el, Sense::kLe, r);
+    }
+    const auto ri = mip.solve();
+    const auto rl = lp.solve();
+    ASSERT_EQ(rl.status, SolveStatus::kOptimal);
+    if (ri.status != SolveStatus::kOptimal) continue;
+    EXPECT_LE(ri.objective, rl.objective + 1e-6);
+    // MIP solution must be integral.
+    for (const auto& v : xi) {
+      const double val = mip.value(v);
+      EXPECT_NEAR(val, std::round(val), 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMipTest, ::testing::Range(0, 6));
+
+
+// Property: Devex and Dantzig pricing reach the same optimum (they may take
+// different paths through the polytope).
+class PricingEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PricingEquivalence, SameObjectiveEitherRule) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = rng.uniform_int(2, 10);
+    const int mrows = rng.uniform_int(1, 8);
+    Model devex, dantzig;
+    devex.set_maximize();
+    dantzig.set_maximize();
+    dantzig.simplex_options().pricing = Pricing::kDantzig;
+    std::vector<VarId> xv, xd;
+    for (int j = 0; j < n; ++j) {
+      const double lo = rng.uniform(-2, 0);
+      const double hi = lo + rng.uniform(0, 5);
+      const double c = rng.uniform(-4, 4);
+      xv.push_back(devex.add_var(lo, hi, c));
+      xd.push_back(dantzig.add_var(lo, hi, c));
+    }
+    for (int i = 0; i < mrows; ++i) {
+      LinExpr ev, ed;
+      for (int j = 0; j < n; ++j) {
+        if (rng.bernoulli(0.6)) {
+          const double c = rng.uniform(-3, 3);
+          ev.add_term(xv[static_cast<std::size_t>(j)], c);
+          ed.add_term(xd[static_cast<std::size_t>(j)], c);
+        }
+      }
+      const double r = rng.uniform(-4, 6);
+      const Sense sense = rng.bernoulli(0.8) ? Sense::kLe : Sense::kGe;
+      devex.add_constr(ev, sense, r);
+      dantzig.add_constr(ed, sense, r);
+    }
+    const auto rv = devex.solve();
+    const auto rd = dantzig.solve();
+    ASSERT_EQ(rv.status, rd.status);
+    if (rv.status == SolveStatus::kOptimal) {
+      EXPECT_NEAR(rv.objective, rd.objective,
+                  1e-6 * (1.0 + std::abs(rd.objective)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PricingEquivalence, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace arrow::solver

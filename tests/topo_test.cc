@@ -1,0 +1,204 @@
+// Tests for the two-layer network model, the Table 4 topology builders, and
+// the IP-over-optical provisioning pipeline.
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "topo/builders.h"
+#include "topo/modulation.h"
+#include "topo/network.h"
+
+namespace arrow::topo {
+namespace {
+
+TEST(Modulation, Table6ReachBoundaries) {
+  EXPECT_DOUBLE_EQ(best_modulation_gbps(999.0), 400.0);
+  EXPECT_DOUBLE_EQ(best_modulation_gbps(1000.0), 400.0);
+  EXPECT_DOUBLE_EQ(best_modulation_gbps(1001.0), 300.0);
+  EXPECT_DOUBLE_EQ(best_modulation_gbps(1500.0), 300.0);
+  EXPECT_DOUBLE_EQ(best_modulation_gbps(2999.0), 200.0);
+  EXPECT_DOUBLE_EQ(best_modulation_gbps(5000.0), 100.0);
+  EXPECT_DOUBLE_EQ(best_modulation_gbps(5001.0), 0.0);
+}
+
+TEST(Modulation, ReachLookup) {
+  EXPECT_DOUBLE_EQ(reach_for_gbps(100.0), 5000.0);
+  EXPECT_DOUBLE_EQ(reach_for_gbps(400.0), 1000.0);
+  EXPECT_DOUBLE_EQ(reach_for_gbps(123.0), 0.0);
+}
+
+TEST(Builders, Table4Counts) {
+  const Network b4 = build_b4();
+  EXPECT_EQ(b4.num_sites, 12);
+  EXPECT_EQ(b4.optical.num_roadms, 12);
+  EXPECT_EQ(b4.optical.fibers.size(), 19u);
+  EXPECT_EQ(b4.ip_links.size(), 52u);
+
+  const Network ibm = build_ibm();
+  EXPECT_EQ(ibm.num_sites, 17);
+  EXPECT_EQ(ibm.optical.fibers.size(), 23u);
+  EXPECT_EQ(ibm.ip_links.size(), 85u);
+
+  const Network fb = build_fbsynth();
+  EXPECT_EQ(fb.num_sites, 34);
+  EXPECT_EQ(fb.optical.num_roadms, 84);
+  EXPECT_EQ(fb.optical.fibers.size(), 156u);
+  EXPECT_EQ(fb.ip_links.size(), 262u);
+}
+
+TEST(Builders, TestbedMatchesFig11) {
+  const Network tb = build_testbed();
+  EXPECT_EQ(tb.num_sites, 4);
+  EXPECT_EQ(tb.ip_links.size(), 4u);
+  EXPECT_EQ(tb.total_wavelengths(), 16);
+  double total_km = 0.0;
+  for (const auto& f : tb.optical.fibers) total_km += f.length_km;
+  EXPECT_DOUBLE_EQ(total_km, 2160.0);
+  double total_cap = 0.0;
+  for (const auto& l : tb.ip_links) total_cap += l.capacity_gbps();
+  EXPECT_DOUBLE_EQ(total_cap, 3200.0);  // 16 waves at 200 Gbps
+  // Cutting fiber C-D (id 2) must fail exactly 3 IP links with 2.8 Tbps.
+  const auto failed = tb.failed_ip_links({2});
+  EXPECT_EQ(failed.size(), 3u);
+  double lost = 0.0;
+  for (auto e : failed) lost += tb.ip_links[static_cast<std::size_t>(e)].capacity_gbps();
+  EXPECT_DOUBLE_EQ(lost, 2800.0);
+}
+
+TEST(Builders, DeterministicGivenSeed) {
+  const Network a = build_b4(77);
+  const Network b = build_b4(77);
+  ASSERT_EQ(a.ip_links.size(), b.ip_links.size());
+  for (std::size_t i = 0; i < a.ip_links.size(); ++i) {
+    EXPECT_EQ(a.ip_links[i].src, b.ip_links[i].src);
+    EXPECT_EQ(a.ip_links[i].waves.size(), b.ip_links[i].waves.size());
+  }
+}
+
+TEST(Network, SpectrumOccupancyMatchesWaves) {
+  const Network tb = build_testbed();
+  const auto occ = tb.spectrum_occupancy();
+  // Fiber C-D (id 2) carries 14 waves; fiber A-B (id 0) carries 2.
+  int cd = 0, ab = 0;
+  for (bool b : occ[2]) cd += b ? 1 : 0;
+  for (bool b : occ[0]) ab += b ? 1 : 0;
+  EXPECT_EQ(cd, 14);
+  EXPECT_EQ(ab, 2);
+}
+
+TEST(Network, ProvisionedGbps) {
+  const Network tb = build_testbed();
+  EXPECT_DOUBLE_EQ(tb.provisioned_gbps(2), 2800.0);  // C-D
+  EXPECT_DOUBLE_EQ(tb.provisioned_gbps(0), 400.0);   // A-B
+}
+
+TEST(Network, IpLinkPathKm) {
+  const Network tb = build_testbed();
+  // A<->C runs A-D-C: 560 + 560.
+  EXPECT_DOUBLE_EQ(tb.ip_link_path_km(1), 1120.0);
+}
+
+TEST(Network, FailedIpLinksEmptyForHealthyFiber) {
+  const Network b4 = build_b4();
+  EXPECT_TRUE(b4.failed_ip_links({}).empty());
+}
+
+TEST(Network, ValidateCatchesSlotCollision) {
+  Network net = build_testbed();
+  // Force two wavelengths onto the same (fiber, slot).
+  net.ip_links[0].waves[1].slot = net.ip_links[0].waves[0].slot;
+  EXPECT_THROW(net.validate(), std::logic_error);
+}
+
+TEST(Network, ValidateCatchesBrokenPath) {
+  Network net = build_testbed();
+  net.ip_links[0].waves[0].fiber_path = {2};  // C-D fiber, but link is A-B
+  EXPECT_THROW(net.validate(), std::logic_error);
+}
+
+// Property sweep over seeds: every generated network satisfies the model
+// invariants and the provisioning caps.
+class ProvisionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProvisionProperty, InvariantsHold) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  for (const Network& net :
+       {build_b4(seed), build_ibm(seed), build_fbsynth(seed)}) {
+    ASSERT_NO_THROW(net.validate());
+    // Wavelength continuity by construction: one slot along the whole path —
+    // validate() checks it; additionally modulation must match path length.
+    for (const auto& link : net.ip_links) {
+      for (const auto& w : link.waves) {
+        EXPECT_LE(w.path_km, reach_for_gbps(w.gbps) + 1e-6)
+            << net.name << " wave exceeds modulation reach";
+        EXPECT_GT(w.gbps, 0.0);
+      }
+    }
+    // Utilization stays under the provisioning cap (~0.62 by default,
+    // matching Fig. 5's "95% of fibers below 60%").
+    for (double u : net.spectrum_utilization()) {
+      EXPECT_LE(u, 0.71) << net.name;
+    }
+    // Each IP link's endpoints differ and tie back to real sites.
+    for (const auto& link : net.ip_links) {
+      EXPECT_NE(link.src, link.dst);
+      EXPECT_LT(link.src, net.num_sites);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProvisionProperty, ::testing::Range(1, 6));
+
+TEST(Provision, IpLayerConnectsAllSites) {
+  // Union-find over IP links: the IP layer must be connected for TE.
+  for (const Network& net : {build_b4(), build_ibm(), build_fbsynth()}) {
+    std::vector<int> parent(static_cast<std::size_t>(net.num_sites));
+    for (int i = 0; i < net.num_sites; ++i) parent[static_cast<std::size_t>(i)] = i;
+    const std::function<int(int)> find = [&](int x) {
+      return parent[static_cast<std::size_t>(x)] == x
+                 ? x
+                 : parent[static_cast<std::size_t>(x)] =
+                       find(parent[static_cast<std::size_t>(x)]);
+    };
+    for (const auto& link : net.ip_links) {
+      parent[static_cast<std::size_t>(find(link.src))] = find(link.dst);
+    }
+    for (int i = 1; i < net.num_sites; ++i) {
+      EXPECT_EQ(find(i), find(0)) << net.name << " IP layer disconnected";
+    }
+  }
+}
+
+TEST(Provision, ExpressLinksExist) {
+  // FBsynth is built with 35% express links; at least some IP links must
+  // traverse more than one fiber (passing through intermediate ROADMs).
+  const Network fb = build_fbsynth();
+  int multi_hop = 0;
+  for (const auto& link : fb.ip_links) {
+    if (link.fiber_path().size() > 1) ++multi_hop;
+  }
+  EXPECT_GT(multi_hop, 20);
+}
+
+
+TEST(Network, UpgradeSpectrumDoublesSlots) {
+  Network net = build_testbed();
+  upgrade_spectrum(net);
+  for (const auto& f : net.optical.fibers) {
+    EXPECT_EQ(f.slots, 2 * kSpectrumSlots);
+  }
+  // Existing wavelengths are untouched; utilization halves.
+  EXPECT_EQ(net.total_wavelengths(), 16);
+  const auto util = net.spectrum_utilization();
+  for (double u : util) EXPECT_LE(u, 0.08);
+}
+
+TEST(Network, UpgradeSpectrumRefusesToShrink) {
+  Network net = build_testbed();
+  EXPECT_THROW(upgrade_spectrum(net, 8), std::logic_error);
+}
+
+}  // namespace
+}  // namespace arrow::topo
