@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_phase1_vs_ilp.dir/bench_ablation_phase1_vs_ilp.cc.o"
+  "CMakeFiles/bench_ablation_phase1_vs_ilp.dir/bench_ablation_phase1_vs_ilp.cc.o.d"
+  "bench_ablation_phase1_vs_ilp"
+  "bench_ablation_phase1_vs_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_phase1_vs_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cl_band.dir/bench_ext_cl_band.cc.o"
+  "CMakeFiles/bench_ext_cl_band.dir/bench_ext_cl_band.cc.o.d"
+  "bench_ext_cl_band"
+  "bench_ext_cl_band.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cl_band.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

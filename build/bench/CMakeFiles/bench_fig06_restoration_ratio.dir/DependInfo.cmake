@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig06_restoration_ratio.cc" "bench/CMakeFiles/bench_fig06_restoration_ratio.dir/bench_fig06_restoration_ratio.cc.o" "gcc" "bench/CMakeFiles/bench_fig06_restoration_ratio.dir/bench_fig06_restoration_ratio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/arrow_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/te/CMakeFiles/arrow_te.dir/DependInfo.cmake"
+  "/root/repo/build/src/ticket/CMakeFiles/arrow_ticket.dir/DependInfo.cmake"
+  "/root/repo/build/src/optical/CMakeFiles/arrow_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/arrow_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/arrow_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/arrow_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/arrow_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/arrow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

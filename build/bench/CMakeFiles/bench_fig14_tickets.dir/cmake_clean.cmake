@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_tickets.dir/bench_fig14_tickets.cc.o"
+  "CMakeFiles/bench_fig14_tickets.dir/bench_fig14_tickets.cc.o.d"
+  "bench_fig14_tickets"
+  "bench_fig14_tickets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_tickets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_ports.dir/bench_fig16_ports.cc.o"
+  "CMakeFiles/bench_fig16_ports.dir/bench_fig16_ports.cc.o.d"
+  "bench_fig16_ports"
+  "bench_fig16_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrowctl.dir/arrowctl.cpp.o"
+  "CMakeFiles/arrowctl.dir/arrowctl.cpp.o.d"
+  "arrowctl"
+  "arrowctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrowctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

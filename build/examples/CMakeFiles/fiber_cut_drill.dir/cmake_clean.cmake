@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fiber_cut_drill.dir/fiber_cut_drill.cpp.o"
+  "CMakeFiles/fiber_cut_drill.dir/fiber_cut_drill.cpp.o.d"
+  "fiber_cut_drill"
+  "fiber_cut_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fiber_cut_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

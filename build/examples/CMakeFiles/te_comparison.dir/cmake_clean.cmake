@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_comparison.dir/te_comparison.cpp.o"
+  "CMakeFiles/te_comparison.dir/te_comparison.cpp.o.d"
+  "te_comparison"
+  "te_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_controller.dir/wan_controller.cpp.o"
+  "CMakeFiles/wan_controller.dir/wan_controller.cpp.o.d"
+  "wan_controller"
+  "wan_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

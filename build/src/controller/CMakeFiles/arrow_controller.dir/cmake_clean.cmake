@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrow_controller.dir/controller.cc.o"
+  "CMakeFiles/arrow_controller.dir/controller.cc.o.d"
+  "libarrow_controller.a"
+  "libarrow_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrow_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optical/event_sim.cc" "src/optical/CMakeFiles/arrow_optical.dir/event_sim.cc.o" "gcc" "src/optical/CMakeFiles/arrow_optical.dir/event_sim.cc.o.d"
+  "/root/repo/src/optical/latency.cc" "src/optical/CMakeFiles/arrow_optical.dir/latency.cc.o" "gcc" "src/optical/CMakeFiles/arrow_optical.dir/latency.cc.o.d"
+  "/root/repo/src/optical/osnr.cc" "src/optical/CMakeFiles/arrow_optical.dir/osnr.cc.o" "gcc" "src/optical/CMakeFiles/arrow_optical.dir/osnr.cc.o.d"
+  "/root/repo/src/optical/paths.cc" "src/optical/CMakeFiles/arrow_optical.dir/paths.cc.o" "gcc" "src/optical/CMakeFiles/arrow_optical.dir/paths.cc.o.d"
+  "/root/repo/src/optical/restoration.cc" "src/optical/CMakeFiles/arrow_optical.dir/restoration.cc.o" "gcc" "src/optical/CMakeFiles/arrow_optical.dir/restoration.cc.o.d"
+  "/root/repo/src/optical/rwa.cc" "src/optical/CMakeFiles/arrow_optical.dir/rwa.cc.o" "gcc" "src/optical/CMakeFiles/arrow_optical.dir/rwa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/arrow_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/arrow_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/arrow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrow_optical.dir/event_sim.cc.o"
+  "CMakeFiles/arrow_optical.dir/event_sim.cc.o.d"
+  "CMakeFiles/arrow_optical.dir/latency.cc.o"
+  "CMakeFiles/arrow_optical.dir/latency.cc.o.d"
+  "CMakeFiles/arrow_optical.dir/osnr.cc.o"
+  "CMakeFiles/arrow_optical.dir/osnr.cc.o.d"
+  "CMakeFiles/arrow_optical.dir/paths.cc.o"
+  "CMakeFiles/arrow_optical.dir/paths.cc.o.d"
+  "CMakeFiles/arrow_optical.dir/restoration.cc.o"
+  "CMakeFiles/arrow_optical.dir/restoration.cc.o.d"
+  "CMakeFiles/arrow_optical.dir/rwa.cc.o"
+  "CMakeFiles/arrow_optical.dir/rwa.cc.o.d"
+  "libarrow_optical.a"
+  "libarrow_optical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrow_optical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

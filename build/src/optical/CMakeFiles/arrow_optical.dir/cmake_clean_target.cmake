@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarrow_optical.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrow_scenario.dir/scenario.cc.o"
+  "CMakeFiles/arrow_scenario.dir/scenario.cc.o.d"
+  "libarrow_scenario.a"
+  "libarrow_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrow_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrow_sim.dir/availability.cc.o"
+  "CMakeFiles/arrow_sim.dir/availability.cc.o.d"
+  "CMakeFiles/arrow_sim.dir/cost.cc.o"
+  "CMakeFiles/arrow_sim.dir/cost.cc.o.d"
+  "CMakeFiles/arrow_sim.dir/sweep.cc.o"
+  "CMakeFiles/arrow_sim.dir/sweep.cc.o.d"
+  "CMakeFiles/arrow_sim.dir/tickets.cc.o"
+  "CMakeFiles/arrow_sim.dir/tickets.cc.o.d"
+  "libarrow_sim.a"
+  "libarrow_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrow_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrow_solver.dir/basis.cc.o"
+  "CMakeFiles/arrow_solver.dir/basis.cc.o.d"
+  "CMakeFiles/arrow_solver.dir/model.cc.o"
+  "CMakeFiles/arrow_solver.dir/model.cc.o.d"
+  "CMakeFiles/arrow_solver.dir/simplex.cc.o"
+  "CMakeFiles/arrow_solver.dir/simplex.cc.o.d"
+  "libarrow_solver.a"
+  "libarrow_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrow_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/te/arrow.cc" "src/te/CMakeFiles/arrow_te.dir/arrow.cc.o" "gcc" "src/te/CMakeFiles/arrow_te.dir/arrow.cc.o.d"
+  "/root/repo/src/te/basic.cc" "src/te/CMakeFiles/arrow_te.dir/basic.cc.o" "gcc" "src/te/CMakeFiles/arrow_te.dir/basic.cc.o.d"
+  "/root/repo/src/te/ffc.cc" "src/te/CMakeFiles/arrow_te.dir/ffc.cc.o" "gcc" "src/te/CMakeFiles/arrow_te.dir/ffc.cc.o.d"
+  "/root/repo/src/te/input.cc" "src/te/CMakeFiles/arrow_te.dir/input.cc.o" "gcc" "src/te/CMakeFiles/arrow_te.dir/input.cc.o.d"
+  "/root/repo/src/te/joint.cc" "src/te/CMakeFiles/arrow_te.dir/joint.cc.o" "gcc" "src/te/CMakeFiles/arrow_te.dir/joint.cc.o.d"
+  "/root/repo/src/te/solution.cc" "src/te/CMakeFiles/arrow_te.dir/solution.cc.o" "gcc" "src/te/CMakeFiles/arrow_te.dir/solution.cc.o.d"
+  "/root/repo/src/te/teavar.cc" "src/te/CMakeFiles/arrow_te.dir/teavar.cc.o" "gcc" "src/te/CMakeFiles/arrow_te.dir/teavar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ticket/CMakeFiles/arrow_ticket.dir/DependInfo.cmake"
+  "/root/repo/build/src/optical/CMakeFiles/arrow_optical.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/arrow_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/arrow_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/arrow_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/arrow_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/arrow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

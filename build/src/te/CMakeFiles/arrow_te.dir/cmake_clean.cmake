@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrow_te.dir/arrow.cc.o"
+  "CMakeFiles/arrow_te.dir/arrow.cc.o.d"
+  "CMakeFiles/arrow_te.dir/basic.cc.o"
+  "CMakeFiles/arrow_te.dir/basic.cc.o.d"
+  "CMakeFiles/arrow_te.dir/ffc.cc.o"
+  "CMakeFiles/arrow_te.dir/ffc.cc.o.d"
+  "CMakeFiles/arrow_te.dir/input.cc.o"
+  "CMakeFiles/arrow_te.dir/input.cc.o.d"
+  "CMakeFiles/arrow_te.dir/joint.cc.o"
+  "CMakeFiles/arrow_te.dir/joint.cc.o.d"
+  "CMakeFiles/arrow_te.dir/solution.cc.o"
+  "CMakeFiles/arrow_te.dir/solution.cc.o.d"
+  "CMakeFiles/arrow_te.dir/teavar.cc.o"
+  "CMakeFiles/arrow_te.dir/teavar.cc.o.d"
+  "libarrow_te.a"
+  "libarrow_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrow_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

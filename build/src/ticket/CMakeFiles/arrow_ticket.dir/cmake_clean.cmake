@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrow_ticket.dir/ticket.cc.o"
+  "CMakeFiles/arrow_ticket.dir/ticket.cc.o.d"
+  "libarrow_ticket.a"
+  "libarrow_ticket.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrow_ticket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

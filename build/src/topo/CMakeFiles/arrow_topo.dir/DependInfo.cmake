@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/builders.cc" "src/topo/CMakeFiles/arrow_topo.dir/builders.cc.o" "gcc" "src/topo/CMakeFiles/arrow_topo.dir/builders.cc.o.d"
+  "/root/repo/src/topo/io.cc" "src/topo/CMakeFiles/arrow_topo.dir/io.cc.o" "gcc" "src/topo/CMakeFiles/arrow_topo.dir/io.cc.o.d"
+  "/root/repo/src/topo/network.cc" "src/topo/CMakeFiles/arrow_topo.dir/network.cc.o" "gcc" "src/topo/CMakeFiles/arrow_topo.dir/network.cc.o.d"
+  "/root/repo/src/topo/provision.cc" "src/topo/CMakeFiles/arrow_topo.dir/provision.cc.o" "gcc" "src/topo/CMakeFiles/arrow_topo.dir/provision.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/arrow_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrow_topo.dir/builders.cc.o"
+  "CMakeFiles/arrow_topo.dir/builders.cc.o.d"
+  "CMakeFiles/arrow_topo.dir/io.cc.o"
+  "CMakeFiles/arrow_topo.dir/io.cc.o.d"
+  "CMakeFiles/arrow_topo.dir/network.cc.o"
+  "CMakeFiles/arrow_topo.dir/network.cc.o.d"
+  "CMakeFiles/arrow_topo.dir/provision.cc.o"
+  "CMakeFiles/arrow_topo.dir/provision.cc.o.d"
+  "libarrow_topo.a"
+  "libarrow_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrow_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

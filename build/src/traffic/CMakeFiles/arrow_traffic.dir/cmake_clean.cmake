@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrow_traffic.dir/traffic.cc.o"
+  "CMakeFiles/arrow_traffic.dir/traffic.cc.o.d"
+  "libarrow_traffic.a"
+  "libarrow_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrow_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arrow_util.dir/csv.cc.o"
+  "CMakeFiles/arrow_util.dir/csv.cc.o.d"
+  "CMakeFiles/arrow_util.dir/stats.cc.o"
+  "CMakeFiles/arrow_util.dir/stats.cc.o.d"
+  "CMakeFiles/arrow_util.dir/table.cc.o"
+  "CMakeFiles/arrow_util.dir/table.cc.o.d"
+  "libarrow_util.a"
+  "libarrow_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrow_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

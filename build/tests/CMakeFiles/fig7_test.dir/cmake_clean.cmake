@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_test.dir/fig7_test.cc.o"
+  "CMakeFiles/fig7_test.dir/fig7_test.cc.o.d"
+  "fig7_test"
+  "fig7_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optical_paths_test.dir/optical_paths_test.cc.o"
+  "CMakeFiles/optical_paths_test.dir/optical_paths_test.cc.o.d"
+  "optical_paths_test"
+  "optical_paths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optical_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osnr_test.dir/osnr_test.cc.o"
+  "CMakeFiles/osnr_test.dir/osnr_test.cc.o.d"
+  "osnr_test"
+  "osnr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osnr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwa_test.dir/rwa_test.cc.o"
+  "CMakeFiles/rwa_test.dir/rwa_test.cc.o.d"
+  "rwa_test"
+  "rwa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_traffic_test.dir/scenario_traffic_test.cc.o"
+  "CMakeFiles/scenario_traffic_test.dir/scenario_traffic_test.cc.o.d"
+  "scenario_traffic_test"
+  "scenario_traffic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_traffic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/te_test.dir/te_test.cc.o"
+  "CMakeFiles/te_test.dir/te_test.cc.o.d"
+  "te_test"
+  "te_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/te_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

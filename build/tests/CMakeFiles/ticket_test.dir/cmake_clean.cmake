@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticket_test.dir/ticket_test.cc.o"
+  "CMakeFiles/ticket_test.dir/ticket_test.cc.o.d"
+  "ticket_test"
+  "ticket_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
