@@ -7,6 +7,7 @@
 #include "optical/event_sim.h"
 #include "optical/rwa.h"
 #include "sim/availability.h"
+#include "solver/lp.h"
 #include "te/basic.h"
 #include "te/ffc.h"
 #include "te/teavar.h"
@@ -22,6 +23,17 @@ const char* to_string(Scheme s) {
     case Scheme::kFfc1: return "FFC-1";
     case Scheme::kTeaVar: return "TeaVaR";
     case Scheme::kEcmp: return "ECMP";
+  }
+  return "unknown";
+}
+
+const char* to_string(Rung r) {
+  switch (r) {
+    case Rung::kPrimary: return "primary";
+    case Rung::kRelaxedRetry: return "relaxed-retry";
+    case Rung::kFfcFallback: return "ffc-fallback";
+    case Rung::kCarryForward: return "carry-forward";
+    case Rung::kEcmp: return "ecmp";
   }
   return "unknown";
 }
@@ -53,11 +65,123 @@ struct RuntimeState {
   // Currently-lit restored capacity per failed IP link (ramps up wavelength
   // by wavelength during a restoration).
   std::map<topo::IpLinkId, double> restored;
-  // Links restored on behalf of each active cut (reverted at repair time).
-  std::map<topo::FiberId, std::vector<topo::IpLinkId>> restored_by_cut;
+  // Restored (link, gbps) contributions per active cut, reverted at repair
+  // time. Per-wave bookkeeping (not just link ids) so overlapping cuts that
+  // restore the same IP link revert only their own share.
+  std::map<topo::FiberId, std::vector<std::pair<topo::IpLinkId, double>>>
+      restored_by_cut;
   // Open restoration windows (for transient-loss accounting).
   int restorations_in_flight = 0;
 };
+
+// Solver settings for the ladder's second rung: Dantzig pricing takes a
+// different pivot trajectory than the default Devex (sidesteps cycling /
+// stalling failures), the raised iteration cap outlasts kIterationLimit
+// faults, and the low Bland threshold engages the anti-cycling rule early.
+solver::SimplexOptions relaxed_simplex_options() {
+  solver::SimplexOptions opt;
+  opt.pricing = solver::Pricing::kDantzig;
+  opt.max_iterations = 500000;
+  opt.bland_threshold = 25;
+  return opt;
+}
+
+// One attempt at the configured scheme (the old inline switch, minus the
+// fatal check — failure is now the ladder's problem, not the caller's).
+te::TeSolution solve_primary(const ControllerConfig& config,
+                             const te::TeInput& input,
+                             const te::ArrowPrepared& prepared) {
+  switch (config.scheme) {
+    case Scheme::kArrow:
+      return te::solve_arrow(input, prepared, config.arrow);
+    case Scheme::kArrowNaive:
+      return te::solve_arrow_naive(input, prepared, config.arrow);
+    case Scheme::kFfc1:
+      return te::solve_ffc(input, te::FfcParams{1, 0});
+    case Scheme::kTeaVar:
+      return te::solve_teavar(input, te::TeaVarParams{});
+    case Scheme::kEcmp:
+      return te::solve_ecmp(input);
+  }
+  return te::solve_ecmp(input);
+}
+
+// Projects the last successfully solved TeSolution onto the current traffic
+// matrix: allocations are kept (they respected link capacities when solved
+// and capacities have not grown), but each flow's total is clamped to its
+// new demand so the carried-forward plan never over-admits. Surviving-
+// capacity projection happens downstream in sim::state_delivery, which
+// rehashes allocations on dead tunnels onto the survivors.
+te::TeSolution carry_forward(const te::TeSolution& last_good,
+                             const te::TeInput& input) {
+  te::TeSolution sol = last_good;
+  sol.scheme = "CarryForward(" + last_good.scheme + ")";
+  sol.optimal = true;  // feasible by construction, not an optimum
+  sol.solve_seconds = 0.0;
+  sol.simplex_iterations = 0;
+  // Project the last-good solution onto the current matrix by carrying the
+  // per-flow *splitting ratios* forward and letting admission follow demand
+  // (what the installed router config does between TE runs: split weights
+  // stay, traffic volume changes). Oversubscription this may cause on a
+  // shifted matrix is resolved by the delivery model's per-link scaling.
+  const auto& flows = input.flows();
+  for (std::size_t f = 0; f < sol.alloc.size() && f < flows.size(); ++f) {
+    const double demand = flows[f].demand_gbps;
+    double total = 0.0;
+    for (double a : sol.alloc[f]) total += a;
+    if (total > 1e-9) {
+      const double scale = demand / total;
+      for (double& a : sol.alloc[f]) a *= scale;
+      if (f < sol.admitted.size()) sol.admitted[f] = demand;
+    } else if (f < sol.admitted.size()) {
+      sol.admitted[f] = 0.0;
+    }
+  }
+  return sol;
+}
+
+struct LadderOutcome {
+  te::TeSolution sol;
+  Rung rung = Rung::kPrimary;
+  double seconds = 0.0;  // wall clock across all attempts this period
+};
+
+// Walks the degradation ladder until some rung yields a usable solution.
+// kEcmp is closed-form (no LP anywhere in solve_ecmp), so the ladder cannot
+// come back empty no matter what the solver or a fault injector does.
+LadderOutcome solve_with_ladder(const ControllerConfig& config,
+                                const te::TeInput& input,
+                                const te::ArrowPrepared& prepared,
+                                const te::TeSolution* last_good) {
+  LadderOutcome out;
+  out.sol = solve_primary(config, input, prepared);
+  out.seconds += out.sol.solve_seconds;
+  if (out.sol.optimal) return out;
+
+  {
+    solver::ScopedSimplexOverride relax(relaxed_simplex_options());
+    out.sol = solve_primary(config, input, prepared);
+  }
+  out.seconds += out.sol.solve_seconds;
+  out.rung = Rung::kRelaxedRetry;
+  if (out.sol.optimal) return out;
+
+  if (config.scheme != Scheme::kFfc1) {  // pointless to retry the same LP
+    out.sol = te::solve_ffc(input, te::FfcParams{1, 0});
+    out.seconds += out.sol.solve_seconds;
+    out.rung = Rung::kFfcFallback;
+    if (out.sol.optimal) return out;
+  }
+
+  if (last_good != nullptr) {
+    out.sol = carry_forward(*last_good, input);
+    out.rung = Rung::kCarryForward;
+    return out;
+  }
+  out.sol = te::solve_ecmp(input);
+  out.rung = Rung::kEcmp;
+  return out;
+}
 
 }  // namespace
 
@@ -81,7 +205,19 @@ ControllerReport run_controller(const topo::Network& net,
   for (const auto& tm : tms) {
     inputs.emplace_back(net, tm, scenarios, config.tunnels);
   }
-  const double calibration = te::max_satisfiable_scale(inputs.front());
+  // Calibration gets its own two-rung ladder: the LP, the LP under relaxed
+  // solver settings, then the closed-form ECMP bound (conservative but
+  // fault-immune). A faulted calibration must not take the controller down.
+  bool calib_ok = true;
+  double calibration = te::max_satisfiable_scale(inputs.front(), &calib_ok);
+  if (!calib_ok) {
+    solver::ScopedSimplexOverride relax(relaxed_simplex_options());
+    calibration = te::max_satisfiable_scale(inputs.front(), &calib_ok);
+  }
+  if (!calib_ok) {
+    calibration = te::ecmp_satisfiable_scale(inputs.front());
+    report.calibration_degraded = true;
+  }
   for (auto& input : inputs) {
     input.scale_demands(calibration * config.demand_scale);
   }
@@ -91,30 +227,68 @@ ControllerReport run_controller(const topo::Network& net,
   te::ArrowPrepared prepared;
   if (restores) {
     prepared = te::prepare_arrow(inputs.front(), config.arrow, rng);
+    // A solver fault inside one scenario's RWA silently strips that
+    // scenario's restoration capacity (its tickets carry zero waves), so
+    // failed scenarios are re-solved individually — relaxed solver settings
+    // from the second attempt on — before the controller relies on them.
+    constexpr int kRwaRetries = 5;
+    for (std::size_t q = 0; q < prepared.rwa.size(); ++q) {
+      if (prepared.rwa[q].optimal) continue;
+      for (int attempt = 0; attempt < kRwaRetries; ++attempt) {
+        util::Rng retry_rng = rng.fork();
+        if (attempt == 0) {
+          te::prepare_arrow_scenario(inputs.front(), static_cast<int>(q),
+                                     config.arrow, retry_rng,
+                                     &prepared.rwa[q], &prepared.tickets[q]);
+        } else {
+          solver::ScopedSimplexOverride relax(relaxed_simplex_options());
+          te::prepare_arrow_scenario(inputs.front(), static_cast<int>(q),
+                                     config.arrow, retry_rng,
+                                     &prepared.rwa[q], &prepared.tickets[q]);
+        }
+        if (prepared.rwa[q].optimal) {
+          ++report.rwa_repairs;
+          break;
+        }
+      }
+      if (!prepared.rwa[q].optimal) ++report.rwa_scenarios_lost;
+    }
   }
   std::vector<te::TeSolution> solutions;
   solutions.reserve(inputs.size());
+  int last_solved = -1;  // most recent matrix served by a real solve
   for (auto& input : inputs) {
-    switch (config.scheme) {
-      case Scheme::kArrow:
-        solutions.push_back(te::solve_arrow(input, prepared, config.arrow));
-        break;
-      case Scheme::kArrowNaive:
-        solutions.push_back(
-            te::solve_arrow_naive(input, prepared, config.arrow));
-        break;
-      case Scheme::kFfc1:
-        solutions.push_back(te::solve_ffc(input, te::FfcParams{1, 0}));
-        break;
-      case Scheme::kTeaVar:
-        solutions.push_back(te::solve_teavar(input, te::TeaVarParams{}));
-        break;
-      case Scheme::kEcmp:
-        solutions.push_back(te::solve_ecmp(input));
-        break;
+    const te::TeSolution* last_good =
+        last_solved >= 0 ? &solutions[static_cast<std::size_t>(last_solved)]
+                         : nullptr;
+    LadderOutcome out = solve_with_ladder(config, input, prepared, last_good);
+    report.fallback_counts[static_cast<std::size_t>(out.rung)] += 1;
+    report.rung_by_matrix.push_back(out.rung);
+    report.solve_seconds_by_matrix.push_back(out.seconds);
+    if (config.te_budget_s > 0.0 && out.seconds > config.te_budget_s) {
+      ++report.deadline_overruns;
     }
-    ARROW_CHECK(solutions.back().optimal, "TE solve failed in controller");
+    if (out.rung <= Rung::kFfcFallback) {
+      last_solved = static_cast<int>(solutions.size());
+    }
+    solutions.push_back(std::move(out.sol));
     ++report.te_runs;
+  }
+
+  // Attribute every TE period in the horizon to the rung that produced the
+  // matrix it runs on (period p rotates onto matrix p mod |tms|, matching
+  // the runtime rotation below). Budget overruns degrade their periods too:
+  // a plan that lands after the period it was computed for is late even if
+  // it solved on the primary rung.
+  const int total_periods = static_cast<int>(
+      std::ceil(config.horizon_s / config.te_interval_s));
+  for (int p = 0; p < total_periods; ++p) {
+    const std::size_t m = static_cast<std::size_t>(p) % inputs.size();
+    const bool overrun = config.te_budget_s > 0.0 &&
+                         report.solve_seconds_by_matrix[m] > config.te_budget_s;
+    if (report.rung_by_matrix[m] != Rung::kPrimary || overrun) {
+      ++report.degraded_periods;
+    }
   }
 
   // --- runtime event loop ---------------------------------------------------
@@ -165,11 +339,135 @@ ControllerReport run_controller(const topo::Network& net,
     });
   }
 
+  // Ticket for scenario q under the currently active TE solution (winner if
+  // the solution carries one, naive RWA plan otherwise — fallback-rung
+  // solutions have no winners but restoration must still go out).
+  const auto ticket_for = [&](int q) -> ticket::LotteryTicket {
+    const auto& sol = solutions[active_tm];
+    const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+    const int w =
+        sol.winner.empty() ? -1 : sol.winner[static_cast<std::size_t>(q)];
+    return (w >= 0 && w < static_cast<int>(tickets.tickets.size()))
+               ? tickets.tickets[static_cast<std::size_t>(w)]
+               : ticket::naive_ticket(prepared.rwa[static_cast<std::size_t>(q)]);
+  };
+
+  // Shared tail of both restoration paths: run the drop/delay fault hooks,
+  // replay the reconfiguration through the optical latency simulator, and
+  // schedule the wavelength-up events. Returns false when the plan was
+  // dropped or came out empty (no surviving surrogate waves).
+  const auto install_plan = [&](std::vector<optical::LinkRestoration> links,
+                                const std::vector<topo::FiberId>& sim_cuts,
+                                topo::FiberId owner, double now) -> bool {
+    const auto plan = optical::plan_from_restoration(net, links);
+    if (plan.empty()) return false;
+    if (config.drop_restoration_plan && config.drop_restoration_plan()) {
+      ++report.plans_dropped;
+      return false;
+    }
+    double delay = 0.0;
+    if (config.restoration_delay_s) {
+      delay = std::max(0.0, config.restoration_delay_s());
+      if (delay > 0.0) ++report.plans_delayed;
+    }
+    util::Rng replay = rng.fork();
+    const auto latency = optical::simulate_restoration(net, sim_cuts, plan,
+                                                       config.latency, replay);
+    report.worst_restoration_s =
+        std::max(report.worst_restoration_s, delay + latency.total_s);
+    ++state.restorations_in_flight;
+    // Replay each wavelength-up event; the restoration window closes at the
+    // final one.
+    const double final_t = now + delay + latency.total_s;
+    for (const auto& p : latency.timeline) {
+      if (p.link < 0) continue;
+      const topo::IpLinkId link = p.link;
+      const double gbps = p.wave_gbps;
+      queue.schedule(now + delay + p.t_s,
+                     [&, link, gbps, owner](double when) {
+        if (!state.active_cuts.count(owner)) return;  // repaired first
+        state.restored[link] += gbps;
+        state.restored_by_cut[owner].emplace_back(link, gbps);
+        mark(when);
+      });
+    }
+    queue.schedule(final_t, [&](double when) {
+      --state.restorations_in_flight;
+      mark(when);
+    });
+    return true;
+  };
+
+  // Emergency restoration for a cut with no exact precomputed plan:
+  // transplant the nearest scenario's plan. "Nearest" = highest Jaccard
+  // overlap between the scenario's failed IP links and the links this cut
+  // actually took down; ties prefer fewer cut fibers (plans transplant more
+  // cleanly), then the lower index for determinism.
+  const auto emergency_restore = [&](topo::FiberId fiber, double now) {
+    const auto failed_now_v = net.failed_ip_links({fiber});
+    const std::set<topo::IpLinkId> failed_now(failed_now_v.begin(),
+                                              failed_now_v.end());
+    if (failed_now.empty()) return;
+    int best_q = -1;
+    double best_score = 0.0;
+    std::size_t best_cuts = 0;
+    for (std::size_t q = 0; q < scenarios.size(); ++q) {
+      if (prepared.rwa[q].links.empty()) continue;
+      const auto& sf = inputs.front().failed_links(static_cast<int>(q));
+      std::size_t inter = 0;
+      for (topo::IpLinkId e : sf) inter += failed_now.count(e);
+      if (inter == 0) continue;
+      const double uni =
+          static_cast<double>(failed_now.size() + sf.size() - inter);
+      const double score = static_cast<double>(inter) / uni;
+      if (best_q < 0 || score > best_score + 1e-12 ||
+          (score > best_score - 1e-12 && scenarios[q].cuts.size() < best_cuts)) {
+        best_q = static_cast<int>(q);
+        best_score = score;
+        best_cuts = scenarios[q].cuts.size();
+      }
+    }
+    if (best_q < 0) return;  // no scenario shares a failed link
+    const ticket::LotteryTicket ticket = ticket_for(best_q);
+    const auto& rwa_links = prepared.rwa[static_cast<std::size_t>(best_q)].links;
+    const std::vector<topo::FiberId> active(state.active_cuts.begin(),
+                                            state.active_cuts.end());
+    // Keep only the entries for links this cut actually failed, and zero
+    // out surrogate paths that cross any currently cut fiber — the donor
+    // scenario did not plan around the cuts we actually have.
+    std::vector<optical::LinkRestoration> links;
+    std::vector<std::vector<int>> want;
+    for (std::size_t li = 0; li < rwa_links.size(); ++li) {
+      if (!failed_now.count(rwa_links[li].link)) continue;
+      optical::LinkRestoration lr = rwa_links[li];
+      std::vector<int> w = li < ticket.path_waves.size()
+                               ? ticket.path_waves[li]
+                               : std::vector<int>{};
+      w.resize(lr.paths.size(), 0);
+      for (std::size_t pi = 0; pi < lr.paths.size(); ++pi) {
+        for (topo::FiberId f : lr.paths[pi].fibers) {
+          if (state.active_cuts.count(f)) {
+            w[pi] = 0;
+            break;
+          }
+        }
+      }
+      links.push_back(std::move(lr));
+      want.push_back(std::move(w));
+    }
+    if (links.empty()) return;
+    optical::assign_slots_first_fit(net, active, links, want);
+    if (install_plan(std::move(links), active, fiber, now)) {
+      ++report.emergency_restorations;
+    }
+  };
+
   // Failure + repair + restoration events.
   for (const FailureEvent& ev : failures) {
     if (ev.t_s >= config.horizon_s) continue;
     queue.schedule(ev.t_s, [&, ev](double now) {
       if (state.active_cuts.count(ev.fiber)) return;  // already down
+      if (!state.active_cuts.empty()) ++report.overlapping_cuts;
       state.active_cuts.insert(ev.fiber);
       ++report.cuts_handled;
       mark(now);
@@ -186,59 +484,33 @@ ControllerReport run_controller(const topo::Network& net,
         }
         if (q_match >= 0) {
           ++report.cuts_with_plan;
-          const auto& sol = solutions[active_tm];
-          const auto& tickets =
-              prepared.tickets[static_cast<std::size_t>(q_match)];
-          // Winner ticket's per-path wave plan (naive fallback on -1).
-          const int w = sol.winner.empty()
-                            ? -1
-                            : sol.winner[static_cast<std::size_t>(q_match)];
-          const ticket::LotteryTicket ticket =
-              (w >= 0 && w < static_cast<int>(tickets.tickets.size()))
-                  ? tickets.tickets[static_cast<std::size_t>(w)]
-                  : ticket::naive_ticket(
-                        prepared.rwa[static_cast<std::size_t>(q_match)]);
+          const ticket::LotteryTicket ticket = ticket_for(q_match);
           auto links = prepared.rwa[static_cast<std::size_t>(q_match)].links;
           optical::assign_slots_first_fit(net, {ev.fiber}, links,
                                           ticket.path_waves);
-          const auto plan = optical::plan_from_restoration(net, links);
-          util::Rng replay = rng.fork();
-          const auto latency = optical::simulate_restoration(
-              net, {ev.fiber}, plan, config.latency, replay);
-          report.worst_restoration_s =
-              std::max(report.worst_restoration_s, latency.total_s);
-          ++state.restorations_in_flight;
-          // Replay each wavelength-up event; the restoration window closes
-          // at the final one.
-          const double final_t = now + latency.total_s;
-          for (const auto& p : latency.timeline) {
-            if (p.link < 0) continue;
-            const topo::IpLinkId link = p.link;
-            const double gbps = p.wave_gbps;
-            const topo::FiberId fiber = ev.fiber;
-            queue.schedule(now + p.t_s, [&, link, gbps, fiber](double when) {
-              if (!state.active_cuts.count(fiber)) return;  // repaired first
-              state.restored[link] += gbps;
-              state.restored_by_cut[fiber].push_back(link);
-              mark(when);
-            });
+          install_plan(std::move(links), {ev.fiber}, ev.fiber, now);
+        } else {
+          ++report.unplanned_cuts;
+          if (config.emergency_restoration) {
+            emergency_restore(ev.fiber, now);
           }
-          queue.schedule(final_t, [&](double when) {
-            --state.restorations_in_flight;
-            mark(when);
-          });
         }
       }
 
       // Repair: fiber comes back, restored waves retune home (instant
       // revert — the reverse reconfiguration is hitless under noise
-      // loading since the primary path's spectrum is still lit).
+      // loading since the primary path's spectrum is still lit). Only this
+      // cut's own restored share is reverted; capacity lit on behalf of a
+      // still-active overlapping cut stays up.
       queue.schedule(now + ev.repair_s, [&, ev](double when) {
         state.active_cuts.erase(ev.fiber);
         auto it = state.restored_by_cut.find(ev.fiber);
         if (it != state.restored_by_cut.end()) {
-          for (topo::IpLinkId link : it->second) {
-            state.restored.erase(link);
+          for (const auto& [link, gbps] : it->second) {
+            auto rit = state.restored.find(link);
+            if (rit == state.restored.end()) continue;
+            rit->second -= gbps;
+            if (rit->second <= 1e-9) state.restored.erase(rit);
           }
           state.restored_by_cut.erase(it);
         }

@@ -16,6 +16,8 @@
 //     downtime figures.
 #pragma once
 
+#include <array>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -38,6 +40,23 @@ enum class Scheme {
 
 const char* to_string(Scheme s);
 
+// Degradation ladder for TE solves (most- to least-capable). A production
+// controller must keep serving traffic through solver faults and deadline
+// overruns, so a failed solve walks down this ladder instead of aborting
+// the control loop; every TE period is attributed to exactly one rung and
+// anything below kPrimary counts as a degradation.
+enum class Rung {
+  kPrimary = 0,   // configured scheme, default solver settings
+  kRelaxedRetry,  // same scheme, Dantzig pricing + raised iteration cap
+  kFfcFallback,   // FFC-1 (failure-aware, restoration-oblivious)
+  kCarryForward,  // last-good solution projected onto current demands
+  kEcmp,          // bottom rung: closed-form, cannot fail
+};
+
+inline constexpr int kNumRungs = 5;
+
+const char* to_string(Rung r);
+
 struct FailureEvent {
   double t_s = 0.0;           // cut time
   topo::FiberId fiber = -1;
@@ -57,6 +76,25 @@ struct ControllerConfig {
   optical::LatencyParams latency;  // noise_loading=false => legacy amplifiers
   // Demand scale relative to the calibrated full-satisfaction point.
   double demand_scale = 0.5;
+
+  // Wall-clock budget for one TE period's solves (ladder attempts
+  // included). The production TE period is 5 minutes; a solve that outruns
+  // it is recorded as a deadline overrun and its periods count as degraded.
+  // <= 0 disables the check.
+  double te_budget_s = 300.0;
+
+  // For a cut with no exact precomputed plan, transplant the plan of the
+  // nearest precomputed scenario (most-overlapping failed-link set) instead
+  // of leaving the cut unrestored. Surrogate paths crossing any currently
+  // cut fiber are discarded before slots are assigned.
+  bool emergency_restoration = true;
+
+  // Fault hooks, normally unset (wired by resilience::FaultInjector):
+  // consulted when a restoration plan is about to be installed. `true` from
+  // drop_restoration_plan loses the plan entirely; restoration_delay_s adds
+  // control-plane latency before the reconfiguration starts.
+  std::function<bool()> drop_restoration_plan;
+  std::function<double()> restoration_delay_s;
 };
 
 struct ControllerReport {
@@ -70,6 +108,27 @@ struct ControllerReport {
   int cuts_handled = 0;
   int cuts_with_plan = 0;       // cut matched a precomputed scenario
   double worst_restoration_s = 0.0;
+
+  // --- degradation-ladder accounting ---------------------------------------
+  // TE solves served by each rung (index with static_cast<int>(Rung)).
+  std::array<int, kNumRungs> fallback_counts{};
+  // Rung and wall-clock solve time behind each traffic matrix's solution.
+  std::vector<Rung> rung_by_matrix;
+  std::vector<double> solve_seconds_by_matrix;
+  // TE periods in the horizon served by a rung below kPrimary or by a
+  // solve that blew the te_budget_s deadline.
+  int degraded_periods = 0;
+  int deadline_overruns = 0;       // TE solves exceeding te_budget_s
+  bool calibration_degraded = false;  // calibration LP fell back to ECMP bound
+
+  // --- restoration robustness ----------------------------------------------
+  int rwa_repairs = 0;             // scenario RWA solves recovered by retry
+  int rwa_scenarios_lost = 0;      // scenario plans lost even after retries
+  int unplanned_cuts = 0;          // cut had no exact precomputed plan
+  int emergency_restorations = 0;  // served via nearest-scenario transplant
+  int plans_dropped = 0;           // fault hook discarded an available plan
+  int plans_delayed = 0;           // fault hook delayed plan installation
+  int overlapping_cuts = 0;        // cut arrived while another was active
   // Delivered-rate staircase: (time, delivered Gbps). One point per state
   // change (TE run, cut, wavelength-up, repair).
   std::vector<std::pair<double, double>> timeline;
@@ -83,6 +142,11 @@ struct ControllerReport {
 
 // Deterministic given the rng. The same failure trace can be replayed
 // against different schemes/configs for apples-to-apples comparison.
+//
+// Robustness contract: a failed or faulted TE solve never aborts the run —
+// it walks down the degradation ladder (see Rung) and the report records
+// which rung served each period. Cuts without a precomputed plan get a
+// best-effort emergency restoration instead of none.
 ControllerReport run_controller(const topo::Network& net,
                                 const std::vector<traffic::TrafficMatrix>& tms,
                                 const std::vector<FailureEvent>& failures,

@@ -1,0 +1,93 @@
+#include "resilience/fault.h"
+
+#include <cmath>
+
+namespace arrow::resilience {
+
+const char* to_string(LpFault f) {
+  switch (f) {
+    case LpFault::kNone: return "none";
+    case LpFault::kIterationLimit: return "iteration-limit";
+    case LpFault::kNumericalError: return "numerical-error";
+    case LpFault::kInfeasible: return "infeasible";
+  }
+  return "unknown";
+}
+
+namespace {
+
+solver::LpStatus to_status(LpFault f) {
+  switch (f) {
+    case LpFault::kIterationLimit: return solver::LpStatus::kIterationLimit;
+    case LpFault::kNumericalError: return solver::LpStatus::kNumericalError;
+    case LpFault::kInfeasible: return solver::LpStatus::kInfeasible;
+    case LpFault::kNone: break;
+  }
+  return solver::LpStatus::kOptimal;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config)
+    : config_(config), lp_rng_(0), plan_rng_(0), tm_rng_(0) {
+  // One root stream per fault family, forked off the seed in a fixed order
+  // so enabling one family never perturbs another's decisions.
+  util::Rng root(config.seed);
+  lp_rng_ = root.fork();
+  plan_rng_ = root.fork();
+  tm_rng_ = root.fork();
+}
+
+LpFault FaultInjector::next_lp_fault() {
+  if (!lp_rng_.bernoulli(config_.lp_fault_rate)) return LpFault::kNone;
+  const std::size_t pick = lp_rng_.weighted_index(
+      {config_.weight_iteration_limit, config_.weight_numerical_error,
+       config_.weight_infeasible});
+  return static_cast<LpFault>(static_cast<int>(pick) + 1);
+}
+
+void FaultInjector::observe(const solver::Lp& lp,
+                            solver::LpSolution& solution) {
+  (void)lp;
+  ++counts_.solves_observed;
+  const LpFault f = next_lp_fault();
+  counts_.by_fault[static_cast<std::size_t>(f)] += 1;
+  if (f == LpFault::kNone) return;
+  ++counts_.lp_faults;
+  // The simplex already ran; only the verdict is rewritten, exactly as if
+  // the solver had hit its limit / lost numerical footing on this model.
+  solution.status = to_status(f);
+}
+
+bool FaultInjector::drop_plan() {
+  const bool drop = plan_rng_.bernoulli(config_.plan_drop_rate);
+  if (drop) ++counts_.plans_dropped;
+  return drop;
+}
+
+double FaultInjector::delay_plan_s() {
+  if (!plan_rng_.bernoulli(config_.plan_delay_rate)) return 0.0;
+  ++counts_.plans_delayed;
+  return config_.plan_delay_s;
+}
+
+traffic::TrafficMatrix FaultInjector::perturb(
+    const traffic::TrafficMatrix& tm) {
+  if (config_.tm_jitter_sigma <= 0.0) return tm;
+  traffic::TrafficMatrix out = tm;
+  const double sigma = config_.tm_jitter_sigma;
+  // mu = -sigma^2/2 makes the lognormal factor mean-one.
+  const double mu = -0.5 * sigma * sigma;
+  for (auto& d : out.demands) {
+    d.gbps *= tm_rng_.lognormal(mu, sigma);
+  }
+  return out;
+}
+
+ScopedLpFaults::ScopedLpFaults(FaultInjector& injector)
+    : observer_([&injector](const solver::Lp& lp,
+                            solver::LpSolution& solution) {
+        injector.observe(lp, solution);
+      }) {}
+
+}  // namespace arrow::resilience

@@ -1,0 +1,112 @@
+// Deterministic fault injection for the WAN controller.
+//
+// The injector attacks the controller where a production deployment gets
+// hurt: the LP solver (forced kIterationLimit / kNumericalError /
+// kInfeasible outcomes), the restoration control plane (dropped or delayed
+// plan installation), and the inputs themselves (perturbed traffic
+// matrices). LP faults ride the ambient solver::ScopedSolveObserver hook,
+// so the genuine simplex runs first and the production failure-handling
+// paths — not mocks — are what gets exercised.
+//
+// Everything is seeded. Each fault family draws from its own forked Rng
+// stream, so enabling one family never shifts the decisions of another and
+// a failure found in a sweep replays bit-identically from its seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "solver/lp.h"
+#include "traffic/traffic.h"
+#include "util/rng.h"
+
+namespace arrow::resilience {
+
+// Forced LP outcome for one solve (kNone = leave the real result alone).
+enum class LpFault {
+  kNone = 0,
+  kIterationLimit,
+  kNumericalError,
+  kInfeasible,
+};
+
+inline constexpr int kNumLpFaults = 4;
+
+const char* to_string(LpFault f);
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+
+  // Probability that any single solve_lp() call is forced to fail, and the
+  // relative weights of the three forced outcomes.
+  double lp_fault_rate = 0.0;
+  double weight_iteration_limit = 1.0;
+  double weight_numerical_error = 1.0;
+  double weight_infeasible = 1.0;
+
+  // Restoration control-plane faults (wired into the ControllerConfig
+  // drop/delay hooks by with_fault_hooks): probability that an available
+  // plan is lost entirely, and probability / magnitude of added
+  // installation latency.
+  double plan_drop_rate = 0.0;
+  double plan_delay_rate = 0.0;
+  double plan_delay_s = 30.0;
+
+  // Multiplicative lognormal jitter applied per traffic-matrix entry
+  // (sigma of the underlying normal; 0 = off). Mean-one, so the expected
+  // load is unchanged.
+  double tm_jitter_sigma = 0.0;
+};
+
+struct FaultCounts {
+  int solves_observed = 0;              // solve_lp calls seen by the observer
+  int lp_faults = 0;                    // solves forced to a failure status
+  std::array<int, kNumLpFaults> by_fault{};  // index with int(LpFault)
+  int plans_dropped = 0;
+  int plans_delayed = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config);
+
+  const FaultConfig& config() const { return config_; }
+  const FaultCounts& counts() const { return counts_; }
+
+  // Fate of the next LP solve (advances only the LP fault stream).
+  LpFault next_lp_fault();
+
+  // solver::SolveObserver body: lets the real solve finish, then forces the
+  // drawn failure status onto the solution.
+  void observe(const solver::Lp& lp, solver::LpSolution& solution);
+
+  // ControllerConfig hook bodies (advance only the plan fault stream).
+  bool drop_plan();
+  double delay_plan_s();
+
+  // Mean-one lognormal jitter on every demand (advances only the TM
+  // stream). Returns the input unchanged when tm_jitter_sigma == 0.
+  traffic::TrafficMatrix perturb(const traffic::TrafficMatrix& tm);
+
+ private:
+  FaultConfig config_;
+  FaultCounts counts_;
+  util::Rng lp_rng_;
+  util::Rng plan_rng_;
+  util::Rng tm_rng_;
+};
+
+// RAII guard: while alive, every solve_lp() on this thread reports to
+// `injector` (and may come back forcibly failed).
+class ScopedLpFaults {
+ public:
+  explicit ScopedLpFaults(FaultInjector& injector);
+
+  ScopedLpFaults(const ScopedLpFaults&) = delete;
+  ScopedLpFaults& operator=(const ScopedLpFaults&) = delete;
+
+ private:
+  solver::ScopedSolveObserver observer_;
+};
+
+}  // namespace arrow::resilience

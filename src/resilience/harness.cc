@@ -1,0 +1,64 @@
+#include "resilience/harness.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace arrow::resilience {
+
+void inject_double_cuts(std::vector<ctrl::FailureEvent>& trace,
+                        const topo::Network& net, double horizon_s,
+                        const DoubleCutParams& params, util::Rng& rng) {
+  const int nf = static_cast<int>(net.optical.fibers.size());
+  ARROW_CHECK(nf >= 2, "double cuts need at least two fibers");
+  for (int i = 0; i < params.pairs; ++i) {
+    // Leave room for the second cut and some shared downtime.
+    const double t0 = rng.uniform(0.0, std::max(1.0, horizon_s - 2.0 * params.gap_s));
+    const int f1 = rng.uniform_int(0, nf - 1);
+    int f2 = rng.uniform_int(0, nf - 2);
+    if (f2 >= f1) ++f2;  // distinct fiber, still uniform
+    ctrl::FailureEvent a;
+    a.t_s = t0;
+    a.fiber = f1;
+    a.repair_s = params.repair_s;
+    ctrl::FailureEvent b;
+    b.t_s = t0 + params.gap_s;
+    b.fiber = f2;
+    b.repair_s = params.repair_s;
+    trace.push_back(a);
+    trace.push_back(b);
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const ctrl::FailureEvent& x, const ctrl::FailureEvent& y) {
+              if (x.t_s != y.t_s) return x.t_s < y.t_s;
+              return x.fiber < y.fiber;
+            });
+}
+
+ctrl::ControllerConfig with_fault_hooks(ctrl::ControllerConfig config,
+                                        FaultInjector& injector) {
+  config.drop_restoration_plan = [&injector]() { return injector.drop_plan(); };
+  config.restoration_delay_s = [&injector]() { return injector.delay_plan_s(); };
+  return config;
+}
+
+FaultedRun run_with_faults(const topo::Network& net,
+                           const std::vector<traffic::TrafficMatrix>& tms,
+                           const std::vector<ctrl::FailureEvent>& failures,
+                           const ctrl::ControllerConfig& config,
+                           const FaultConfig& faults, util::Rng& rng) {
+  FaultInjector injector(faults);
+  std::vector<traffic::TrafficMatrix> perturbed;
+  perturbed.reserve(tms.size());
+  for (const auto& tm : tms) {
+    perturbed.push_back(injector.perturb(tm));
+  }
+  const ctrl::ControllerConfig cfg = with_fault_hooks(config, injector);
+  ScopedLpFaults guard(injector);
+  FaultedRun out;
+  out.report = ctrl::run_controller(net, perturbed, failures, cfg, rng);
+  out.counts = injector.counts();
+  return out;
+}
+
+}  // namespace arrow::resilience

@@ -12,6 +12,7 @@
 // anti-cycling fallback.
 #pragma once
 
+#include <functional>
 #include <limits>
 #include <string>
 #include <vector>
@@ -77,6 +78,53 @@ struct LpSolution {
 };
 
 LpSolution solve_lp(const Lp& lp, const SimplexOptions& options = {});
+
+// --- ambient solve hooks ---------------------------------------------------
+//
+// Both hooks are thread-local and scoped. Production call sites stay
+// hook-free; a region of code (the controller's degradation-ladder retry,
+// the resilience fault-injection harness) can wrap itself in a guard and
+// affect every solve_lp() that happens inside it, however deep in the call
+// stack the Model lives. Nesting is allowed — the innermost guard wins and
+// the previous one is restored on destruction.
+
+// Replaces the caller-supplied SimplexOptions for every solve in scope.
+// Used by the ladder's "relaxed retry" rung (Dantzig pricing, raised
+// iteration cap) without threading options through every TE signature.
+class ScopedSimplexOverride {
+ public:
+  explicit ScopedSimplexOverride(const SimplexOptions& options);
+  ~ScopedSimplexOverride();
+  ScopedSimplexOverride(const ScopedSimplexOverride&) = delete;
+  ScopedSimplexOverride& operator=(const ScopedSimplexOverride&) = delete;
+
+  // The override in effect on this thread (nullptr when none).
+  static const SimplexOptions* active();
+
+ private:
+  SimplexOptions options_;
+  const SimplexOptions* previous_;
+};
+
+// Observes — and may rewrite — every LpSolution produced by solve_lp in
+// scope. The simplex runs for real before the observer sees the result, so
+// a fault injector that overrides `status` still exercises genuine solver
+// state and the caller's true failure-handling paths.
+using SolveObserver = std::function<void(const Lp& lp, LpSolution& solution)>;
+
+class ScopedSolveObserver {
+ public:
+  explicit ScopedSolveObserver(SolveObserver observer);
+  ~ScopedSolveObserver();
+  ScopedSolveObserver(const ScopedSolveObserver&) = delete;
+  ScopedSolveObserver& operator=(const ScopedSolveObserver&) = delete;
+
+  static SolveObserver* active();
+
+ private:
+  SolveObserver observer_;
+  SolveObserver* previous_;
+};
 
 // Verification helper (used heavily in tests): returns the maximum violation
 // of Ax = b and of the variable bounds for a candidate point.

@@ -548,15 +548,47 @@ class Simplex {
   LuBasis inv_;
 };
 
+thread_local const SimplexOptions* active_simplex_override = nullptr;
+thread_local SolveObserver* active_solve_observer = nullptr;
+
 }  // namespace
+
+ScopedSimplexOverride::ScopedSimplexOverride(const SimplexOptions& options)
+    : options_(options), previous_(active_simplex_override) {
+  active_simplex_override = &options_;
+}
+
+ScopedSimplexOverride::~ScopedSimplexOverride() {
+  active_simplex_override = previous_;
+}
+
+const SimplexOptions* ScopedSimplexOverride::active() {
+  return active_simplex_override;
+}
+
+ScopedSolveObserver::ScopedSolveObserver(SolveObserver observer)
+    : observer_(std::move(observer)), previous_(active_solve_observer) {
+  active_solve_observer = observer_ ? &observer_ : nullptr;
+}
+
+ScopedSolveObserver::~ScopedSolveObserver() {
+  active_solve_observer = previous_;
+}
+
+SolveObserver* ScopedSolveObserver::active() { return active_solve_observer; }
 
 LpSolution solve_lp(const Lp& lp, const SimplexOptions& options) {
   ARROW_CHECK(lp.a.cols == static_cast<int>(lp.cost.size()), "cost size");
   ARROW_CHECK(lp.a.cols == static_cast<int>(lp.lower.size()), "lower size");
   ARROW_CHECK(lp.a.cols == static_cast<int>(lp.upper.size()), "upper size");
   ARROW_CHECK(lp.a.rows == static_cast<int>(lp.rhs.size()), "rhs size");
-  Simplex s(lp, options);
-  return s.run();
+  const SimplexOptions* override = ScopedSimplexOverride::active();
+  Simplex s(lp, override ? *override : options);
+  LpSolution sol = s.run();
+  if (SolveObserver* observer = ScopedSolveObserver::active()) {
+    (*observer)(lp, sol);
+  }
+  return sol;
 }
 
 }  // namespace arrow::solver

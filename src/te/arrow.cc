@@ -225,33 +225,43 @@ bool tunnel_restorable(const TeInput& input, int f, int ti, int q,
   return flags[static_cast<std::size_t>(input.tunnel_index(f, ti))] != 0;
 }
 
+void prepare_arrow_scenario(const TeInput& input, int q,
+                            const ArrowParams& params, util::Rng& rng,
+                            optical::RwaResult* rwa,
+                            ticket::TicketSet* tickets_out) {
+  const auto& scenario = input.scenarios()[static_cast<std::size_t>(q)];
+  *rwa = optical::solve_rwa(input.net(), scenario.cuts, params.rwa);
+  auto tickets = ticket::generate_tickets(input.net(), scenario.cuts, *rwa,
+                                          params.tickets, rng);
+  // The RWA's own (floored) restoration plan is always a candidate — it is
+  // what |Z| = 1 degenerates to (ARROW-Naive, Fig. 14) — and sits first so
+  // slack ties resolve to it.
+  auto base = ticket::naive_ticket(*rwa);
+  bool have_base = !params.include_naive_candidate;
+  for (const auto& t : tickets.tickets) {
+    if (t.waves == base.waves) {
+      have_base = true;
+      break;
+    }
+  }
+  if (!have_base && !base.waves.empty()) {
+    tickets.tickets.insert(tickets.tickets.begin(), std::move(base));
+    if (static_cast<int>(tickets.tickets.size()) > params.tickets.num_tickets &&
+        tickets.tickets.size() > 1) {
+      tickets.tickets.pop_back();
+    }
+  }
+  *tickets_out = std::move(tickets);
+}
+
 ArrowPrepared prepare_arrow(const TeInput& input, const ArrowParams& params,
                             util::Rng& rng) {
   ArrowPrepared prepared;
-  for (const auto& scenario : input.scenarios()) {
-    prepared.rwa.push_back(
-        optical::solve_rwa(input.net(), scenario.cuts, params.rwa));
-    auto tickets = ticket::generate_tickets(
-        input.net(), scenario.cuts, prepared.rwa.back(), params.tickets, rng);
-    // The RWA's own (floored) restoration plan is always a candidate — it is
-    // what |Z| = 1 degenerates to (ARROW-Naive, Fig. 14) — and sits first so
-    // slack ties resolve to it.
-    auto base = ticket::naive_ticket(prepared.rwa.back());
-    bool have_base = !params.include_naive_candidate;
-    for (const auto& t : tickets.tickets) {
-      if (t.waves == base.waves) {
-        have_base = true;
-        break;
-      }
-    }
-    if (!have_base && !base.waves.empty()) {
-      tickets.tickets.insert(tickets.tickets.begin(), std::move(base));
-      if (static_cast<int>(tickets.tickets.size()) > params.tickets.num_tickets &&
-          tickets.tickets.size() > 1) {
-        tickets.tickets.pop_back();
-      }
-    }
-    prepared.tickets.push_back(std::move(tickets));
+  prepared.rwa.resize(input.scenarios().size());
+  prepared.tickets.resize(input.scenarios().size());
+  for (std::size_t q = 0; q < input.scenarios().size(); ++q) {
+    prepare_arrow_scenario(input, static_cast<int>(q), params, rng,
+                           &prepared.rwa[q], &prepared.tickets[q]);
   }
   return prepared;
 }

@@ -40,6 +40,15 @@ struct ArrowPrepared {
 ArrowPrepared prepare_arrow(const TeInput& input, const ArrowParams& params,
                             util::Rng& rng);
 
+// One scenario's offline artifacts (prepare_arrow is this over every
+// scenario). Exposed so the controller can re-solve a single scenario whose
+// RWA was lost to a solver fault instead of sailing on with zero-wave
+// restoration plans.
+void prepare_arrow_scenario(const TeInput& input, int q,
+                            const ArrowParams& params, util::Rng& rng,
+                            optical::RwaResult* rwa,
+                            ticket::TicketSet* tickets);
+
 // Phase I + winner post-processing + Phase II.
 TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
                        const ArrowParams& params);

@@ -1,6 +1,8 @@
 #include "te/basic.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "solver/model.h"
 #include "util/check.h"
@@ -90,7 +92,7 @@ TeSolution solve_ecmp(const TeInput& input) {
   return sol;
 }
 
-double max_satisfiable_scale(const TeInput& input) {
+double max_satisfiable_scale(const TeInput& input, bool* ok) {
   solver::Model model;
   model.set_maximize();
   const int F = input.num_flows();
@@ -125,8 +127,38 @@ double max_satisfiable_scale(const TeInput& input) {
     }
   }
   const auto res = model.solve();
+  if (ok != nullptr) {
+    *ok = res.optimal();
+    return res.optimal() ? model.value(s) : 0.0;
+  }
   ARROW_CHECK(res.optimal(), "calibration LP failed");
   return model.value(s);
+}
+
+double ecmp_satisfiable_scale(const TeInput& input) {
+  const auto& net = input.net();
+  std::vector<double> load(net.ip_links.size(), 0.0);
+  for (int f = 0; f < input.num_flows(); ++f) {
+    const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+    if (tunnels.empty()) continue;
+    const double per_tunnel =
+        input.flows()[static_cast<std::size_t>(f)].demand_gbps /
+        static_cast<double>(tunnels.size());
+    if (per_tunnel <= 0.0) continue;
+    for (const auto& tunnel : tunnels) {
+      for (topo::IpLinkId e : tunnel.links) {
+        load[static_cast<std::size_t>(e)] += per_tunnel;
+      }
+    }
+  }
+  double scale = solver::kInf;
+  for (const auto& link : net.ip_links) {
+    const double l = load[static_cast<std::size_t>(link.id)];
+    if (l > 1e-12) {
+      scale = std::min(scale, link.capacity_gbps() / l);
+    }
+  }
+  return std::isfinite(scale) ? scale : 1.0;
 }
 
 }  // namespace arrow::te

@@ -18,7 +18,14 @@ TeSolution solve_max_throughput(const TeInput& input);
 TeSolution solve_ecmp(const TeInput& input);
 
 // Largest uniform demand multiplier s such that s * demands are fully
-// satisfiable in the healthy state (LP: maximize s).
-double max_satisfiable_scale(const TeInput& input);
+// satisfiable in the healthy state (LP: maximize s). With `ok == nullptr` a
+// failed calibration LP throws; otherwise failure sets *ok = false and
+// returns 0 so callers (the controller's degradation ladder) can fall back.
+double max_satisfiable_scale(const TeInput& input, bool* ok = nullptr);
+
+// LP-free lower bound on the satisfiable scale: the largest s such that an
+// even ECMP split of s * demands fits every link. Used as the calibration
+// fallback when the LP itself is unavailable (solver fault, deadline).
+double ecmp_satisfiable_scale(const TeInput& input);
 
 }  // namespace arrow::te

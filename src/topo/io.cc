@@ -104,15 +104,25 @@ Network load_network(std::istream& in) {
       std::istringstream ps(path);
       std::string tok;
       while (std::getline(ps, tok, ',')) {
+        // Parse the token in full ourselves: stoi("3x7") would silently
+        // yield 3, and an exception here must surface the offending token,
+        // not a bare "something failed".
+        std::size_t used = 0;
+        int fiber_id = -1;
         try {
-          w.fiber_path.push_back(std::stoi(tok));
+          fiber_id = std::stoi(tok, &used);
         } catch (const std::exception&) {
-          parse_error(line_no, "bad fiber id in wave path");
+          used = 0;
         }
+        if (used == 0 || used != tok.size()) {
+          parse_error(line_no, "bad fiber id '" + tok + "' in wave path");
+        }
+        w.fiber_path.push_back(fiber_id);
       }
       for (FiberId f : w.fiber_path) {
         if (f < 0 || f >= static_cast<int>(net.optical.fibers.size())) {
-          parse_error(line_no, "wave path references unknown fiber");
+          parse_error(line_no, "wave path references unknown fiber " +
+                                   std::to_string(f));
         }
         w.path_km += net.optical.fiber_length(f);
       }
@@ -122,6 +132,15 @@ Network load_network(std::istream& in) {
     }
   }
   if (!have_header) parse_error(line_no, "missing network header");
+  // Full-structure audit before finalize(): the per-line checks above can't
+  // see cross-record problems, and finalize()/validate() abort on the first
+  // violation — this reports all of them at once.
+  const auto issues = validate(net);
+  if (!issues.empty()) {
+    std::string msg = "arrow-topology validation failed:";
+    for (const auto& s : issues) msg += "\n  - " + s;
+    throw std::logic_error(msg);
+  }
   net.optical.finalize();
   net.validate();  // full model invariants, incl. continuity + slot clashes
   return net;
@@ -153,6 +172,8 @@ traffic::TrafficMatrix load_traffic(std::istream& in) {
     if (!(ss >> kind >> d.src >> d.dst >> d.gbps) || kind != "demand") {
       parse_error(line_no, "bad demand line");
     }
+    if (d.src < 0 || d.dst < 0) parse_error(line_no, "negative site id");
+    if (d.gbps < 0.0) parse_error(line_no, "negative demand");
     tm.demands.push_back(d);
   }
   return tm;

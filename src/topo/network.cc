@@ -130,4 +130,47 @@ void Network::validate() const {
   }
 }
 
+std::vector<std::string> validate(const Network& net) {
+  std::vector<std::string> issues;
+  const auto note = [&issues](std::string s) { issues.push_back(std::move(s)); };
+  const int num_fibers = static_cast<int>(net.optical.fibers.size());
+
+  std::set<FiberId> fiber_ids;
+  for (const Fiber& f : net.optical.fibers) {
+    const std::string tag = "fiber " + std::to_string(f.id);
+    if (!fiber_ids.insert(f.id).second) note("duplicate " + tag);
+    if (f.a < 0 || f.a >= net.optical.num_roadms || f.b < 0 ||
+        f.b >= net.optical.num_roadms) {
+      note(tag + ": endpoint out of range");
+    } else if (f.a == f.b) {
+      note(tag + ": self-loop");
+    }
+    if (f.length_km < 0.0) note(tag + ": negative length");
+    if (f.slots <= 0) note(tag + ": non-positive spectrum size");
+  }
+
+  std::set<IpLinkId> link_ids;
+  for (const IpLink& link : net.ip_links) {
+    const std::string tag = "ip link " + std::to_string(link.id);
+    if (!link_ids.insert(link.id).second) note("duplicate " + tag);
+    if (link.src < 0 || link.src >= net.num_sites) {
+      note(tag + ": src site out of range");
+    }
+    if (link.dst < 0 || link.dst >= net.num_sites) {
+      note(tag + ": dst site out of range");
+    }
+    if (link.src == link.dst) note(tag + ": self-loop");
+    for (const Wavelength& w : link.waves) {
+      if (w.gbps <= 0.0) note(tag + ": non-positive wavelength capacity");
+      if (w.slot < 0) note(tag + ": negative spectrum slot");
+      for (FiberId f : w.fiber_path) {
+        if (f < 0 || f >= num_fibers) {
+          note(tag + ": dangling fiber reference " + std::to_string(f));
+        }
+      }
+    }
+  }
+  return issues;
+}
+
 }  // namespace arrow::topo

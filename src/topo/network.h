@@ -110,6 +110,14 @@ struct Network {
   void validate() const;
 };
 
+// Non-throwing structural audit: collects every violation (dangling fiber
+// references, duplicate fiber/link ids, out-of-range endpoints, negative
+// capacities or lengths) as a human-readable diagnostic instead of aborting
+// on the first one like Network::validate(). Safe on arbitrarily broken
+// inputs — the file loaders run it before finalize()/validate() so a bad
+// file yields a full report rather than one cryptic check failure.
+std::vector<std::string> validate(const Network& net);
+
 // C+L band upgrade (paper Appendix A.10): expanding every fiber's spectrum
 // from the C band to C+L doubles the slot count. Provisioned wavelengths
 // stay where they are; the new band starts out noise-loaded and is available
