@@ -5,19 +5,31 @@
 // the 5-minute TE deadline. Our absolute numbers differ (our own simplex on
 // one laptop core, smaller |Z| grid); the growth trend is the reproduction.
 //
-// Uses google-benchmark for the timing harness.
+// Uses google-benchmark for the timing harness; the per-configuration solve
+// times are additionally written to BENCH_fig15_runtime.json (bench_json.h).
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "bench_json.h"
 #include "te/arrow.h"
 #include "te/basic.h"
 #include "topo/builders.h"
 #include "traffic/traffic.h"
+#include "util/parallel.h"
 
 using namespace arrow;
 
 namespace {
+
+// (key, solve ms) per benchmark configuration, in run order.
+std::vector<std::pair<std::string, double>>& json_rows() {
+  static std::vector<std::pair<std::string, double>> rows;
+  return rows;
+}
 
 struct Setup {
   std::unique_ptr<te::TeInput> input;
@@ -45,7 +57,7 @@ std::unique_ptr<Setup> make_setup(const topo::Network& net, double cutoff,
   return setup;
 }
 
-void report(benchmark::State& state, const Setup& setup) {
+void report(benchmark::State& state, const Setup& setup, const char* topo) {
   double solve_seconds = 0.0;
   for (auto _ : state) {
     const auto sol =
@@ -55,27 +67,30 @@ void report(benchmark::State& state, const Setup& setup) {
     state.SetIterationTime(sol.solve_seconds);
   }
   state.counters["solve_s"] = solve_seconds;
+  json_rows().emplace_back(
+      std::string(topo) + "_z" + std::to_string(state.range(0)) + "_solve_ms",
+      solve_seconds * 1000.0);
 }
 
 void BM_ArrowTe_B4(benchmark::State& state) {
   static const topo::Network net = topo::build_b4();
   const auto setup =
       make_setup(net, 0.001, 8, static_cast<int>(state.range(0)));
-  report(state, *setup);
+  report(state, *setup, "b4");
 }
 
 void BM_ArrowTe_IBM(benchmark::State& state) {
   static const topo::Network net = topo::build_ibm();
   const auto setup =
       make_setup(net, 0.001, 8, static_cast<int>(state.range(0)));
-  report(state, *setup);
+  report(state, *setup, "ibm");
 }
 
 void BM_ArrowTe_FBsynth(benchmark::State& state) {
   static const topo::Network net = topo::build_fbsynth();
   const auto setup =
       make_setup(net, 0.002, 6, static_cast<int>(state.range(0)));
-  report(state, *setup);
+  report(state, *setup, "fbsynth");
 }
 
 }  // namespace
@@ -87,4 +102,15 @@ BENCHMARK(BM_ArrowTe_IBM)->Arg(1)->Arg(5)->Arg(10)->Arg(20)
 BENCHMARK(BM_ArrowTe_FBsynth)->Arg(1)->Arg(5)->Arg(10)
     ->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(1);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  bench::BenchJson out("fig15_runtime");
+  out.set("threads", util::default_thread_count());
+  for (const auto& [key, ms] : json_rows()) out.set(key, ms);
+  out.write();
+  return 0;
+}

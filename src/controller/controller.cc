@@ -13,6 +13,7 @@
 #include "te/teavar.h"
 #include "ticket/ticket.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace arrow::ctrl {
 
@@ -224,34 +225,60 @@ ControllerReport run_controller(const topo::Network& net,
 
   const bool restores = config.scheme == Scheme::kArrow ||
                         config.scheme == Scheme::kArrowNaive;
+  // The solver's ambient hooks are thread-local: work fanned onto pool
+  // workers would escape an active fault injector or options override. When
+  // either hook is live (a fault drill wrapping run_controller), the offline
+  // stage runs inline on this thread — slower, but every solve stays under
+  // the hook and the drill's injection schedule stays deterministic.
+  util::ThreadPool inline_pool(1);
+  util::ThreadPool& pool = (solver::ScopedSolveObserver::active() != nullptr ||
+                            solver::ScopedSimplexOverride::active() != nullptr)
+                               ? inline_pool
+                               : util::global_pool();
   te::ArrowPrepared prepared;
   if (restores) {
-    prepared = te::prepare_arrow(inputs.front(), config.arrow, rng);
+    prepared = te::prepare_arrow(inputs.front(), config.arrow, rng, pool);
     // A solver fault inside one scenario's RWA silently strips that
     // scenario's restoration capacity (its tickets carry zero waves), so
     // failed scenarios are re-solved individually — relaxed solver settings
     // from the second attempt on — before the controller relies on them.
+    // The base for the retry streams is drawn whether or not anything
+    // failed, so the rng trajectory downstream does not depend on how many
+    // scenarios a fault happened to hit; attempt streams are counter-seeded
+    // per (scenario, attempt), so repairs of different scenarios can run on
+    // the pool concurrently and still reproduce bit-for-bit.
     constexpr int kRwaRetries = 5;
+    const std::uint64_t repair_base = rng.next_u64();
+    std::vector<int> failed;
     for (std::size_t q = 0; q < prepared.rwa.size(); ++q) {
-      if (prepared.rwa[q].optimal) continue;
+      if (!prepared.rwa[q].optimal) failed.push_back(static_cast<int>(q));
+    }
+    std::vector<char> repaired(failed.size(), 0);
+    pool.parallel_for(0, static_cast<int>(failed.size()), [&](int i) {
+      const int q = failed[static_cast<std::size_t>(i)];
+      auto* rwa = &prepared.rwa[static_cast<std::size_t>(q)];
+      auto* tickets = &prepared.tickets[static_cast<std::size_t>(q)];
       for (int attempt = 0; attempt < kRwaRetries; ++attempt) {
-        util::Rng retry_rng = rng.fork();
+        util::Rng retry_rng(util::Rng::stream_seed(
+            repair_base,
+            static_cast<std::uint64_t>(q) * kRwaRetries +
+                static_cast<std::uint64_t>(attempt)));
         if (attempt == 0) {
-          te::prepare_arrow_scenario(inputs.front(), static_cast<int>(q),
-                                     config.arrow, retry_rng,
-                                     &prepared.rwa[q], &prepared.tickets[q]);
+          te::prepare_arrow_scenario(inputs.front(), q, config.arrow,
+                                     retry_rng, rwa, tickets);
         } else {
           solver::ScopedSimplexOverride relax(relaxed_simplex_options());
-          te::prepare_arrow_scenario(inputs.front(), static_cast<int>(q),
-                                     config.arrow, retry_rng,
-                                     &prepared.rwa[q], &prepared.tickets[q]);
+          te::prepare_arrow_scenario(inputs.front(), q, config.arrow,
+                                     retry_rng, rwa, tickets);
         }
-        if (prepared.rwa[q].optimal) {
-          ++report.rwa_repairs;
+        if (rwa->optimal) {
+          repaired[static_cast<std::size_t>(i)] = 1;
           break;
         }
       }
-      if (!prepared.rwa[q].optimal) ++report.rwa_scenarios_lost;
+    });
+    for (char r : repaired) {
+      if (r) ++report.rwa_repairs; else ++report.rwa_scenarios_lost;
     }
   }
   std::vector<te::TeSolution> solutions;

@@ -1,35 +1,56 @@
 #include "sim/sweep.h"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
+#include "solver/lp.h"
 #include "util/check.h"
 
 namespace arrow::sim {
+
+namespace {
+
+te::TeSolution solve_scheme(const std::string& scheme, const te::TeInput& input,
+                            const te::ArrowPrepared& prepared,
+                            const SweepParams& params) {
+  if (scheme == "ARROW") return te::solve_arrow(input, prepared, params.arrow);
+  if (scheme == "ARROW-Naive") {
+    return te::solve_arrow_naive(input, prepared, params.arrow);
+  }
+  if (scheme == "FFC-1") return te::solve_ffc(input, te::FfcParams{1, 0});
+  if (scheme == "FFC-2") {
+    return te::solve_ffc(
+        input, te::FfcParams{2, params.ffc2_max_double_scenarios});
+  }
+  if (scheme == "TeaVaR") return te::solve_teavar(input, params.teavar);
+  if (scheme == "ECMP") return te::solve_ecmp(input);
+  ARROW_CHECK(false, "unknown scheme");
+  return {};
+}
+
+}  // namespace
 
 double SweepResult::max_scale_at(const std::string& scheme,
                                  double target) const {
   const auto it = availability.find(scheme);
   ARROW_CHECK(it != availability.end(), "unknown scheme");
   const auto& avail = it->second;
-  double best = 0.0;
-  for (std::size_t i = 0; i < scales.size(); ++i) {
-    if (avail[i] >= target) {
-      best = scales[i];
-      // Interpolate into the next segment if availability crosses there.
-      if (i + 1 < scales.size() && avail[i + 1] < target &&
-          avail[i] > avail[i + 1]) {
-        const double frac = (avail[i] - target) / (avail[i] - avail[i + 1]);
-        best = scales[i] + frac * (scales[i + 1] - scales[i]);
-      }
+  if (avail.empty() || avail[0] < target) return 0.0;
+  for (std::size_t i = 1; i < scales.size(); ++i) {
+    if (avail[i] < target) {
+      const double frac = (avail[i - 1] - target) / (avail[i - 1] - avail[i]);
+      return scales[i - 1] + frac * (scales[i] - scales[i - 1]);
     }
   }
-  return best;
+  return scales.back();
 }
 
 SweepResult run_sweep(const topo::Network& net,
                       const std::vector<traffic::TrafficMatrix>& matrices,
                       const std::vector<scenario::Scenario>& scenarios,
-                      const SweepParams& params, util::Rng& rng) {
+                      const SweepParams& params, util::Rng& rng,
+                      util::ThreadPool& pool) {
   ARROW_CHECK(!matrices.empty(), "no traffic matrices");
   SweepResult result;
   result.scales = params.scales;
@@ -42,53 +63,83 @@ SweepResult run_sweep(const topo::Network& net,
   for (const auto& s : result.schemes) {
     result.availability[s].assign(params.scales.size(), 0.0);
     result.throughput[s].assign(params.scales.size(), 0.0);
+    result.simplex_iterations[s] = 0;
   }
 
-  for (const auto& tm : matrices) {
-    te::TeInput input(net, tm, scenarios, params.tunnels);
+  // Per-matrix calibration + offline ARROW stage, before any chain launches.
+  // The rng is consumed here, in matrix order, on the caller's thread — the
+  // only draws in the sweep — so the trajectory is thread-count independent.
+  const int M = static_cast<int>(matrices.size());
+  std::vector<te::TeInput> inputs;
+  std::vector<te::ArrowPrepared> prepared(static_cast<std::size_t>(M));
+  inputs.reserve(static_cast<std::size_t>(M));
+  for (int mi = 0; mi < M; ++mi) {
+    te::TeInput input(net, matrices[static_cast<std::size_t>(mi)], scenarios,
+                      params.tunnels);
     // Calibrate: scale 1.0 = largest fully-satisfiable uniform load.
     const double calibration = te::max_satisfiable_scale(input);
     ARROW_CHECK(calibration > 0.0, "matrix cannot be satisfied at any scale");
     input.scale_demands(calibration);
-
-    // Offline stage: tickets are demand-independent, shared across scales.
-    te::ArrowPrepared prepared;
+    // Offline stage: tickets are demand-independent, shared across scales
+    // (and across the ARROW / ARROW-Naive chains of this matrix).
     if (params.run_arrow || params.run_arrow_naive) {
-      prepared = te::prepare_arrow(input, params.arrow, rng);
+      prepared[static_cast<std::size_t>(mi)] =
+          te::prepare_arrow(input, params.arrow, rng, pool);
     }
+    inputs.push_back(std::move(input));
+  }
 
+  // One chain per (matrix, scheme): scales sequential inside the chain so
+  // each solve can warm-start from the previous scale's basis; chains run
+  // concurrently and each writes only its own output slot.
+  struct ChainJob {
+    int mi;
+    std::string scheme;
+  };
+  struct ChainOut {
+    std::vector<double> availability, throughput;
+    long long iterations = 0;
+  };
+  std::vector<ChainJob> jobs;
+  for (int mi = 0; mi < M; ++mi) {
+    for (const auto& scheme : result.schemes) jobs.push_back({mi, scheme});
+  }
+  std::vector<ChainOut> outs(jobs.size());
+
+  pool.parallel_for(0, static_cast<int>(jobs.size()), [&](int ji) {
+    const ChainJob& job = jobs[static_cast<std::size_t>(ji)];
+    ChainOut& out = outs[static_cast<std::size_t>(ji)];
+    out.availability.assign(params.scales.size(), 0.0);
+    out.throughput.assign(params.scales.size(), 0.0);
+    // Private copy: scale_demands mutates the input in place.
+    te::TeInput input = inputs[static_cast<std::size_t>(job.mi)];
+    const te::ArrowPrepared& prep = prepared[static_cast<std::size_t>(job.mi)];
+    std::optional<solver::ScopedWarmStartCache> cache;
+    if (params.warm_start) cache.emplace();
     double prev_scale = 1.0;
     for (std::size_t si = 0; si < params.scales.size(); ++si) {
       input.scale_demands(params.scales[si] / prev_scale);
       prev_scale = params.scales[si];
-
-      const auto record = [&](const char* name, const te::TeSolution& sol) {
-        if (!sol.optimal) return;
-        const Evaluation eval = evaluate(input, sol);
-        result.availability[name][si] += eval.availability;
-        result.throughput[name][si] += eval.throughput;
-      };
-      if (params.run_arrow) {
-        record("ARROW", te::solve_arrow(input, prepared, params.arrow));
-      }
-      if (params.run_arrow_naive) {
-        record("ARROW-Naive",
-               te::solve_arrow_naive(input, prepared, params.arrow));
-      }
-      if (params.run_ffc1) {
-        record("FFC-1", te::solve_ffc(input, te::FfcParams{1, 0}));
-      }
-      if (params.run_ffc2) {
-        record("FFC-2", te::solve_ffc(input, te::FfcParams{
-                                                 2, params.ffc2_max_double_scenarios}));
-      }
-      if (params.run_teavar) {
-        record("TeaVaR", te::solve_teavar(input, params.teavar));
-      }
-      if (params.run_ecmp) {
-        record("ECMP", te::solve_ecmp(input));
-      }
+      const te::TeSolution sol = solve_scheme(job.scheme, input, prep, params);
+      out.iterations += sol.simplex_iterations;
+      if (!sol.optimal) continue;
+      const Evaluation eval = evaluate(input, sol);
+      out.availability[si] = eval.availability;
+      out.throughput[si] = eval.throughput;
     }
+  });
+
+  // Merge in job order: the floating-point sums see the same addend order
+  // no matter how the chains were scheduled.
+  for (std::size_t ji = 0; ji < jobs.size(); ++ji) {
+    const ChainJob& job = jobs[ji];
+    auto& avail = result.availability[job.scheme];
+    auto& thr = result.throughput[job.scheme];
+    for (std::size_t si = 0; si < params.scales.size(); ++si) {
+      avail[si] += outs[ji].availability[si];
+      thr[si] += outs[ji].throughput[si];
+    }
+    result.simplex_iterations[job.scheme] += outs[ji].iterations;
   }
 
   const double n = static_cast<double>(matrices.size());
@@ -101,6 +152,13 @@ SweepResult run_sweep(const topo::Network& net,
     for (double& v : values) v /= n;
   }
   return result;
+}
+
+SweepResult run_sweep(const topo::Network& net,
+                      const std::vector<traffic::TrafficMatrix>& matrices,
+                      const std::vector<scenario::Scenario>& scenarios,
+                      const SweepParams& params, util::Rng& rng) {
+  return run_sweep(net, matrices, scenarios, params, rng, util::global_pool());
 }
 
 }  // namespace arrow::sim

@@ -24,6 +24,10 @@ struct SweepParams {
   bool run_ffc2 = true;
   bool run_teavar = true;
   bool run_ecmp = true;
+  // Chain each scheme's scale grid through a solver::ScopedWarmStartCache:
+  // scale s_{i+1}'s LP starts from s_i's optimal basis instead of all-slack.
+  // Results stay optimal either way; only the pivot count changes.
+  bool warm_start = true;
   te::TunnelParams tunnels;
   te::ArrowParams arrow;
   te::TeaVarParams teavar;
@@ -36,12 +40,32 @@ struct SweepResult {
   // availability[scheme][scale index], averaged over traffic matrices.
   std::map<std::string, std::vector<double>> availability;
   std::map<std::string, std::vector<double>> throughput;
+  // Total simplex pivots per scheme, summed over matrices and scales (not
+  // averaged). The warm-start win shows up here: same availability curve,
+  // fewer pivots.
+  std::map<std::string, long long> simplex_iterations;
 
-  // Largest scale sustaining the availability target (linear interpolation
-  // between grid points; 0 if even the smallest scale misses the target).
+  // Largest scale sustaining the availability target: the first downward
+  // crossing of the curve, linearly interpolated between grid points.
+  // Returns 0 if even the smallest scale misses the target, and the last
+  // grid scale if the curve never drops below it. Scanning stops at the
+  // first crossing — a non-monotone curve (solver noise at high scales)
+  // must not resurrect a later, larger answer.
   double max_scale_at(const std::string& scheme, double target) const;
 };
 
+// Solves every (traffic matrix, scheme) chain as one pool task; within a
+// chain the scales run sequentially (that order is what the warm-start
+// basis handoff exploits). Each chain writes its own slot and the slots are
+// merged in a fixed order afterwards, so availability/throughput sums are
+// bit-identical at any thread count.
+SweepResult run_sweep(const topo::Network& net,
+                      const std::vector<traffic::TrafficMatrix>& matrices,
+                      const std::vector<scenario::Scenario>& scenarios,
+                      const SweepParams& params, util::Rng& rng,
+                      util::ThreadPool& pool);
+
+// Convenience overload on the process-wide pool (util::global_pool()).
 SweepResult run_sweep(const topo::Network& net,
                       const std::vector<traffic::TrafficMatrix>& matrices,
                       const std::vector<scenario::Scenario>& scenarios,

@@ -14,7 +14,9 @@
 
 #include <functional>
 #include <limits>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace arrow::solver {
@@ -67,17 +69,46 @@ struct SimplexOptions {
   Pricing pricing = Pricing::kDevex;
 };
 
+// Snapshot of a simplex basis: one status per computational-form column
+// (structural + slack). A Basis taken from one solve can warm-start a later
+// solve of an LP with the same shape — re-solves of a perturbed LP (demand
+// rescaled, rhs nudged) then start from a near-optimal vertex instead of
+// the all-slack identity and typically finish in a fraction of the pivots.
+enum class BasisStatus : char {
+  kNonbasicLower = 0,
+  kNonbasicUpper = 1,
+  kBasic = 2,
+  kNonbasicFree = 3,
+};
+
+struct Basis {
+  std::vector<BasisStatus> status;  // size = LP cols
+
+  bool empty() const { return status.empty(); }
+  int num_basic() const {
+    int n = 0;
+    for (BasisStatus s : status) n += s == BasisStatus::kBasic ? 1 : 0;
+    return n;
+  }
+};
+
 struct LpSolution {
   LpStatus status = LpStatus::kNumericalError;
   double objective = 0.0;
   std::vector<double> x;              // primal values, size cols
   std::vector<double> dual;           // row duals y, size rows
   std::vector<double> reduced_cost;   // d = c - A'y, size cols
+  Basis basis;                        // final basis (empty on hard failure)
   int iterations = 0;
   int phase1_iterations = 0;
+  bool warm_started = false;          // solved from a caller/cache basis
 };
 
-LpSolution solve_lp(const Lp& lp, const SimplexOptions& options = {});
+// warm_start: optional starting basis. Ignored when its shape does not match
+// the LP; a warm solve that ends in numerical error is retried cold from the
+// all-slack basis, so warm-starting never costs correctness.
+LpSolution solve_lp(const Lp& lp, const SimplexOptions& options = {},
+                    const Basis* warm_start = nullptr);
 
 // --- ambient solve hooks ---------------------------------------------------
 //
@@ -124,6 +155,39 @@ class ScopedSolveObserver {
  private:
   SolveObserver observer_;
   SolveObserver* previous_;
+};
+
+// Ambient warm-start cache (same thread-local scoped discipline as the two
+// hooks above). While in scope, every solve_lp() on this thread looks up a
+// stored basis keyed by the LP's (rows, cols) shape before falling back to
+// the all-slack start, and stores its final basis back after an optimal
+// finish. A chain of same-shaped re-solves — the evaluation sweep's demand
+// scale grid, where each scale's TE LP differs from the previous one only
+// in bounds and rhs — then warm-starts link to link with zero plumbing
+// through the TE layer. Shape collisions between *different* models are
+// harmless: a mismatched basis is just a poor starting vertex, and phase 1
+// (or the cold retry) restores correctness.
+class ScopedWarmStartCache {
+ public:
+  ScopedWarmStartCache();
+  ~ScopedWarmStartCache();
+  ScopedWarmStartCache(const ScopedWarmStartCache&) = delete;
+  ScopedWarmStartCache& operator=(const ScopedWarmStartCache&) = delete;
+
+  static ScopedWarmStartCache* active();
+
+  // Counts a hit when an entry exists.
+  const Basis* find(int rows, int cols);
+  void store(int rows, int cols, Basis basis);
+
+  int hits() const { return hits_; }
+  int stores() const { return stores_; }
+
+ private:
+  std::map<std::pair<int, int>, Basis> entries_;
+  int hits_ = 0;
+  int stores_ = 0;
+  ScopedWarmStartCache* previous_;
 };
 
 // Verification helper (used heavily in tests): returns the maximum violation

@@ -155,7 +155,7 @@ Lp Model::build_lp(const std::vector<double>& lb_override,
   return lp;
 }
 
-SolveResult Model::solve() {
+SolveResult Model::solve(const Basis* warm_start) {
   if (num_integer_vars() > 0) {
     result_ = solve_mip();
     return result_;
@@ -166,9 +166,12 @@ SolveResult Model::solve() {
     ub[j] = vars_[j].ub;
   }
   const Lp lp = build_lp(lb, ub);
-  const LpSolution sol = solve_lp(lp, simplex_options_);
+  const LpSolution sol = solve_lp(lp, simplex_options_, warm_start);
   SolveResult res;
   res.simplex_iterations = sol.iterations;
+  res.phase1_iterations = sol.phase1_iterations;
+  res.basis = sol.basis;
+  res.warm_started = sol.warm_started;
   switch (sol.status) {
     case LpStatus::kOptimal: res.status = SolveStatus::kOptimal; break;
     case LpStatus::kInfeasible: res.status = SolveStatus::kInfeasible; break;

@@ -32,7 +32,12 @@ struct SolveResult {
   SolveStatus status = SolveStatus::kNumericalError;
   double objective = 0.0;
   int simplex_iterations = 0;
-  int bb_nodes = 0;  // 0 for pure LPs
+  int phase1_iterations = 0;  // feasibility-restoration share of the above
+  int bb_nodes = 0;           // 0 for pure LPs
+  // Final simplex basis (pure LPs only; empty for MIPs and hard failures).
+  // Feed it back into a later solve() of a same-shaped model to warm-start.
+  Basis basis;
+  bool warm_started = false;  // this solve started from a supplied basis
   bool optimal() const { return status == SolveStatus::kOptimal; }
 };
 
@@ -56,7 +61,10 @@ class Model {
   void set_bounds(VarId v, double lb, double ub);
 
   // --- solving -------------------------------------------------------------
-  SolveResult solve();
+  // warm_start: optional starting basis for the LP path (shape mismatch or
+  // numerical trouble falls back to the all-slack start; see solve_lp).
+  // Ignored for MIPs — branch-and-bound manages its own node solves.
+  SolveResult solve(const Basis* warm_start = nullptr);
 
   // --- solution access ------------------------------------------------------
   double value(VarId v) const;

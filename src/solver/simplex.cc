@@ -65,20 +65,35 @@ enum class VStat : char { kBasic, kAtLower, kAtUpper, kFree };
 
 class Simplex {
  public:
-  Simplex(const Lp& lp, const SimplexOptions& opt) : lp_(lp), opt_(opt) {
+  Simplex(const Lp& lp, const SimplexOptions& opt,
+          const Basis* warm = nullptr)
+      : lp_(lp), opt_(opt), warm_(warm) {
     m_ = lp.a.rows;
     n_ = lp.a.cols;
     max_iter_ = opt.max_iterations > 0 ? opt.max_iterations
                                        : 20000 + 100 * (m_ + n_);
   }
 
+  bool warm_started() const { return warm_started_; }
+
   LpSolution run() {
     LpSolution sol;
     if (m_ == 0) return solve_trivial();
-    init_basis();
+    warm_started_ = warm_ != nullptr && init_from_basis(*warm_);
+    if (!warm_started_) init_basis();
     if (!refactorize()) {
-      sol.status = LpStatus::kNumericalError;
-      return sol;
+      // A structurally valid warm basis can still be singular; the all-slack
+      // identity never is, so retry from there before giving up.
+      if (!warm_started_) {
+        sol.status = LpStatus::kNumericalError;
+        return sol;
+      }
+      warm_started_ = false;
+      init_basis();
+      if (!refactorize()) {
+        sol.status = LpStatus::kNumericalError;
+        return sol;
+      }
     }
     LpStatus st = iterate(/*phase=*/1);
     if (st == LpStatus::kOptimal && total_infeasibility() > feas_total_tol()) {
@@ -120,6 +135,44 @@ class Simplex {
     }
     sol.status = LpStatus::kOptimal;
     return sol;
+  }
+
+  // Rebuilds vstat_/basis_ from a caller-supplied basis. Statuses are
+  // sanitized against the current bounds (a variable cannot sit at an
+  // infinite bound), so a basis taken from the same-shaped LP with different
+  // bound values is still structurally usable. Returns false when the shape
+  // or the basic-column count is wrong.
+  bool init_from_basis(const Basis& warm) {
+    if (static_cast<int>(warm.status.size()) != n_) return false;
+    basis_.clear();
+    basis_.reserve(static_cast<std::size_t>(m_));
+    vstat_.assign(static_cast<std::size_t>(n_), VStat::kAtLower);
+    for (int j = 0; j < n_; ++j) {
+      const double lo = lp_.lower[static_cast<std::size_t>(j)];
+      const double hi = lp_.upper[static_cast<std::size_t>(j)];
+      switch (warm.status[static_cast<std::size_t>(j)]) {
+        case BasisStatus::kBasic:
+          basis_.push_back(j);
+          vstat_[static_cast<std::size_t>(j)] = VStat::kBasic;
+          break;
+        case BasisStatus::kNonbasicUpper:
+          vstat_[static_cast<std::size_t>(j)] =
+              std::isfinite(hi) ? VStat::kAtUpper
+                                : (std::isfinite(lo) ? VStat::kAtLower
+                                                     : VStat::kFree);
+          break;
+        case BasisStatus::kNonbasicLower:
+          vstat_[static_cast<std::size_t>(j)] =
+              std::isfinite(lo) ? VStat::kAtLower
+                                : (std::isfinite(hi) ? VStat::kAtUpper
+                                                     : VStat::kFree);
+          break;
+        case BasisStatus::kNonbasicFree:
+          vstat_[static_cast<std::size_t>(j)] = VStat::kFree;
+          break;
+      }
+    }
+    return static_cast<int>(basis_.size()) == m_;
   }
 
   void init_basis() {
@@ -497,7 +550,19 @@ class Simplex {
     sol.status = st;
     sol.iterations = iterations_;
     sol.phase1_iterations = phase1_iterations_;
+    sol.warm_started = warm_started_;
     sol.x.assign(static_cast<std::size_t>(n_), 0.0);
+    sol.basis.status.resize(static_cast<std::size_t>(n_));
+    for (int j = 0; j < n_; ++j) {
+      BasisStatus bs = BasisStatus::kNonbasicLower;
+      switch (vstat_[static_cast<std::size_t>(j)]) {
+        case VStat::kBasic: bs = BasisStatus::kBasic; break;
+        case VStat::kAtLower: bs = BasisStatus::kNonbasicLower; break;
+        case VStat::kAtUpper: bs = BasisStatus::kNonbasicUpper; break;
+        case VStat::kFree: bs = BasisStatus::kNonbasicFree; break;
+      }
+      sol.basis.status[static_cast<std::size_t>(j)] = bs;
+    }
     if (st == LpStatus::kInfeasible || st == LpStatus::kNumericalError) {
       return sol;
     }
@@ -536,6 +601,8 @@ class Simplex {
 
   const Lp& lp_;
   SimplexOptions opt_;
+  const Basis* warm_ = nullptr;
+  bool warm_started_ = false;
   int m_ = 0;
   int n_ = 0;
   int max_iter_ = 0;
@@ -550,6 +617,7 @@ class Simplex {
 
 thread_local const SimplexOptions* active_simplex_override = nullptr;
 thread_local SolveObserver* active_solve_observer = nullptr;
+thread_local ScopedWarmStartCache* active_warm_cache = nullptr;
 
 }  // namespace
 
@@ -577,14 +645,57 @@ ScopedSolveObserver::~ScopedSolveObserver() {
 
 SolveObserver* ScopedSolveObserver::active() { return active_solve_observer; }
 
-LpSolution solve_lp(const Lp& lp, const SimplexOptions& options) {
+ScopedWarmStartCache::ScopedWarmStartCache() : previous_(active_warm_cache) {
+  active_warm_cache = this;
+}
+
+ScopedWarmStartCache::~ScopedWarmStartCache() {
+  active_warm_cache = previous_;
+}
+
+ScopedWarmStartCache* ScopedWarmStartCache::active() {
+  return active_warm_cache;
+}
+
+const Basis* ScopedWarmStartCache::find(int rows, int cols) {
+  const auto it = entries_.find({rows, cols});
+  if (it == entries_.end()) return nullptr;
+  ++hits_;
+  return &it->second;
+}
+
+void ScopedWarmStartCache::store(int rows, int cols, Basis basis) {
+  entries_[{rows, cols}] = std::move(basis);
+  ++stores_;
+}
+
+LpSolution solve_lp(const Lp& lp, const SimplexOptions& options,
+                    const Basis* warm_start) {
   ARROW_CHECK(lp.a.cols == static_cast<int>(lp.cost.size()), "cost size");
   ARROW_CHECK(lp.a.cols == static_cast<int>(lp.lower.size()), "lower size");
   ARROW_CHECK(lp.a.cols == static_cast<int>(lp.upper.size()), "upper size");
   ARROW_CHECK(lp.a.rows == static_cast<int>(lp.rhs.size()), "rhs size");
   const SimplexOptions* override = ScopedSimplexOverride::active();
-  Simplex s(lp, override ? *override : options);
+  const SimplexOptions& opt = override ? *override : options;
+  ScopedWarmStartCache* cache = ScopedWarmStartCache::active();
+  const Basis* warm = warm_start;
+  if (warm == nullptr && cache != nullptr) {
+    warm = cache->find(lp.a.rows, lp.a.cols);
+  }
+  Simplex s(lp, opt, warm);
   LpSolution sol = s.run();
+  if (s.warm_started() && sol.status == LpStatus::kNumericalError) {
+    // The warm basis led the solve astray; the all-slack start is the
+    // correctness baseline, so pay for a cold solve before reporting failure.
+    const int warm_iterations = sol.iterations;
+    Simplex cold(lp, opt);
+    sol = cold.run();
+    sol.iterations += warm_iterations;
+  }
+  if (cache != nullptr && sol.status == LpStatus::kOptimal &&
+      !sol.basis.empty()) {
+    cache->store(lp.a.rows, lp.a.cols, sol.basis);
+  }
   if (SolveObserver* observer = ScopedSolveObserver::active()) {
     (*observer)(lp, sol);
   }

@@ -255,15 +255,27 @@ void prepare_arrow_scenario(const TeInput& input, int q,
 }
 
 ArrowPrepared prepare_arrow(const TeInput& input, const ArrowParams& params,
-                            util::Rng& rng) {
+                            util::Rng& rng, util::ThreadPool& pool) {
   ArrowPrepared prepared;
-  prepared.rwa.resize(input.scenarios().size());
-  prepared.tickets.resize(input.scenarios().size());
-  for (std::size_t q = 0; q < input.scenarios().size(); ++q) {
-    prepare_arrow_scenario(input, static_cast<int>(q), params, rng,
-                           &prepared.rwa[q], &prepared.tickets[q]);
-  }
+  const int Q = static_cast<int>(input.scenarios().size());
+  prepared.rwa.resize(static_cast<std::size_t>(Q));
+  prepared.tickets.resize(static_cast<std::size_t>(Q));
+  // One draw seeds every scenario stream; each body writes only its own q
+  // slot, so the fan-out is race-free and thread-count independent.
+  const std::uint64_t base = rng.next_u64();
+  pool.parallel_for(0, Q, [&](int q) {
+    util::Rng stream(
+        util::Rng::stream_seed(base, static_cast<std::uint64_t>(q)));
+    prepare_arrow_scenario(input, q, params, stream,
+                           &prepared.rwa[static_cast<std::size_t>(q)],
+                           &prepared.tickets[static_cast<std::size_t>(q)]);
+  });
   return prepared;
+}
+
+ArrowPrepared prepare_arrow(const TeInput& input, const ArrowParams& params,
+                            util::Rng& rng) {
+  return prepare_arrow(input, params, rng, util::global_pool());
 }
 
 TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
@@ -422,6 +434,7 @@ TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
   // ---- Phase II -----------------------------------------------------------
   TeSolution sol =
       phase2(input, prepared, naive, winners, "ARROW", phase1_seconds);
+  sol.simplex_iterations += res.simplex_iterations;  // include Phase I's share
   return sol;
 }
 

@@ -12,6 +12,7 @@
 #include "te/input.h"
 #include "te/solution.h"
 #include "ticket/ticket.h"
+#include "util/parallel.h"
 
 namespace arrow::te {
 
@@ -37,6 +38,15 @@ struct ArrowPrepared {
   std::vector<ticket::TicketSet> tickets;   // per scenario
 };
 
+// Fans the per-scenario RWA solve + ticket rounding out across `pool`.
+// Draws one base value from `rng`, then scenario q rounds with its own
+// counter-seeded stream Rng(stream_seed(base, q)) — the artifacts are a pure
+// function of the seed, bit-identical at any thread count (the serial
+// trajectory changes once, at the introduction of streams, not per run).
+ArrowPrepared prepare_arrow(const TeInput& input, const ArrowParams& params,
+                            util::Rng& rng, util::ThreadPool& pool);
+
+// Convenience overload on the process-wide pool (util::global_pool()).
 ArrowPrepared prepare_arrow(const TeInput& input, const ArrowParams& params,
                             util::Rng& rng);
 

@@ -1,0 +1,119 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "util/check.h"
+
+namespace arrow::util {
+
+ThreadPool::ThreadPool(int threads) {
+  threads_ = threads > 0 ? threads : default_thread_count();
+  if (threads_ <= 1) return;  // inline mode: no workers, no queue
+  workers_.reserve(static_cast<std::size_t>(threads_));
+  for (int i = 0; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || queue_head_ < queue_.size(); });
+      if (queue_head_ >= queue_.size()) return;  // stop_ and drained
+      task = std::move(queue_[queue_head_++].body);
+      if (queue_head_ == queue_.size()) {
+        queue_.clear();
+        queue_head_ = 0;
+      }
+    }
+    task();  // packaged_task captures exceptions into the future
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> wrapped(std::move(task));
+  std::future<void> future = wrapped.get_future();
+  if (workers_.empty()) {
+    wrapped();  // inline mode: run on the caller, future already settled
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ARROW_CHECK(!stop_, "submit on a stopped ThreadPool");
+    queue_.push_back(Task{std::move(wrapped)});
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(int begin, int end,
+                              const std::function<void(int)>& fn) {
+  const int n = end - begin;
+  if (n <= 0) return;
+  if (workers_.empty() || n == 1) {
+    for (int i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // Dynamic index claiming: which thread runs which index is scheduling
+  // noise, but every index runs exactly once, so slot-writing callers are
+  // deterministic regardless.
+  auto next = std::make_shared<std::atomic<int>>(begin);
+  auto failed = std::make_shared<std::atomic<bool>>(false);
+  const auto runner = [next, failed, end, &fn] {
+    while (!failed->load(std::memory_order_relaxed)) {
+      const int i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      try {
+        fn(i);
+      } catch (...) {
+        failed->store(true, std::memory_order_relaxed);
+        throw;  // lands in this runner's future
+      }
+    }
+  };
+  std::vector<std::future<void>> futures;
+  const int runners = std::min(threads_, n);
+  futures.reserve(static_cast<std::size_t>(runners));
+  for (int r = 0; r < runners; ++r) futures.push_back(submit(runner));
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+int default_thread_count() {
+  if (const char* env = std::getenv("ARROW_THREADS")) {
+    char* tail = nullptr;
+    const long v = std::strtol(env, &tail, 10);
+    if (tail != env && *tail == '\0' && v > 0 && v <= 1024) {
+      return static_cast<int>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+}  // namespace arrow::util

@@ -1,0 +1,69 @@
+// Fixed-size thread pool for the offline ARROW stage and evaluation sweep.
+//
+// Determinism contract: ThreadPool never decides *what* work happens, only
+// *where*. parallel_for hands every index to exactly one task body, callers
+// write results into per-index slots, and any randomness is derived from
+// counter-seeded util::Rng streams (see util::stream_seed) — so results are
+// bit-identical at any thread count, including the inline threads == 1 case.
+//
+// Ambient solver hooks (solver::ScopedSimplexOverride / ScopedSolveObserver)
+// are thread-local and do NOT propagate onto pool workers. Call sites that
+// must honor an active hook (the controller under a fault drill) run inline
+// by constructing a ThreadPool(1), which executes everything on the caller's
+// thread with no workers at all.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace arrow::util {
+
+class ThreadPool {
+ public:
+  // threads <= 0 selects default_thread_count(). threads == 1 spawns no
+  // workers: submit() and parallel_for() execute inline on the caller.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  // Enqueues one task; the future rethrows whatever the task threw.
+  std::future<void> submit(std::function<void()> task);
+
+  // Calls fn(i) exactly once for every i in [begin, end), spread across the
+  // pool, and blocks until all are done. Indices are claimed dynamically, so
+  // fn must only touch state owned by its own index. The first exception
+  // thrown by any fn is rethrown here after the loop drains.
+  void parallel_for(int begin, int end, const std::function<void(int)>& fn);
+
+ private:
+  struct Task {
+    std::packaged_task<void()> body;
+  };
+
+  void worker_loop();
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Task> queue_;  // FIFO via head index
+  std::size_t queue_head_ = 0;
+  bool stop_ = false;
+};
+
+// ARROW_THREADS env override when set to a positive integer, otherwise
+// std::thread::hardware_concurrency() (at least 1). Read on every call so
+// tests can flip the override at runtime.
+int default_thread_count();
+
+// Process-wide pool, lazily sized by default_thread_count() on first use.
+ThreadPool& global_pool();
+
+}  // namespace arrow::util

@@ -113,6 +113,19 @@ class Rng {
   // Derive an independent child generator (for parallel or per-entity use).
   Rng fork() { return Rng(next_u64()); }
 
+  // Counter-seeded stream: the seed of child stream `index` under `base`.
+  // SplitMix64-finalized so nearby indices decorrelate, and a pure function
+  // of (base, index) — stream i never depends on how many sibling streams
+  // exist or in what order they are drawn. This is the RNG discipline behind
+  // deterministic parallel fan-out (see util::ThreadPool): draw `base` once
+  // on the caller, give worker i the stream Rng(stream_seed(base, i)).
+  static std::uint64_t stream_seed(std::uint64_t base, std::uint64_t index) {
+    std::uint64_t z = base ^ (0x9E3779B97F4A7C15ull * (index + 1));
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

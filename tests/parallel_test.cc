@@ -1,0 +1,135 @@
+// util::ThreadPool and the counter-seeded RNG stream discipline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "solver/lp.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace arrow {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  constexpr int kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, [&](int i) { hits[static_cast<std::size_t>(i)]++; });
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, EmptyAndSingletonRanges) {
+  util::ThreadPool pool(3);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(7, 8, [&](int i) {
+    ++calls;
+    EXPECT_EQ(i, 7);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineOnCaller) {
+  util::ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen_for, seen_submit;
+  pool.parallel_for(0, 1, [&](int) { seen_for = std::this_thread::get_id(); });
+  pool.submit([&] { seen_submit = std::this_thread::get_id(); }).get();
+  EXPECT_EQ(seen_for, caller);
+  EXPECT_EQ(seen_submit, caller);
+}
+
+// The reason the controller drops to ThreadPool(1) under a fault drill:
+// ambient solver hooks are thread-local, so only the inline pool keeps them
+// visible to the work it runs.
+TEST(ThreadPool, InlinePoolSeesAmbientHooks) {
+  solver::SimplexOptions opt;
+  opt.max_iterations = 1234;
+  solver::ScopedSimplexOverride guard(opt);
+  util::ThreadPool inline_pool(1);
+  bool seen = false;
+  inline_pool.parallel_for(0, 1, [&](int) {
+    const auto* active = solver::ScopedSimplexOverride::active();
+    seen = active != nullptr && active->max_iterations == 1234;
+  });
+  EXPECT_TRUE(seen);
+}
+
+TEST(ThreadPool, WorkersDoNotInheritAmbientHooks) {
+  solver::SimplexOptions opt;
+  solver::ScopedSimplexOverride guard(opt);
+  util::ThreadPool pool(2);  // >1 thread: every body runs on a worker
+  std::atomic<int> leaked{0};
+  pool.parallel_for(0, 8, [&](int) {
+    if (solver::ScopedSimplexOverride::active() != nullptr) leaked++;
+  });
+  EXPECT_EQ(leaked.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForRethrowsTaskException) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](int i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must stay usable after an exception drained.
+  std::atomic<int> n{0};
+  pool.parallel_for(0, 10, [&](int) { n++; });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, SubmitFutureRethrows) {
+  util::ThreadPool pool(2);
+  auto fut = pool.submit([] { throw std::logic_error("task failed"); });
+  EXPECT_THROW(fut.get(), std::logic_error);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnvOverride) {
+  ::setenv("ARROW_THREADS", "3", 1);
+  EXPECT_EQ(util::default_thread_count(), 3);
+  ::setenv("ARROW_THREADS", "0", 1);  // invalid: must fall back to hardware
+  EXPECT_GE(util::default_thread_count(), 1);
+  ::setenv("ARROW_THREADS", "banana", 1);
+  EXPECT_GE(util::default_thread_count(), 1);
+  ::unsetenv("ARROW_THREADS");
+  EXPECT_GE(util::default_thread_count(), 1);
+}
+
+TEST(StreamSeed, PureFunctionOfBaseAndIndex) {
+  const std::uint64_t base = 0xDEADBEEFCAFEull;
+  EXPECT_EQ(util::Rng::stream_seed(base, 5), util::Rng::stream_seed(base, 5));
+  // Nearby indices and nearby bases must decorrelate.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    seeds.insert(util::Rng::stream_seed(base, i));
+    seeds.insert(util::Rng::stream_seed(base + 1, i));
+  }
+  EXPECT_EQ(seeds.size(), 200u);
+}
+
+TEST(StreamSeed, StreamsIndependentOfDrawOrder) {
+  // Stream i's draws depend only on (base, i), not on which sibling streams
+  // were instantiated first — the property parallel fan-out relies on.
+  const std::uint64_t base = 42;
+  util::Rng forward_first(util::Rng::stream_seed(base, 0));
+  const std::uint64_t a = forward_first.next_u64();
+  util::Rng other(util::Rng::stream_seed(base, 7));
+  (void)other.next_u64();
+  util::Rng again(util::Rng::stream_seed(base, 0));
+  EXPECT_EQ(again.next_u64(), a);
+}
+
+}  // namespace
+}  // namespace arrow

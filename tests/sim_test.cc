@@ -194,6 +194,22 @@ TEST(Sweep, MaxScaleInterpolates) {
   EXPECT_THROW(r.max_scale_at("Y", 0.5), std::logic_error);
 }
 
+TEST(Sweep, MaxScaleFirstCrossing) {
+  // Non-monotone curve (solver noise at high scales): the answer is the
+  // FIRST downward crossing. A later re-ascent above the target must not
+  // resurrect a larger scale.
+  SweepResult r;
+  r.scales = {1.0, 2.0, 3.0, 4.0};
+  r.schemes = {"X"};
+  r.availability["X"] = {1.0, 0.5, 0.95, 0.2};
+  // Crossing 0.9 happens between scales 1 and 2: 1 + (1.0-0.9)/(1.0-0.5).
+  EXPECT_NEAR(r.max_scale_at("X", 0.9), 1.2, 1e-9);
+  // Even the smallest scale misses the target -> 0.
+  EXPECT_NEAR(r.max_scale_at("X", 1.5), 0.0, 1e-12);
+  // Never drops below the target -> last grid scale.
+  EXPECT_NEAR(r.max_scale_at("X", 0.1), 4.0, 1e-12);
+}
+
 TEST(Sweep, SmallEndToEndRun) {
   const topo::Network net = topo::build_b4();
   util::Rng rng(7);

@@ -1,0 +1,123 @@
+// Warm-started simplex: re-solving a perturbed LP from a prior optimal
+// basis must return the same optimum in fewer pivots, and must never cost
+// correctness (shape mismatch or numerical trouble falls back cold).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "solver/lp.h"
+#include "solver/model.h"
+#include "te/basic.h"
+#include "te/ffc.h"
+#include "te/input.h"
+#include "topo/builders.h"
+#include "traffic/traffic.h"
+
+namespace arrow {
+namespace {
+
+// A small but non-trivial LP: route 4 "flows" over shared capacities.
+solver::Model make_model(double cap_scale) {
+  solver::Model m;
+  m.set_maximize();
+  std::vector<solver::VarId> x;
+  for (int i = 0; i < 8; ++i) {
+    x.push_back(m.add_var(0.0, 10.0, 1.0 + 0.1 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    solver::LinExpr pair;
+    pair.add_term(x[static_cast<std::size_t>(2 * i)], 1.0);
+    pair.add_term(x[static_cast<std::size_t>(2 * i + 1)], 1.0);
+    m.add_constr(pair, solver::Sense::kLe, 12.0 * cap_scale);
+  }
+  solver::LinExpr all;
+  for (const auto& v : x) all.add_term(v, 1.0);
+  m.add_constr(all, solver::Sense::kLe, 30.0 * cap_scale);
+  return m;
+}
+
+TEST(WarmStart, ReSolveFromOwnBasisTakesNoPivots) {
+  solver::Model m = make_model(1.0);
+  const auto cold = m.solve();
+  ASSERT_TRUE(cold.optimal());
+  EXPECT_FALSE(cold.warm_started);
+  ASSERT_FALSE(cold.basis.empty());
+  EXPECT_GT(cold.simplex_iterations, 0);
+
+  solver::Model again = make_model(1.0);
+  const auto warm = again.solve(&cold.basis);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  // The supplied basis is already optimal: pricing finds nothing to do.
+  EXPECT_LE(warm.simplex_iterations, 1);
+}
+
+TEST(WarmStart, PerturbedRhsReusesBasis) {
+  solver::Model m = make_model(1.0);
+  const auto first = m.solve();
+  ASSERT_TRUE(first.optimal());
+
+  solver::Model cold_model = make_model(1.07);
+  const auto cold = cold_model.solve();
+  ASSERT_TRUE(cold.optimal());
+
+  solver::Model warm_model = make_model(1.07);
+  const auto warm = warm_model.solve(&first.basis);
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-7 * std::abs(cold.objective));
+  EXPECT_LE(warm.simplex_iterations, cold.simplex_iterations);
+}
+
+TEST(WarmStart, ShapeMismatchFallsBackCold) {
+  solver::Model m = make_model(1.0);
+  solver::Basis wrong;
+  wrong.status.assign(3, solver::BasisStatus::kNonbasicLower);  // wrong size
+  const auto res = m.solve(&wrong);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_FALSE(res.warm_started);
+}
+
+TEST(WarmStart, ScopedCacheChainsTeSolves) {
+  const topo::Network net = topo::build_b4();
+  util::Rng rng(515);
+  traffic::TrafficParams tp;
+  tp.num_matrices = 1;
+  const auto matrices = traffic::generate_traffic(net, tp, rng);
+  scenario::ScenarioParams sp;
+  sp.probability_cutoff = 0.005;
+  auto set = scenario::generate_scenarios(net, sp, rng);
+  const auto scenarios = scenario::remove_disconnecting(net, set.scenarios);
+  te::TunnelParams tun;
+  tun.tunnels_per_flow = 5;
+  te::TeInput input(net, matrices[0], scenarios, tun);
+  input.scale_demands(te::max_satisfiable_scale(input) * 0.7);
+
+  // Cold reference at the perturbed scale.
+  te::TeInput cold_input = input;
+  cold_input.scale_demands(1.05);
+  const te::TeSolution cold = te::solve_ffc(cold_input, te::FfcParams{1, 0});
+  ASSERT_TRUE(cold.optimal);
+  ASSERT_GT(cold.simplex_iterations, 0);
+
+  // Warm chain: solve at the base scale to populate the cache, then at the
+  // perturbed scale. Same LP shape, nudged bounds -> basis reuse.
+  solver::ScopedWarmStartCache cache;
+  const te::TeSolution first = te::solve_ffc(input, te::FfcParams{1, 0});
+  ASSERT_TRUE(first.optimal);
+  EXPECT_GE(cache.stores(), 1);
+  input.scale_demands(1.05);
+  const te::TeSolution warm = te::solve_ffc(input, te::FfcParams{1, 0});
+  ASSERT_TRUE(warm.optimal);
+  EXPECT_GE(cache.hits(), 1);
+
+  // Same optimum (the LP is identical), strictly fewer pivots.
+  const double tol = 1e-6 * std::max(1.0, std::abs(cold.objective));
+  EXPECT_NEAR(warm.objective, cold.objective, tol);
+  EXPECT_LT(warm.simplex_iterations, cold.simplex_iterations);
+}
+
+}  // namespace
+}  // namespace arrow
