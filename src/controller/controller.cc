@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <set>
 
 #include "optical/event_sim.h"
 #include "optical/rwa.h"
 #include "sim/availability.h"
+#include "solver/basis_store.h"
 #include "solver/lp.h"
 #include "te/basic.h"
+#include "topo/network.h"
 #include "te/ffc.h"
 #include "te/teavar.h"
 #include "ticket/ticket.h"
@@ -89,14 +92,19 @@ solver::SimplexOptions relaxed_simplex_options() {
 
 // One attempt at the configured scheme (the old inline switch, minus the
 // fatal check — failure is now the ladder's problem, not the caller's).
+// `cache` (nullable) carries this matrix's precomputed restorability flags,
+// shared across every ladder attempt — a primary failure plus relaxed retry
+// used to recompute all Q x Z flag sets from scratch on each rung.
 te::TeSolution solve_primary(const ControllerConfig& config,
                              const te::TeInput& input,
-                             const te::ArrowPrepared& prepared) {
+                             const te::ArrowPrepared& prepared,
+                             const te::RestorabilityCache* cache,
+                             util::ThreadPool& pool) {
   switch (config.scheme) {
     case Scheme::kArrow:
-      return te::solve_arrow(input, prepared, config.arrow);
+      return te::solve_arrow(input, prepared, config.arrow, pool, cache);
     case Scheme::kArrowNaive:
-      return te::solve_arrow_naive(input, prepared, config.arrow);
+      return te::solve_arrow_naive(input, prepared, config.arrow, cache);
     case Scheme::kFfc1:
       return te::solve_ffc(input, te::FfcParams{1, 0});
     case Scheme::kTeaVar:
@@ -153,15 +161,20 @@ struct LadderOutcome {
 LadderOutcome solve_with_ladder(const ControllerConfig& config,
                                 const te::TeInput& input,
                                 const te::ArrowPrepared& prepared,
-                                const te::TeSolution* last_good) {
+                                const te::TeSolution* last_good,
+                                const te::RestorabilityCache* cache,
+                                util::ThreadPool& pool) {
   LadderOutcome out;
-  out.sol = solve_primary(config, input, prepared);
+  out.sol = solve_primary(config, input, prepared, cache, pool);
   out.seconds += out.sol.solve_seconds;
   if (out.sol.optimal) return out;
 
   {
     solver::ScopedSimplexOverride relax(relaxed_simplex_options());
-    out.sol = solve_primary(config, input, prepared);
+    // The override is thread-local: the retry must not fan model builds
+    // onto pool workers that would escape it.
+    util::ThreadPool inline_pool(1);
+    out.sol = solve_primary(config, input, prepared, cache, inline_pool);
   }
   out.seconds += out.sol.solve_seconds;
   out.rung = Rung::kRelaxedRetry;
@@ -200,6 +213,21 @@ ControllerReport run_controller(const topo::Network& net,
     raw = scenario::generate_scenarios(net, config.scenarios, rng).scenarios;
   }
   const auto scenarios = scenario::remove_disconnecting(net, std::move(raw));
+
+  // Persistent warm starts (opt-in): seed a scoped cache from the store's
+  // bases for this exact (topology, scenario set) before any solve, absorb
+  // the run's final bases back just before returning. The hashes key on
+  // structure, not demands, so runs over different traffic matrices share
+  // vertices as long as the network and scenario set match.
+  std::uint64_t topo_h = 0;
+  std::uint64_t scen_h = 0;
+  std::optional<solver::ScopedWarmStartCache> warm;
+  if (config.basis_store != nullptr) {
+    topo_h = topo::structure_hash(net);
+    scen_h = scenario::set_hash(scenarios);
+    warm.emplace();
+    config.basis_store->seed(topo_h, scen_h, *warm);
+  }
 
   std::vector<te::TeInput> inputs;
   inputs.reserve(tms.size());
@@ -281,6 +309,13 @@ ControllerReport run_controller(const topo::Network& net,
       if (r) ++report.rwa_repairs; else ++report.rwa_scenarios_lost;
     }
   }
+  // Restorability flags are a function of (tunnels, tickets), both shared
+  // across the matrices (demands differ, topology does not), so one cache
+  // serves every matrix's ladder — including its retry rungs.
+  std::optional<te::RestorabilityCache> rcache;
+  if (restores && config.arrow.fast_build) {
+    rcache.emplace(inputs.front(), prepared, pool);
+  }
   std::vector<te::TeSolution> solutions;
   solutions.reserve(inputs.size());
   int last_solved = -1;  // most recent matrix served by a real solve
@@ -288,7 +323,8 @@ ControllerReport run_controller(const topo::Network& net,
     const te::TeSolution* last_good =
         last_solved >= 0 ? &solutions[static_cast<std::size_t>(last_solved)]
                          : nullptr;
-    LadderOutcome out = solve_with_ladder(config, input, prepared, last_good);
+    LadderOutcome out = solve_with_ladder(config, input, prepared, last_good,
+                                          rcache ? &*rcache : nullptr, pool);
     report.fallback_counts[static_cast<std::size_t>(out.rung)] += 1;
     report.rung_by_matrix.push_back(out.rung);
     report.solve_seconds_by_matrix.push_back(out.seconds);
@@ -551,6 +587,9 @@ ControllerReport run_controller(const topo::Network& net,
   recompute_rates();
   report.timeline.emplace_back(0.0, delivered_rate);
   queue.run();
+  if (config.basis_store != nullptr) {
+    config.basis_store->absorb(topo_h, scen_h, *warm);
+  }
   return report;
 }
 

@@ -28,6 +28,10 @@
 #include "te/input.h"
 #include "traffic/traffic.h"
 
+namespace arrow::solver {
+class BasisStore;
+}
+
 namespace arrow::ctrl {
 
 enum class Scheme {
@@ -88,6 +92,16 @@ struct ControllerConfig {
   // of leaving the cut unrestored. Surrogate paths crossing any currently
   // cut fiber are discarded before slots are assigned.
   bool emergency_restoration = true;
+
+  // Opt-in persistent warm-start store (e.g. &solver::BasisStore::global()).
+  // When set, the run wraps its solves in a solver::ScopedWarmStartCache
+  // seeded from the store's bases for this (topology, scenario set) and
+  // absorbs the run's final bases back on exit — the next run over the same
+  // network starts every TE solve from this run's optimal vertex. Left null
+  // (the default) the controller's pivot trajectory is untouched: replaying
+  // a run with the same seed reproduces it bit-for-bit, which a shared
+  // mutable store would break.
+  solver::BasisStore* basis_store = nullptr;
 
   // Fault hooks, normally unset (wired by resilience::FaultInjector):
   // consulted when a restoration plan is about to be installed. `true` from

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace arrow::scenario {
 
@@ -108,6 +109,17 @@ std::vector<Scenario> enumerate_exhaustive(const topo::Network& net, int k) {
     }
   }
   return out;
+}
+
+std::uint64_t set_hash(const std::vector<Scenario>& scenarios) {
+  util::Fnv1a h;
+  h.i64(static_cast<std::int64_t>(scenarios.size()));
+  for (const Scenario& s : scenarios) {
+    h.i64(static_cast<std::int64_t>(s.cuts.size()));
+    for (topo::FiberId f : s.cuts) h.i32(f);
+    h.f64(s.probability);
+  }
+  return h.value();
 }
 
 }  // namespace arrow::scenario

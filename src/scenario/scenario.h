@@ -43,6 +43,12 @@ struct ScenarioSet {
 ScenarioSet generate_scenarios(const topo::Network& net,
                                const ScenarioParams& params, util::Rng& rng);
 
+// FNV-1a hash of a scenario list (cut sets + probabilities, order-sensitive).
+// Combined with topo::structure_hash it keys the persistent warm-start
+// BasisStore: same network + same scenario set => same LP shapes and
+// near-identical geometry across controller runs.
+std::uint64_t set_hash(const std::vector<Scenario>& scenarios);
+
 // All scenarios with exactly <= k cuts, ignoring probabilities (used by
 // FFC-k, which wants absolute guarantees for every k-failure combination).
 std::vector<Scenario> enumerate_exhaustive(const topo::Network& net, int k);

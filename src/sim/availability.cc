@@ -108,8 +108,13 @@ std::vector<std::vector<double>> delivered_alloc(const te::TeInput& input,
       capacity[static_cast<std::size_t>(e)] = 0.0;
     }
     if (static_cast<std::size_t>(q) < sol.restored.size()) {
+      // Clamp like state_delivery below: restoration brings a failed link
+      // back at most to its provisioned capacity. An over-restoring ticket
+      // (surrogate waves exceeding the original link) must not inflate
+      // post-failure delivery beyond what the IP link can carry.
       for (const auto& [e, gbps] : sol.restored[static_cast<std::size_t>(q)]) {
-        capacity[static_cast<std::size_t>(e)] = gbps;
+        capacity[static_cast<std::size_t>(e)] = std::min(
+            gbps, net.ip_links[static_cast<std::size_t>(e)].capacity_gbps());
       }
     }
   }

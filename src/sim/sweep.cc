@@ -11,12 +11,21 @@ namespace arrow::sim {
 
 namespace {
 
+// `cache` (nullable) carries the matrix's precomputed restorability flags
+// into the ARROW solvers; `pool` is the pool those solvers may fan model
+// builds onto. Chains pass an inline pool — they already run concurrently
+// with each other, and nesting parallel_for on the shared pool from a worker
+// could deadlock (the worker blocks on futures no one is free to run).
 te::TeSolution solve_scheme(const std::string& scheme, const te::TeInput& input,
                             const te::ArrowPrepared& prepared,
-                            const SweepParams& params) {
-  if (scheme == "ARROW") return te::solve_arrow(input, prepared, params.arrow);
+                            const SweepParams& params,
+                            const te::RestorabilityCache* cache,
+                            util::ThreadPool& pool) {
+  if (scheme == "ARROW") {
+    return te::solve_arrow(input, prepared, params.arrow, pool, cache);
+  }
   if (scheme == "ARROW-Naive") {
-    return te::solve_arrow_naive(input, prepared, params.arrow);
+    return te::solve_arrow_naive(input, prepared, params.arrow, cache);
   }
   if (scheme == "FFC-1") return te::solve_ffc(input, te::FfcParams{1, 0});
   if (scheme == "FFC-2") {
@@ -30,6 +39,15 @@ te::TeSolution solve_scheme(const std::string& scheme, const te::TeInput& input,
 }
 
 }  // namespace
+
+long long SweepResult::total_solve_failures() const {
+  long long n = 0;
+  for (const auto& [scheme, counts] : solve_failures) {
+    (void)scheme;
+    for (int c : counts) n += c;
+  }
+  return n;
+}
 
 double SweepResult::max_scale_at(const std::string& scheme,
                                  double target) const {
@@ -64,6 +82,7 @@ SweepResult run_sweep(const topo::Network& net,
     result.availability[s].assign(params.scales.size(), 0.0);
     result.throughput[s].assign(params.scales.size(), 0.0);
     result.simplex_iterations[s] = 0;
+    result.solve_failures[s].assign(params.scales.size(), 0);
   }
 
   // Per-matrix calibration + offline ARROW stage, before any chain launches.
@@ -72,6 +91,11 @@ SweepResult run_sweep(const topo::Network& net,
   const int M = static_cast<int>(matrices.size());
   std::vector<te::TeInput> inputs;
   std::vector<te::ArrowPrepared> prepared(static_cast<std::size_t>(M));
+  // Restorability flags per matrix, shared by the matrix's ARROW and
+  // ARROW-Naive chains at every scale (the flags depend on tunnels and
+  // tickets, not demands, so demand scaling leaves them valid).
+  std::vector<std::optional<te::RestorabilityCache>> caches(
+      static_cast<std::size_t>(M));
   inputs.reserve(static_cast<std::size_t>(M));
   for (int mi = 0; mi < M; ++mi) {
     te::TeInput input(net, matrices[static_cast<std::size_t>(mi)], scenarios,
@@ -85,6 +109,10 @@ SweepResult run_sweep(const topo::Network& net,
     if (params.run_arrow || params.run_arrow_naive) {
       prepared[static_cast<std::size_t>(mi)] =
           te::prepare_arrow(input, params.arrow, rng, pool);
+      if (params.arrow.fast_build) {
+        caches[static_cast<std::size_t>(mi)].emplace(
+            input, prepared[static_cast<std::size_t>(mi)], pool);
+      }
     }
     inputs.push_back(std::move(input));
   }
@@ -98,6 +126,7 @@ SweepResult run_sweep(const topo::Network& net,
   };
   struct ChainOut {
     std::vector<double> availability, throughput;
+    std::vector<char> failed;  // per scale: solve came back non-optimal
     long long iterations = 0;
   };
   std::vector<ChainJob> jobs;
@@ -111,18 +140,28 @@ SweepResult run_sweep(const topo::Network& net,
     ChainOut& out = outs[static_cast<std::size_t>(ji)];
     out.availability.assign(params.scales.size(), 0.0);
     out.throughput.assign(params.scales.size(), 0.0);
+    out.failed.assign(params.scales.size(), 0);
     // Private copy: scale_demands mutates the input in place.
     te::TeInput input = inputs[static_cast<std::size_t>(job.mi)];
     const te::ArrowPrepared& prep = prepared[static_cast<std::size_t>(job.mi)];
+    const auto& mcache = caches[static_cast<std::size_t>(job.mi)];
+    const te::RestorabilityCache* rcache = mcache ? &*mcache : nullptr;
+    // Model builds inside a chain stay on this worker thread (see
+    // solve_scheme); the chains themselves are the parallelism.
+    util::ThreadPool chain_pool(1);
     std::optional<solver::ScopedWarmStartCache> cache;
     if (params.warm_start) cache.emplace();
     double prev_scale = 1.0;
     for (std::size_t si = 0; si < params.scales.size(); ++si) {
       input.scale_demands(params.scales[si] / prev_scale);
       prev_scale = params.scales[si];
-      const te::TeSolution sol = solve_scheme(job.scheme, input, prep, params);
+      const te::TeSolution sol =
+          solve_scheme(job.scheme, input, prep, params, rcache, chain_pool);
       out.iterations += sol.simplex_iterations;
-      if (!sol.optimal) continue;
+      if (!sol.optimal) {
+        out.failed[si] = 1;
+        continue;
+      }
       const Evaluation eval = evaluate(input, sol);
       out.availability[si] = eval.availability;
       out.throughput[si] = eval.throughput;
@@ -135,21 +174,31 @@ SweepResult run_sweep(const topo::Network& net,
     const ChainJob& job = jobs[ji];
     auto& avail = result.availability[job.scheme];
     auto& thr = result.throughput[job.scheme];
+    auto& fails = result.solve_failures[job.scheme];
     for (std::size_t si = 0; si < params.scales.size(); ++si) {
       avail[si] += outs[ji].availability[si];
       thr[si] += outs[ji].throughput[si];
+      fails[si] += outs[ji].failed[si];
     }
     result.simplex_iterations[job.scheme] += outs[ji].iterations;
   }
 
-  const double n = static_cast<double>(matrices.size());
+  // Average over the matrices that actually solved: a failed solve is
+  // reported in solve_failures, not silently averaged in as 0.0.
+  const int n = M;
   for (auto& [scheme, values] : result.availability) {
-    (void)scheme;
-    for (double& v : values) v /= n;
+    const auto& fails = result.solve_failures[scheme];
+    for (std::size_t si = 0; si < values.size(); ++si) {
+      const int ok = n - fails[si];
+      values[si] = ok > 0 ? values[si] / ok : 0.0;
+    }
   }
   for (auto& [scheme, values] : result.throughput) {
-    (void)scheme;
-    for (double& v : values) v /= n;
+    const auto& fails = result.solve_failures[scheme];
+    for (std::size_t si = 0; si < values.size(); ++si) {
+      const int ok = n - fails[si];
+      values[si] = ok > 0 ? values[si] / ok : 0.0;
+    }
   }
   return result;
 }

@@ -45,6 +45,18 @@ struct SweepResult {
   // fewer pivots.
   std::map<std::string, long long> simplex_iterations;
 
+  // solve_failures[scheme][scale index]: matrices whose TE solve came back
+  // non-optimal at that (scheme, scale). Failed slots are excluded from the
+  // availability/throughput means (a failed solve used to be silently
+  // averaged in as 0.0, dragging the curve down with no signal); a slot
+  // where every matrix failed reports 0 availability and its failure count
+  // carries the evidence.
+  std::map<std::string, std::vector<int>> solve_failures;
+
+  // Failures summed over every scheme and scale — the "this sweep is clean"
+  // assertion benches make before trusting the curves.
+  long long total_solve_failures() const;
+
   // Largest scale sustaining the availability target: the first downward
   // crossing of the curve, linearly interpolated between grid points.
   // Returns 0 if even the smallest scale misses the target, and the last

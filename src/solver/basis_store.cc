@@ -1,0 +1,71 @@
+#include "solver/basis_store.h"
+
+#include <utility>
+
+namespace arrow::solver {
+
+void BasisStore::store(const Key& key, Basis basis) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[key] = std::move(basis);
+}
+
+bool BasisStore::load(const Key& key, Basis* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+int BasisStore::seed(std::uint64_t topo_hash, std::uint64_t scenario_hash,
+                     ScopedWarmStartCache& cache) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Entries with one (topo, scenario) prefix are contiguous under Key's
+  // lexicographic order; scan from the prefix's lower bound.
+  Key from;
+  from.topo_hash = topo_hash;
+  from.scenario_hash = scenario_hash;
+  int n = 0;
+  for (auto it = entries_.lower_bound(from); it != entries_.end(); ++it) {
+    if (it->first.topo_hash != topo_hash ||
+        it->first.scenario_hash != scenario_hash) {
+      break;
+    }
+    cache.preload(it->first.rows, it->first.cols, it->second);
+    ++n;
+  }
+  return n;
+}
+
+int BasisStore::absorb(std::uint64_t topo_hash, std::uint64_t scenario_hash,
+                       const ScopedWarmStartCache& cache) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (const auto& [shape, basis] : cache.entries()) {
+    Key key;
+    key.topo_hash = topo_hash;
+    key.scenario_hash = scenario_hash;
+    key.rows = shape.first;
+    key.cols = shape.second;
+    entries_[key] = basis;
+    ++n;
+  }
+  return n;
+}
+
+std::size_t BasisStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void BasisStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+BasisStore& BasisStore::global() {
+  static BasisStore store;
+  return store;
+}
+
+}  // namespace arrow::solver

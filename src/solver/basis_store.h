@@ -1,0 +1,74 @@
+// Persistent warm-start basis store.
+//
+// ScopedWarmStartCache (lp.h) chains warm starts within one scope — one
+// sweep chain, one controller run — and dies with it. The BasisStore is the
+// layer above: a thread-safe map from (topology hash, scenario-set hash,
+// LP shape) to the last optimal basis seen for that LP, surviving across
+// controller runs in one process. A run seeds its ScopedWarmStartCache from
+// the store on entry and absorbs the cache's final bases back on exit, so
+// the second run over the same network starts every TE solve from the first
+// run's optimal vertex.
+//
+// Keys hash the *structure* that determines LP geometry (topology wiring and
+// capacities via topo::structure_hash, the failure scenario set via
+// scenario::set_hash) plus the LP's (rows, cols) shape. Collisions and stale
+// entries are harmless by the same argument as the scoped cache: a
+// mismatched basis is just a poor starting vertex and the simplex falls back
+// to (or retries from) the all-slack start, so warm-starting never costs
+// correctness.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "solver/lp.h"
+
+namespace arrow::solver {
+
+class BasisStore {
+ public:
+  struct Key {
+    std::uint64_t topo_hash = 0;
+    std::uint64_t scenario_hash = 0;
+    int rows = 0;
+    int cols = 0;
+
+    bool operator<(const Key& o) const {
+      if (topo_hash != o.topo_hash) return topo_hash < o.topo_hash;
+      if (scenario_hash != o.scenario_hash) {
+        return scenario_hash < o.scenario_hash;
+      }
+      if (rows != o.rows) return rows < o.rows;
+      return cols < o.cols;
+    }
+  };
+
+  // All operations are thread-safe (one mutex; bases are copied in and out).
+  void store(const Key& key, Basis basis);
+  bool load(const Key& key, Basis* out) const;
+
+  // Copies every basis stored under (topo_hash, scenario_hash) into `cache`
+  // via preload (not counted as stores). Returns the number seeded.
+  int seed(std::uint64_t topo_hash, std::uint64_t scenario_hash,
+           ScopedWarmStartCache& cache) const;
+
+  // Persists every entry of `cache` under (topo_hash, scenario_hash),
+  // overwriting same-shaped entries. Returns the number absorbed.
+  int absorb(std::uint64_t topo_hash, std::uint64_t scenario_hash,
+             const ScopedWarmStartCache& cache);
+
+  std::size_t size() const;
+  void clear();
+
+  // Process-wide store. Opt-in: nothing uses it unless a caller passes it
+  // (e.g. ControllerConfig::basis_store = &BasisStore::global()) — runs that
+  // want cold, reproducible pivot trajectories just leave it unset.
+  static BasisStore& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<Key, Basis> entries_;
+};
+
+}  // namespace arrow::solver

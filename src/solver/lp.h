@@ -180,6 +180,16 @@ class ScopedWarmStartCache {
   const Basis* find(int rows, int cols);
   void store(int rows, int cols, Basis basis);
 
+  // Seeds an entry without counting it as a store — how BasisStore::seed
+  // preloads a fresh cache with bases persisted from earlier runs, keeping
+  // hits()/stores() meaningful for this run alone.
+  void preload(int rows, int cols, Basis basis);
+  // Snapshot of the stored entries, keyed by LP shape (rows, cols) — how
+  // BasisStore::absorb persists a finished run's bases.
+  const std::map<std::pair<int, int>, Basis>& entries() const {
+    return entries_;
+  }
+
   int hits() const { return hits_; }
   int stores() const { return stores_; }
 

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace arrow::solver {
 
@@ -79,6 +80,22 @@ int Model::num_integer_vars() const {
 const std::string& Model::var_name(VarId v) const {
   ARROW_CHECK(v.valid() && v.index < static_cast<int>(vars_.size()));
   return vars_[static_cast<std::size_t>(v.index)].name;
+}
+
+std::uint64_t Model::fingerprint() const {
+  util::Fnv1a h;
+  h.u64(maximize_ ? 1 : 0);
+  h.i64(static_cast<std::int64_t>(vars_.size()));
+  for (const auto& v : vars_) {
+    h.f64(v.lb).f64(v.ub).f64(v.obj).i32(static_cast<std::int32_t>(v.type));
+  }
+  h.i64(static_cast<std::int64_t>(rows_.size()));
+  for (const auto& r : rows_) {
+    h.i64(static_cast<std::int64_t>(r.terms.size()));
+    for (const auto& [vi, c] : r.terms) h.i32(vi).f64(c);
+    h.i32(static_cast<std::int32_t>(r.sense)).f64(r.rhs);
+  }
+  return h.value();
 }
 
 Lp Model::build_lp(const std::vector<double>& lb_override,

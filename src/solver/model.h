@@ -7,6 +7,7 @@
 // Table 9's binary ticket selection and the RWA ILP cross-checks).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,13 @@ class Model {
   int num_constrs() const { return static_cast<int>(rows_.size()); }
   int num_integer_vars() const;
   const std::string& var_name(VarId v) const;
+
+  // FNV-1a hash over the objective sense, every variable (bounds, objective,
+  // type) and every row (terms, sense, rhs). Two models with the same
+  // fingerprint are the same LP/MIP down to variable and row order — how the
+  // model-build benches assert that a faster build path produced a
+  // bit-identical model without solving it.
+  std::uint64_t fingerprint() const;
 
   SimplexOptions& simplex_options() { return simplex_options_; }
   // Branch-and-bound node budget for MIPs.

@@ -669,6 +669,10 @@ void ScopedWarmStartCache::store(int rows, int cols, Basis basis) {
   ++stores_;
 }
 
+void ScopedWarmStartCache::preload(int rows, int cols, Basis basis) {
+  entries_[{rows, cols}] = std::move(basis);
+}
+
 LpSolution solve_lp(const Lp& lp, const SimplexOptions& options,
                     const Basis* warm_start) {
   ARROW_CHECK(lp.a.cols == static_cast<int>(lp.cost.size()), "cost size");

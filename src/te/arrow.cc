@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <optional>
 
 #include "solver/model.h"
 #include "util/check.h"
@@ -19,7 +20,10 @@ struct BaseVars {
 };
 
 // Constraints (1)-(3) / (7)-(9): flow cover, healthy capacity, demand caps.
-BaseVars add_base(solver::Model& model, const TeInput& input) {
+// `fast` walks the link->tunnel incidence index instead of probing all F x T
+// tunnels per link; both paths visit tunnels in (flow, ti) order and
+// add_constr canonicalizes terms, so the built rows are identical.
+BaseVars add_base(solver::Model& model, const TeInput& input, bool fast) {
   const int F = input.num_flows();
   BaseVars vars;
   vars.b.resize(static_cast<std::size_t>(F));
@@ -43,11 +47,19 @@ BaseVars add_base(solver::Model& model, const TeInput& input) {
   }
   for (const auto& link : input.net().ip_links) {
     solver::LinExpr load;
-    for (int f = 0; f < F; ++f) {
-      for (std::size_t ti = 0; ti < vars.a[static_cast<std::size_t>(f)].size();
-           ++ti) {
-        if (input.tunnel_uses_link(f, static_cast<int>(ti), link.id)) {
-          load.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
+    if (fast) {
+      for (const auto& lt : input.tunnels_on_link(link.id)) {
+        load.add_term(
+            vars.a[static_cast<std::size_t>(lt.flow)][static_cast<std::size_t>(lt.ti)],
+            1.0);
+      }
+    } else {
+      for (int f = 0; f < F; ++f) {
+        for (std::size_t ti = 0;
+             ti < vars.a[static_cast<std::size_t>(f)].size(); ++ti) {
+          if (input.tunnel_uses_link(f, static_cast<int>(ti), link.id)) {
+            load.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
+          }
         }
       }
     }
@@ -58,7 +70,318 @@ BaseVars add_base(solver::Model& model, const TeInput& input) {
   return vars;
 }
 
-// Per-(scenario, ticket) restorability flags for every flattened tunnel.
+TeSolution extract_solution(solver::Model& model, const TeInput& input,
+                            const BaseVars& vars, const char* scheme,
+                            const solver::SolveResult& res, double seconds) {
+  TeSolution sol;
+  sol.scheme = scheme;
+  sol.optimal = res.optimal();
+  sol.objective = res.objective;
+  sol.solve_seconds = seconds;
+  sol.simplex_iterations = res.simplex_iterations;
+  if (!sol.optimal) return sol;
+  const int F = input.num_flows();
+  sol.admitted.resize(static_cast<std::size_t>(F));
+  sol.alloc.resize(static_cast<std::size_t>(F));
+  for (int f = 0; f < F; ++f) {
+    sol.admitted[static_cast<std::size_t>(f)] =
+        model.value(vars.b[static_cast<std::size_t>(f)]);
+    for (const auto& v : vars.a[static_cast<std::size_t>(f)]) {
+      sol.alloc[static_cast<std::size_t>(f)].push_back(model.value(v));
+    }
+  }
+  return sol;
+}
+
+const ticket::LotteryTicket& ticket_or_naive(
+    const ArrowPrepared& prepared, const std::vector<ticket::LotteryTicket>& naive,
+    int q, int z) {
+  if (z >= 0 &&
+      z < static_cast<int>(
+              prepared.tickets[static_cast<std::size_t>(q)].tickets.size())) {
+    return prepared.tickets[static_cast<std::size_t>(q)]
+        .tickets[static_cast<std::size_t>(z)];
+  }
+  return naive[static_cast<std::size_t>(q)];
+}
+
+std::vector<ticket::LotteryTicket> make_naive_tickets(const ArrowPrepared& prepared) {
+  std::vector<ticket::LotteryTicket> out;
+  out.reserve(prepared.rwa.size());
+  for (const auto& rwa : prepared.rwa) {
+    out.push_back(ticket::naive_ticket(rwa));
+  }
+  return out;
+}
+
+// Phase II (Table 3) against a chosen ticket per scenario (z = -1 selects
+// the naive RWA ticket). `fast` selects the incidence-index load rows;
+// `cache` (optional) supplies precomputed restorability flags.
+TeSolution phase2(const TeInput& input, const ArrowPrepared& prepared,
+                  const std::vector<ticket::LotteryTicket>& naive,
+                  const std::vector<int>& winners, const char* scheme,
+                  double extra_seconds, bool fast,
+                  const RestorabilityCache* cache) {
+  const int Q = input.num_scenarios();
+  solver::Model model;
+  model.set_maximize();
+  BaseVars vars = add_base(model, input, fast);
+
+  for (int q = 0; q < Q; ++q) {
+    const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+    const auto& ticket = ticket_or_naive(prepared, naive, q,
+                                         winners[static_cast<std::size_t>(q)]);
+    std::vector<char> fresh;
+    if (cache == nullptr) {
+      fresh = restorable_flags(input, q, tickets, ticket);
+    }
+    const std::vector<char>& restorable =
+        cache != nullptr
+            ? cache->flags(q, winners[static_cast<std::size_t>(q)])
+            : fresh;
+    // (10): residual + restorable tunnels cover b_f.
+    for (int f : input.affected_flows(q)) {
+      solver::LinExpr expr;
+      const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+      for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
+        const int flat = input.tunnel_index(f, static_cast<int>(ti));
+        if (input.tunnel_alive(f, static_cast<int>(ti), q) ||
+            restorable[static_cast<std::size_t>(flat)]) {
+          expr.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
+        }
+      }
+      expr -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
+      model.add_constr(expr, solver::Sense::kGe, 0.0);
+    }
+    // (11): restorable tunnels fit within restored capacity r*.
+    for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+      const topo::IpLinkId e = tickets.failed_links[li];
+      solver::LinExpr load;
+      if (fast) {
+        for (const auto& lt : input.tunnels_on_link(e)) {
+          if (restorable[static_cast<std::size_t>(lt.flat)]) {
+            load.add_term(vars.a[static_cast<std::size_t>(lt.flow)]
+                                [static_cast<std::size_t>(lt.ti)],
+                          1.0);
+          }
+        }
+      } else {
+        for (int f = 0; f < input.num_flows(); ++f) {
+          const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+          for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
+            const int flat = input.tunnel_index(f, static_cast<int>(ti));
+            if (restorable[static_cast<std::size_t>(flat)] &&
+                input.tunnel_uses_link(f, static_cast<int>(ti), e)) {
+              load.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
+            }
+          }
+        }
+      }
+      if (!load.terms().empty()) {
+        model.add_constr(load, solver::Sense::kLe, ticket.gbps[li]);
+      }
+    }
+  }
+
+  const auto t0 = Clock::now();
+  const auto res = model.solve();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count() + extra_seconds;
+  TeSolution sol = extract_solution(model, input, vars, scheme, res, seconds);
+  sol.winner = winners;
+  sol.restored.resize(static_cast<std::size_t>(Q));
+  for (int q = 0; q < Q; ++q) {
+    const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+    const auto& ticket = ticket_or_naive(prepared, naive, q,
+                                         winners[static_cast<std::size_t>(q)]);
+    for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+      sol.restored[static_cast<std::size_t>(q)][tickets.failed_links[li]] =
+          ticket.gbps[li];
+    }
+  }
+  return sol;
+}
+
+struct SlackGroup {
+  std::vector<solver::VarId> dp, dm;  // parallel to failed_links
+};
+
+struct Phase1Model {
+  solver::Model model;
+  BaseVars vars;
+  std::vector<std::vector<SlackGroup>> slack;  // [q][z]
+};
+
+// Builds the Phase I LP (Table 2). A non-null `cache` selects the fast path:
+// union restorability flags come from the cache and the per-scenario cover +
+// link-load expressions are generated in parallel on `pool` into per-q
+// slots, then appended serially in fixed q order — variable order, row order
+// and row contents are identical to the serial legacy build (flags are a
+// pure function of the inputs and add_constr canonicalizes terms), so the
+// model is bit-identical at any thread count and with the cache on or off.
+void build_phase1(const TeInput& input, const ArrowPrepared& prepared,
+                  const std::vector<ticket::LotteryTicket>& naive,
+                  const ArrowParams& params, util::ThreadPool& pool,
+                  const RestorabilityCache* cache, Phase1Model* out) {
+  const int Q = input.num_scenarios();
+  solver::Model& model = out->model;
+  model.set_maximize();
+  out->vars = add_base(model, input, cache != nullptr);
+  const BaseVars& vars = out->vars;
+  out->slack.assign(static_cast<std::size_t>(Q), {});
+
+  if (cache != nullptr) {
+    struct ScenarioRows {
+      std::vector<solver::LinExpr> cover;      // per affected flow of q
+      std::vector<solver::LinExpr> link_load;  // per failed link of q
+    };
+    std::vector<ScenarioRows> rows(static_cast<std::size_t>(Q));
+    pool.parallel_for(0, Q, [&](int q) {
+      const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+      const auto& restorable_any = cache->union_flags(q);
+      ScenarioRows& r = rows[static_cast<std::size_t>(q)];
+      // (4): residual + restorable (under the best candidate) tunnels cover
+      // b_f. See the legacy branch below for why the union is correct.
+      r.cover.reserve(input.affected_flows(q).size());
+      for (int f : input.affected_flows(q)) {
+        solver::LinExpr expr;
+        const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+        for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
+          const int flat = input.tunnel_index(f, static_cast<int>(ti));
+          if (input.tunnel_alive(f, static_cast<int>(ti), q) ||
+              restorable_any[static_cast<std::size_t>(flat)]) {
+            expr.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
+          }
+        }
+        expr -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
+        r.cover.push_back(std::move(expr));
+      }
+      r.link_load.resize(tickets.failed_links.size());
+      for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+        for (const auto& lt : input.tunnels_on_link(tickets.failed_links[li])) {
+          if (restorable_any[static_cast<std::size_t>(lt.flat)]) {
+            r.link_load[li].add_term(
+                vars.a[static_cast<std::size_t>(lt.flow)]
+                      [static_cast<std::size_t>(lt.ti)],
+                1.0);
+          }
+        }
+      }
+    });
+    // Serial append in q order: slack variables and rows land in exactly the
+    // positions the all-serial build gives them.
+    for (int q = 0; q < Q; ++q) {
+      const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+      const int Z = std::max<int>(1, static_cast<int>(tickets.tickets.size()));
+      out->slack[static_cast<std::size_t>(q)].resize(static_cast<std::size_t>(Z));
+      for (const auto& expr : rows[static_cast<std::size_t>(q)].cover) {
+        model.add_constr(expr, solver::Sense::kGe, 0.0);
+      }
+      for (int z = 0; z < Z; ++z) {
+        const auto& ticket = ticket_or_naive(
+            prepared, naive, q, tickets.tickets.empty() ? -1 : z);
+        auto& group =
+            out->slack[static_cast<std::size_t>(q)][static_cast<std::size_t>(z)];
+        for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+          const double r = ticket.gbps[li];
+          const auto dp = model.add_var(0.0, solver::kInf, -params.slack_penalty);
+          const auto dm = model.add_var(0.0, solver::kInf, 0.0);
+          group.dp.push_back(dp);
+          group.dm.push_back(dm);
+          solver::LinExpr row = rows[static_cast<std::size_t>(q)].link_load[li];
+          row.add_term(dp, -1.0);
+          row.add_term(dm, 1.0);
+          model.add_constr(row, solver::Sense::kLe, r);
+        }
+      }
+    }
+    return;
+  }
+
+  // Legacy serial build: dense F x T scans, flags recomputed per (q, z).
+  for (int q = 0; q < Q; ++q) {
+    const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+    const int Z = std::max<int>(1, static_cast<int>(tickets.tickets.size()));
+    out->slack[static_cast<std::size_t>(q)].resize(static_cast<std::size_t>(Z));
+
+    // Restorability union across tickets. Constraint (4) uses the union:
+    // Phase I plans against the restoration the *winning* ticket will
+    // provide, and the per-ticket slack rows (5) measure how far each
+    // candidate is from supporting that plan. (A per-ticket hard (4) would
+    // make throughput fall as |Z| grows, contradicting Fig. 14.)
+    std::vector<char> restorable_any(
+        static_cast<std::size_t>(input.total_tunnels()), 0);
+    for (int z = 0; z < Z; ++z) {
+      const auto& ticket = ticket_or_naive(
+          prepared, naive, q, tickets.tickets.empty() ? -1 : z);
+      const auto flags = restorable_flags(input, q, tickets, ticket);
+      for (std::size_t i = 0; i < restorable_any.size(); ++i) {
+        restorable_any[i] |= flags[i];
+      }
+    }
+
+    // (4): residual + restorable (under the best candidate) tunnels cover b_f.
+    for (int f : input.affected_flows(q)) {
+      solver::LinExpr expr;
+      const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+      for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
+        const int flat = input.tunnel_index(f, static_cast<int>(ti));
+        if (input.tunnel_alive(f, static_cast<int>(ti), q) ||
+            restorable_any[static_cast<std::size_t>(flat)]) {
+          expr.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
+        }
+      }
+      expr -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
+      model.add_constr(expr, solver::Sense::kGe, 0.0);
+    }
+
+    // Shared load expressions: allocation of union-restorable tunnels
+    // crossing each failed link. Under a candidate ticket z, whatever part
+    // of this load exceeds r_e^{z,q} must spill into the slack Delta.
+    std::vector<solver::LinExpr> link_load(tickets.failed_links.size());
+    for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+      const topo::IpLinkId e = tickets.failed_links[li];
+      for (int f = 0; f < input.num_flows(); ++f) {
+        const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+        for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
+          const int flat = input.tunnel_index(f, static_cast<int>(ti));
+          if (restorable_any[static_cast<std::size_t>(flat)] &&
+              input.tunnel_uses_link(f, static_cast<int>(ti), e)) {
+            link_load[li].add_term(vars.a[static_cast<std::size_t>(f)][ti],
+                                   1.0);
+          }
+        }
+      }
+    }
+
+    // (5) with slacks per candidate ticket. The ReLU penalty on dp makes the
+    // LP set dp = max(0, load - r) exactly, so after the solve dp measures
+    // each ticket's unsupported allocation. The M^{z,q} = alpha * sum_e r
+    // budget of constraint (6) is enforced during winner post-processing
+    // (a hard per-ticket budget row would let one bad candidate render the
+    // whole Phase I infeasible under the shared allocation).
+    for (int z = 0; z < Z; ++z) {
+      const auto& ticket = ticket_or_naive(
+          prepared, naive, q, tickets.tickets.empty() ? -1 : z);
+      auto& group =
+          out->slack[static_cast<std::size_t>(q)][static_cast<std::size_t>(z)];
+      for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+        const double r = ticket.gbps[li];
+        const auto dp = model.add_var(0.0, solver::kInf, -params.slack_penalty);
+        const auto dm = model.add_var(0.0, solver::kInf, 0.0);
+        group.dp.push_back(dp);
+        group.dm.push_back(dm);
+        solver::LinExpr row = link_load[li];
+        row.add_term(dp, -1.0);
+        row.add_term(dm, 1.0);
+        model.add_constr(row, solver::Sense::kLe, r);
+      }
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<char> restorable_flags(const TeInput& input, int q,
                                    const ticket::TicketSet& tickets,
                                    const ticket::LotteryTicket& ticket) {
@@ -103,120 +426,52 @@ std::vector<char> restorable_flags(const TeInput& input, int q,
   return flags;
 }
 
-TeSolution extract_solution(solver::Model& model, const TeInput& input,
-                            const BaseVars& vars, const char* scheme,
-                            const solver::SolveResult& res, double seconds) {
-  TeSolution sol;
-  sol.scheme = scheme;
-  sol.optimal = res.optimal();
-  sol.objective = res.objective;
-  sol.solve_seconds = seconds;
-  sol.simplex_iterations = res.simplex_iterations;
-  if (!sol.optimal) return sol;
-  const int F = input.num_flows();
-  sol.admitted.resize(static_cast<std::size_t>(F));
-  sol.alloc.resize(static_cast<std::size_t>(F));
-  for (int f = 0; f < F; ++f) {
-    sol.admitted[static_cast<std::size_t>(f)] =
-        model.value(vars.b[static_cast<std::size_t>(f)]);
-    for (const auto& v : vars.a[static_cast<std::size_t>(f)]) {
-      sol.alloc[static_cast<std::size_t>(f)].push_back(model.value(v));
-    }
-  }
-  return sol;
-}
-
-const ticket::LotteryTicket& ticket_or_naive(
-    const ArrowPrepared& prepared, const std::vector<ticket::LotteryTicket>& naive,
-    int q, int z) {
-  if (z >= 0 &&
-      z < static_cast<int>(
-              prepared.tickets[static_cast<std::size_t>(q)].tickets.size())) {
-    return prepared.tickets[static_cast<std::size_t>(q)]
-        .tickets[static_cast<std::size_t>(z)];
-  }
-  return naive[static_cast<std::size_t>(q)];
-}
-
-// Phase II (Table 3) against a chosen ticket per scenario (z = -1 selects
-// the naive RWA ticket).
-TeSolution phase2(const TeInput& input, const ArrowPrepared& prepared,
-                  const std::vector<ticket::LotteryTicket>& naive,
-                  const std::vector<int>& winners, const char* scheme,
-                  double extra_seconds) {
+RestorabilityCache::RestorabilityCache(const TeInput& input,
+                                       const ArrowPrepared& prepared,
+                                       util::ThreadPool& pool) {
   const int Q = input.num_scenarios();
-  solver::Model model;
-  model.set_maximize();
-  BaseVars vars = add_base(model, input);
-
-  for (int q = 0; q < Q; ++q) {
+  ARROW_CHECK(static_cast<int>(prepared.tickets.size()) == Q,
+              "prepared/scenario mismatch");
+  naive_tickets_ = make_naive_tickets(prepared);
+  per_scenario_.resize(static_cast<std::size_t>(Q));
+  // Each body writes only its own scenario slot; the flags are a pure
+  // function of (input, prepared, q), so the cache is thread-count invariant.
+  pool.parallel_for(0, Q, [&](int q) {
     const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
-    const auto& ticket = ticket_or_naive(prepared, naive, q,
-                                         winners[static_cast<std::size_t>(q)]);
-    const auto restorable = restorable_flags(input, q, tickets, ticket);
-    // (10): residual + restorable tunnels cover b_f.
-    for (int f : input.affected_flows(q)) {
-      solver::LinExpr expr;
-      const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
-      for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
-        const int flat = input.tunnel_index(f, static_cast<int>(ti));
-        if (input.tunnel_alive(f, static_cast<int>(ti), q) ||
-            restorable[static_cast<std::size_t>(flat)]) {
-          expr.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
-        }
-      }
-      expr -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
-      model.add_constr(expr, solver::Sense::kGe, 0.0);
+    PerScenario& ps = per_scenario_[static_cast<std::size_t>(q)];
+    ps.naive = restorable_flags(input, q, tickets,
+                                naive_tickets_[static_cast<std::size_t>(q)]);
+    ps.per_ticket.resize(tickets.tickets.size());
+    for (std::size_t z = 0; z < tickets.tickets.size(); ++z) {
+      ps.per_ticket[z] =
+          restorable_flags(input, q, tickets, tickets.tickets[z]);
     }
-    // (11): restorable tunnels fit within restored capacity r*.
-    for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
-      const topo::IpLinkId e = tickets.failed_links[li];
-      solver::LinExpr load;
-      for (int f = 0; f < input.num_flows(); ++f) {
-        const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
-        for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
-          const int flat = input.tunnel_index(f, static_cast<int>(ti));
-          if (restorable[static_cast<std::size_t>(flat)] &&
-              input.tunnel_uses_link(f, static_cast<int>(ti), e)) {
-            load.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
-          }
-        }
-      }
-      if (!load.terms().empty()) {
-        model.add_constr(load, solver::Sense::kLe, ticket.gbps[li]);
+    if (ps.per_ticket.empty()) {
+      ps.any = ps.naive;  // Phase I's sole candidate is the naive plan
+    } else {
+      ps.any.assign(static_cast<std::size_t>(input.total_tunnels()), 0);
+      for (const auto& flags : ps.per_ticket) {
+        for (std::size_t i = 0; i < ps.any.size(); ++i) ps.any[i] |= flags[i];
       }
     }
-  }
-
-  const auto t0 = Clock::now();
-  const auto res = model.solve();
-  const double seconds =
-      std::chrono::duration<double>(Clock::now() - t0).count() + extra_seconds;
-  TeSolution sol = extract_solution(model, input, vars, scheme, res, seconds);
-  sol.winner = winners;
-  sol.restored.resize(static_cast<std::size_t>(Q));
-  for (int q = 0; q < Q; ++q) {
-    const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
-    const auto& ticket = ticket_or_naive(prepared, naive, q,
-                                         winners[static_cast<std::size_t>(q)]);
-    for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
-      sol.restored[static_cast<std::size_t>(q)][tickets.failed_links[li]] =
-          ticket.gbps[li];
-    }
-  }
-  return sol;
+  });
 }
 
-std::vector<ticket::LotteryTicket> naive_tickets(const ArrowPrepared& prepared) {
-  std::vector<ticket::LotteryTicket> out;
-  out.reserve(prepared.rwa.size());
-  for (const auto& rwa : prepared.rwa) {
-    out.push_back(ticket::naive_ticket(rwa));
+RestorabilityCache::RestorabilityCache(const TeInput& input,
+                                       const ArrowPrepared& prepared)
+    : RestorabilityCache(input, prepared, util::global_pool()) {}
+
+const std::vector<char>& RestorabilityCache::flags(int q, int z) const {
+  const PerScenario& ps = per_scenario_[static_cast<std::size_t>(q)];
+  if (z >= 0 && z < static_cast<int>(ps.per_ticket.size())) {
+    return ps.per_ticket[static_cast<std::size_t>(z)];
   }
-  return out;
+  return ps.naive;
 }
 
-}  // namespace
+const std::vector<char>& RestorabilityCache::union_flags(int q) const {
+  return per_scenario_[static_cast<std::size_t>(q)].any;
+}
 
 bool tunnel_restorable(const TeInput& input, int f, int ti, int q,
                        const ticket::TicketSet& tickets,
@@ -278,102 +533,52 @@ ArrowPrepared prepare_arrow(const TeInput& input, const ArrowParams& params,
   return prepare_arrow(input, params, rng, util::global_pool());
 }
 
+Phase1BuildStats build_phase1_model(const TeInput& input,
+                                    const ArrowPrepared& prepared,
+                                    const ArrowParams& params,
+                                    util::ThreadPool& pool,
+                                    const RestorabilityCache* cache) {
+  const auto t0 = Clock::now();
+  const auto naive = make_naive_tickets(prepared);
+  std::optional<RestorabilityCache> local;
+  if (params.fast_build && cache == nullptr) {
+    local.emplace(input, prepared, pool);
+    cache = &*local;
+  }
+  if (!params.fast_build) cache = nullptr;
+  Phase1Model p1;
+  build_phase1(input, prepared, naive, params, pool, cache, &p1);
+  Phase1BuildStats stats;
+  stats.build_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  stats.vars = p1.model.num_vars();
+  stats.rows = p1.model.num_constrs();
+  stats.model_fingerprint = p1.model.fingerprint();
+  return stats;
+}
+
 TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
-                       const ArrowParams& params) {
+                       const ArrowParams& params, util::ThreadPool& pool,
+                       const RestorabilityCache* cache) {
   const int Q = input.num_scenarios();
   ARROW_CHECK(static_cast<int>(prepared.tickets.size()) == Q,
               "prepared/scenario mismatch");
-  const auto naive = naive_tickets(prepared);
+  const auto naive = make_naive_tickets(prepared);
+
+  // Build a private cache when the caller did not share one. The cache (and
+  // the index) never change the model — only how fast it is assembled.
+  std::optional<RestorabilityCache> local;
+  if (params.fast_build && cache == nullptr) {
+    local.emplace(input, prepared, pool);
+    cache = &*local;
+  }
+  if (!params.fast_build) cache = nullptr;
 
   // ---- Phase I (Table 2) --------------------------------------------------
-  solver::Model model;
-  model.set_maximize();
-  BaseVars vars = add_base(model, input);
-
-  // Slack variables per (q, z, failed link): Delta = dp - dm, dp penalized.
-  struct SlackGroup {
-    std::vector<solver::VarId> dp, dm;  // parallel to failed_links
-  };
-  std::vector<std::vector<SlackGroup>> slack(static_cast<std::size_t>(Q));
-
-  for (int q = 0; q < Q; ++q) {
-    const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
-    const int Z = std::max<int>(1, static_cast<int>(tickets.tickets.size()));
-    slack[static_cast<std::size_t>(q)].resize(static_cast<std::size_t>(Z));
-
-    // Restorability union across tickets. Constraint (4) uses the union:
-    // Phase I plans against the restoration the *winning* ticket will
-    // provide, and the per-ticket slack rows (5) measure how far each
-    // candidate is from supporting that plan. (A per-ticket hard (4) would
-    // make throughput fall as |Z| grows, contradicting Fig. 14.)
-    std::vector<char> restorable_any(
-        static_cast<std::size_t>(input.total_tunnels()), 0);
-    for (int z = 0; z < Z; ++z) {
-      const auto& ticket = ticket_or_naive(
-          prepared, naive, q, tickets.tickets.empty() ? -1 : z);
-      const auto flags = restorable_flags(input, q, tickets, ticket);
-      for (std::size_t i = 0; i < restorable_any.size(); ++i) {
-        restorable_any[i] |= flags[i];
-      }
-    }
-
-    // (4): residual + restorable (under the best candidate) tunnels cover b_f.
-    for (int f : input.affected_flows(q)) {
-      solver::LinExpr expr;
-      const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
-      for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
-        const int flat = input.tunnel_index(f, static_cast<int>(ti));
-        if (input.tunnel_alive(f, static_cast<int>(ti), q) ||
-            restorable_any[static_cast<std::size_t>(flat)]) {
-          expr.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
-        }
-      }
-      expr -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
-      model.add_constr(expr, solver::Sense::kGe, 0.0);
-    }
-
-    // Shared load expressions: allocation of union-restorable tunnels
-    // crossing each failed link. Under a candidate ticket z, whatever part
-    // of this load exceeds r_e^{z,q} must spill into the slack Delta.
-    std::vector<solver::LinExpr> link_load(tickets.failed_links.size());
-    for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
-      const topo::IpLinkId e = tickets.failed_links[li];
-      for (int f = 0; f < input.num_flows(); ++f) {
-        const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
-        for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
-          const int flat = input.tunnel_index(f, static_cast<int>(ti));
-          if (restorable_any[static_cast<std::size_t>(flat)] &&
-              input.tunnel_uses_link(f, static_cast<int>(ti), e)) {
-            link_load[li].add_term(vars.a[static_cast<std::size_t>(f)][ti],
-                                   1.0);
-          }
-        }
-      }
-    }
-
-    // (5) with slacks per candidate ticket. The ReLU penalty on dp makes the
-    // LP set dp = max(0, load - r) exactly, so after the solve dp measures
-    // each ticket's unsupported allocation. The M^{z,q} = alpha * sum_e r
-    // budget of constraint (6) is enforced during winner post-processing
-    // (a hard per-ticket budget row would let one bad candidate render the
-    // whole Phase I infeasible under the shared allocation).
-    for (int z = 0; z < Z; ++z) {
-      const auto& ticket = ticket_or_naive(
-          prepared, naive, q, tickets.tickets.empty() ? -1 : z);
-      auto& group = slack[static_cast<std::size_t>(q)][static_cast<std::size_t>(z)];
-      for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
-        const double r = ticket.gbps[li];
-        const auto dp = model.add_var(0.0, solver::kInf, -params.slack_penalty);
-        const auto dm = model.add_var(0.0, solver::kInf, 0.0);
-        group.dp.push_back(dp);
-        group.dm.push_back(dm);
-        solver::LinExpr row = link_load[li];
-        row.add_term(dp, -1.0);
-        row.add_term(dm, 1.0);
-        model.add_constr(row, solver::Sense::kLe, r);
-      }
-    }
-  }
+  Phase1Model p1;
+  build_phase1(input, prepared, naive, params, pool, cache, &p1);
+  solver::Model& model = p1.model;
+  const auto& slack = p1.slack;
 
   const auto t0 = Clock::now();
   const auto res = model.solve();
@@ -432,36 +637,53 @@ TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
   }
 
   // ---- Phase II -----------------------------------------------------------
-  TeSolution sol =
-      phase2(input, prepared, naive, winners, "ARROW", phase1_seconds);
+  TeSolution sol = phase2(input, prepared, naive, winners, "ARROW",
+                          phase1_seconds, params.fast_build, cache);
   sol.simplex_iterations += res.simplex_iterations;  // include Phase I's share
   return sol;
 }
 
+TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
+                       const ArrowParams& params) {
+  return solve_arrow(input, prepared, params, util::global_pool(), nullptr);
+}
+
 TeSolution solve_arrow_naive(const TeInput& input,
                              const ArrowPrepared& prepared,
-                             const ArrowParams& /*params*/) {
-  const auto naive = naive_tickets(prepared);
+                             const ArrowParams& params,
+                             const RestorabilityCache* cache) {
+  const auto naive = make_naive_tickets(prepared);
   std::vector<int> winners(static_cast<std::size_t>(input.num_scenarios()), -1);
-  return phase2(input, prepared, naive, winners, "ARROW-Naive", 0.0);
+  return phase2(input, prepared, naive, winners, "ARROW-Naive", 0.0,
+                params.fast_build, params.fast_build ? cache : nullptr);
 }
 
 TeSolution solve_arrow_with_winners(const TeInput& input,
                                     const ArrowPrepared& prepared,
-                                    const std::vector<int>& winners) {
+                                    const std::vector<int>& winners,
+                                    const RestorabilityCache* cache) {
   ARROW_CHECK(static_cast<int>(winners.size()) == input.num_scenarios(),
               "winner count mismatch");
-  const auto naive = naive_tickets(prepared);
-  return phase2(input, prepared, naive, winners, "ARROW-Fixed", 0.0);
+  const auto naive = make_naive_tickets(prepared);
+  return phase2(input, prepared, naive, winners, "ARROW-Fixed", 0.0,
+                /*fast=*/true, cache);
 }
 
 TeSolution solve_arrow_ilp(const TeInput& input, const ArrowPrepared& prepared,
-                           const ArrowParams& /*params*/) {
+                           const ArrowParams& params,
+                           const RestorabilityCache* cache) {
   const int Q = input.num_scenarios();
-  const auto naive = naive_tickets(prepared);
+  const auto naive = make_naive_tickets(prepared);
+  const bool fast = params.fast_build;
+  std::optional<RestorabilityCache> local;
+  if (fast && cache == nullptr) {
+    local.emplace(input, prepared);
+    cache = &*local;
+  }
+  if (!fast) cache = nullptr;
   solver::Model model;
   model.set_maximize();
-  BaseVars vars = add_base(model, input);
+  BaseVars vars = add_base(model, input, fast);
 
   std::vector<std::vector<solver::VarId>> select(static_cast<std::size_t>(Q));
   for (int q = 0; q < Q; ++q) {
@@ -472,9 +694,14 @@ TeSolution solve_arrow_ilp(const TeInput& input, const ArrowPrepared& prepared,
       const auto x = model.add_binary(0.0);
       select[static_cast<std::size_t>(q)].push_back(x);
       one.add_term(x, 1.0);
-      const auto& ticket = ticket_or_naive(
-          prepared, naive, q, tickets.tickets.empty() ? -1 : z);
-      const auto restorable = restorable_flags(input, q, tickets, ticket);
+      const int zi = tickets.tickets.empty() ? -1 : z;
+      const auto& ticket = ticket_or_naive(prepared, naive, q, zi);
+      std::vector<char> fresh;
+      if (cache == nullptr) {
+        fresh = restorable_flags(input, q, tickets, ticket);
+      }
+      const std::vector<char>& restorable =
+          cache != nullptr ? cache->flags(q, zi) : fresh;
       // (31): cover constraint relaxed unless ticket z is selected.
       for (int f : input.affected_flows(q)) {
         const double big_m =
@@ -498,13 +725,23 @@ TeSolution solve_arrow_ilp(const TeInput& input, const ArrowPrepared& prepared,
         const double big_m =
             input.net().ip_links[static_cast<std::size_t>(e)].capacity_gbps();
         solver::LinExpr load;
-        for (int f = 0; f < input.num_flows(); ++f) {
-          const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
-          for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
-            const int flat = input.tunnel_index(f, static_cast<int>(ti));
-            if (restorable[static_cast<std::size_t>(flat)] &&
-                input.tunnel_uses_link(f, static_cast<int>(ti), e)) {
-              load.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
+        if (fast) {
+          for (const auto& lt : input.tunnels_on_link(e)) {
+            if (restorable[static_cast<std::size_t>(lt.flat)]) {
+              load.add_term(vars.a[static_cast<std::size_t>(lt.flow)]
+                                  [static_cast<std::size_t>(lt.ti)],
+                            1.0);
+            }
+          }
+        } else {
+          for (int f = 0; f < input.num_flows(); ++f) {
+            const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+            for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
+              const int flat = input.tunnel_index(f, static_cast<int>(ti));
+              if (restorable[static_cast<std::size_t>(flat)] &&
+                  input.tunnel_uses_link(f, static_cast<int>(ti), e)) {
+                load.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
+              }
             }
           }
         }

@@ -9,6 +9,9 @@
 // The exact binary-ILP selection (Table 9) is available for small instances.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "te/input.h"
 #include "te/solution.h"
 #include "ticket/ticket.h"
@@ -29,6 +32,14 @@ struct ArrowParams {
   // adding the floor plan is a strict improvement (ARROW then never does
   // worse than ARROW-Naive). Disable for paper-faithful Fig. 14 runs.
   bool include_naive_candidate = true;
+  // Use the link->tunnel incidence index, the shared RestorabilityCache and
+  // the parallel Phase I row generator when building models. `false` keeps
+  // the original dense F x T scans with per-call-site flag recomputation —
+  // the models (and therefore the solutions) are identical either way
+  // (Model::add_constr canonicalizes term order and the flags are a pure
+  // function of the inputs); only the build time differs. Kept as a switch
+  // so bench_phase1_build can measure the refactor against the legacy path.
+  bool fast_build = true;
 };
 
 // Offline artifacts, reusable across TE runs while the IP/optical mapping is
@@ -59,25 +70,105 @@ void prepare_arrow_scenario(const TeInput& input, int q,
                             optical::RwaResult* rwa,
                             ticket::TicketSet* tickets);
 
-// Phase I + winner post-processing + Phase II.
+// Per-(scenario, ticket) restorability flags for every flattened tunnel:
+// flags[input.tunnel_index(f, ti)] != 0 iff tunnel (f, ti) is dead in q and
+// every failed link it crosses has restored capacity > 0 under `ticket`
+// (§3.3 "Phase I input parameters"). Pure function of its arguments; the
+// RestorabilityCache below memoizes it per (q, z).
+std::vector<char> restorable_flags(const TeInput& input, int q,
+                                   const ticket::TicketSet& tickets,
+                                   const ticket::LotteryTicket& ticket);
+
+// Restorability flags computed once per (scenario, candidate ticket) and
+// shared by Phase I, winner post-processing, Phase II, the exact ILP and the
+// controller's degradation ladder — previously each call site recomputed
+// them from scratch (Phase I alone did Q * Z full passes). The per-scenario
+// entries are built in parallel on the pool; each slot is written by exactly
+// one body, so the cache is bit-identical at any thread count.
+class RestorabilityCache {
+ public:
+  RestorabilityCache(const TeInput& input, const ArrowPrepared& prepared,
+                     util::ThreadPool& pool);
+  // Convenience overload on the process-wide pool (util::global_pool()).
+  RestorabilityCache(const TeInput& input, const ArrowPrepared& prepared);
+
+  // Flags for candidate z of scenario q. A z outside [0, Z) selects the
+  // naive RWA-floor plan (mirrors the -1 convention of
+  // solve_arrow_with_winners and TeSolution::winner).
+  const std::vector<char>& flags(int q, int z) const;
+  // OR over the candidates Phase I considers for q: the per-ticket entries
+  // when the scenario has tickets, else the naive plan alone.
+  const std::vector<char>& union_flags(int q) const;
+
+  // The deterministic RWA-floor ticket per scenario (what z = -1 selects).
+  const ticket::LotteryTicket& naive_ticket(int q) const {
+    return naive_tickets_[static_cast<std::size_t>(q)];
+  }
+  const std::vector<ticket::LotteryTicket>& naive_tickets() const {
+    return naive_tickets_;
+  }
+
+  int num_scenarios() const { return static_cast<int>(per_scenario_.size()); }
+  int num_tickets(int q) const {
+    return static_cast<int>(
+        per_scenario_[static_cast<std::size_t>(q)].per_ticket.size());
+  }
+
+ private:
+  struct PerScenario {
+    std::vector<std::vector<char>> per_ticket;  // [z][flat tunnel]
+    std::vector<char> naive;                    // z = -1 [flat tunnel]
+    std::vector<char> any;                      // Phase I union [flat tunnel]
+  };
+  std::vector<PerScenario> per_scenario_;
+  std::vector<ticket::LotteryTicket> naive_tickets_;
+};
+
+// Phase I + winner post-processing + Phase II. When `cache` is null and
+// params.fast_build is set, a RestorabilityCache is built internally on
+// `pool`; pass one explicitly to share it with other solves over the same
+// (input, prepared) pair (e.g. the controller's ladder retries).
 TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
                        const ArrowParams& params);
+TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
+                       const ArrowParams& params, util::ThreadPool& pool,
+                       const RestorabilityCache* cache = nullptr);
 
 // Phase II only, with the RWA-derived restoration plan as the sole ticket.
 TeSolution solve_arrow_naive(const TeInput& input,
                              const ArrowPrepared& prepared,
-                             const ArrowParams& params);
+                             const ArrowParams& params,
+                             const RestorabilityCache* cache = nullptr);
 
 // Phase II only, against an explicit winner ticket index per scenario
 // (-1 selects the naive RWA plan). Used by ablations and oracle baselines.
 TeSolution solve_arrow_with_winners(const TeInput& input,
                                     const ArrowPrepared& prepared,
-                                    const std::vector<int>& winners);
+                                    const std::vector<int>& winners,
+                                    const RestorabilityCache* cache = nullptr);
 
 // Exact ticket selection via binary ILP (Table 9); exponential — small
 // instances only. Used to validate the two-phase LP in tests/ablations.
 TeSolution solve_arrow_ilp(const TeInput& input, const ArrowPrepared& prepared,
-                           const ArrowParams& params);
+                           const ArrowParams& params,
+                           const RestorabilityCache* cache = nullptr);
+
+// Builds (but does not solve) the Phase I model and reports build cost —
+// the hook bench_phase1_build uses to time the incidence-index + parallel
+// row-generation path against the legacy dense scan. The fingerprint hashes
+// every variable and row of the built model, so two builds that claim to be
+// equivalent can be checked for bit-identity without solving.
+struct Phase1BuildStats {
+  double build_seconds = 0.0;
+  int vars = 0;
+  int rows = 0;
+  std::uint64_t model_fingerprint = 0;
+};
+Phase1BuildStats build_phase1_model(const TeInput& input,
+                                    const ArrowPrepared& prepared,
+                                    const ArrowParams& params,
+                                    util::ThreadPool& pool,
+                                    const RestorabilityCache* cache = nullptr);
 
 // Is tunnel (f, ti) restorable under scenario q and the given ticket? True
 // iff the tunnel is dead in q and every failed link it crosses has restored

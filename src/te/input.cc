@@ -136,11 +136,17 @@ void TeInput::build_caches() {
   const auto num_links = net_->ip_links.size();
   uses_link_.assign(static_cast<std::size_t>(total_tunnels_),
                     std::vector<char>(num_links, 0));
+  on_link_.assign(num_links, {});
   for (std::size_t f = 0; f < tunnels_.size(); ++f) {
     for (std::size_t ti = 0; ti < tunnels_[f].size(); ++ti) {
       const int flat = tunnel_index(static_cast<int>(f), static_cast<int>(ti));
       for (int e : tunnels_[f][ti].links) {
-        uses_link_[static_cast<std::size_t>(flat)][static_cast<std::size_t>(e)] = 1;
+        auto& flag =
+            uses_link_[static_cast<std::size_t>(flat)][static_cast<std::size_t>(e)];
+        if (flag) continue;  // a tunnel revisiting a link indexes once
+        flag = 1;
+        on_link_[static_cast<std::size_t>(e)].push_back(
+            LinkTunnel{static_cast<int>(f), static_cast<int>(ti), flat});
       }
     }
   }

@@ -53,6 +53,21 @@ class TeInput {
   // L[t,e]: does tunnel (f, ti) traverse IP link e?
   bool tunnel_uses_link(int f, int ti, topo::IpLinkId e) const;
 
+  // One entry of the inverted link -> tunnel incidence index.
+  struct LinkTunnel {
+    int flow = -1;
+    int ti = -1;    // tunnel index within the flow
+    int flat = -1;  // flattened tunnel index (tunnel_index(flow, ti))
+  };
+
+  // Tunnels traversing IP link e, in (flow, ti) order — the same order a
+  // dense F x T scan filtered by tunnel_uses_link visits them, so constraint
+  // rows built from this index carry identical terms. Turns the per-link
+  // model-build loops from O(F * T) probes into O(tunnels on e).
+  const std::vector<LinkTunnel>& tunnels_on_link(topo::IpLinkId e) const {
+    return on_link_[static_cast<std::size_t>(e)];
+  }
+
   // Is tunnel (f, ti) unaffected by scenario q (all links survive)?
   bool tunnel_alive(int f, int ti, int q) const {
     return alive_[static_cast<std::size_t>(q)]
@@ -92,6 +107,7 @@ class TeInput {
   std::vector<int> tunnel_base_;  // flow -> flattened tunnel index base
   int total_tunnels_ = 0;
   std::vector<std::vector<char>> uses_link_;   // [flat tunnel][ip link]
+  std::vector<std::vector<LinkTunnel>> on_link_;  // [ip link] -> tunnels
   std::vector<std::vector<char>> alive_;       // [scenario][flat tunnel]
   std::vector<std::vector<topo::IpLinkId>> failed_links_;  // [scenario]
   std::vector<std::vector<int>> affected_flows_;           // [scenario]

@@ -22,7 +22,13 @@ std::vector<int> distribute_over_paths(const optical::LinkRestoration& lr,
   std::vector<std::size_t> order(lr.paths.size());
   std::iota(order.begin(), order.end(), 0u);
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return lr.paths[a].fractional_waves > lr.paths[b].fractional_waves;
+    const double fa = lr.paths[a].fractional_waves;
+    const double fb = lr.paths[b].fractional_waves;
+    if (fa != fb) return fa > fb;
+    // Tie-break on path index: std::sort is unstable, so equal shares would
+    // otherwise land in implementation-defined order and the resulting
+    // LotteryTickets could differ across platforms/libstdc++ versions.
+    return a < b;
   });
   std::vector<int> out(lr.paths.size(), 0);
   int left = want;

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace arrow::topo {
 
@@ -171,6 +172,30 @@ std::vector<std::string> validate(const Network& net) {
     }
   }
   return issues;
+}
+
+std::uint64_t structure_hash(const Network& net) {
+  util::Fnv1a h;
+  h.str(net.name);
+  h.i32(net.num_sites);
+  h.i64(static_cast<std::int64_t>(net.roadm_of_site.size()));
+  for (NodeId n : net.roadm_of_site) h.i32(n);
+  h.i32(net.optical.num_roadms);
+  h.i64(static_cast<std::int64_t>(net.optical.fibers.size()));
+  for (const Fiber& f : net.optical.fibers) {
+    h.i32(f.id).i32(f.a).i32(f.b).f64(f.length_km).i32(f.slots);
+  }
+  h.i64(static_cast<std::int64_t>(net.ip_links.size()));
+  for (const IpLink& link : net.ip_links) {
+    h.i32(link.id).i32(link.src).i32(link.dst);
+    h.i64(static_cast<std::int64_t>(link.waves.size()));
+    for (const Wavelength& w : link.waves) {
+      h.i32(w.slot).f64(w.gbps).f64(w.path_km);
+      h.i64(static_cast<std::int64_t>(w.fiber_path.size()));
+      for (FiberId f : w.fiber_path) h.i32(f);
+    }
+  }
+  return h.value();
 }
 
 }  // namespace arrow::topo

@@ -5,6 +5,7 @@
 // capacity is the sum of its wavelengths' datarates.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -117,6 +118,13 @@ struct Network {
 // inputs — the file loaders run it before finalize()/validate() so a bad
 // file yields a full report rather than one cryptic check failure.
 std::vector<std::string> validate(const Network& net);
+
+// FNV-1a hash of everything that determines TE/RWA problem geometry: sites,
+// site->ROADM mapping, fibers (endpoints, lengths, slot counts) and IP links
+// (endpoints, per-wavelength datarates, slots and fiber paths). Stable across
+// runs and platforms; two networks with equal hashes build identically-shaped
+// LPs. Keys the persistent warm-start BasisStore across controller runs.
+std::uint64_t structure_hash(const Network& net);
 
 // C+L band upgrade (paper Appendix A.10): expanding every fiber's spectrum
 // from the C band to C+L doubles the slot count. Provisioned wavelengths

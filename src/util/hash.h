@@ -1,0 +1,48 @@
+// FNV-1a structural hashing, used to key caches that must survive across
+// otherwise-unrelated call sites (the persistent warm-start basis store keys
+// on topology + scenario-set hashes). Not cryptographic — collisions are
+// harmless there (a mismatched basis is just a poor starting vertex) — but
+// stable across runs and platforms, unlike std::hash.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace arrow::util {
+
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffset = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  Fnv1a& bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= kPrime;
+    }
+    return *this;
+  }
+  Fnv1a& u64(std::uint64_t v) { return bytes(&v, sizeof(v)); }
+  Fnv1a& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  Fnv1a& i32(std::int32_t v) { return i64(v); }
+  // Hash the IEEE-754 bit pattern; normalize -0.0 so it hashes like +0.0.
+  Fnv1a& f64(double v) {
+    if (v == 0.0) v = 0.0;
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return u64(bits);
+  }
+  Fnv1a& str(std::string_view s) {
+    bytes(s.data(), s.size());
+    return u64(s.size());  // length-delimited: "ab"+"c" != "a"+"bc"
+  }
+
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kOffset;
+};
+
+}  // namespace arrow::util

@@ -1,0 +1,161 @@
+// Tests for the persistent warm-start BasisStore: key round-trips, the
+// seed/absorb protocol against ScopedWarmStartCache, and the end-to-end
+// effect — a second solve of the same-shaped LP warm-starts from the basis a
+// previous scope left behind.
+#include <gtest/gtest.h>
+
+#include "controller/controller.h"
+#include "solver/basis_store.h"
+#include "solver/lp.h"
+#include "solver/model.h"
+#include "topo/builders.h"
+
+namespace arrow::solver {
+namespace {
+
+Basis make_basis(int cols, BasisStatus fill) {
+  Basis b;
+  b.status.assign(static_cast<std::size_t>(cols), fill);
+  return b;
+}
+
+TEST(BasisStore, StoreLoadRoundTrip) {
+  BasisStore store;
+  const BasisStore::Key key{11, 22, 3, 7};
+  store.store(key, make_basis(7, BasisStatus::kBasic));
+  EXPECT_EQ(store.size(), 1u);
+
+  Basis out;
+  ASSERT_TRUE(store.load(key, &out));
+  EXPECT_EQ(out.status.size(), 7u);
+  EXPECT_EQ(out.num_basic(), 7);
+
+  // Any differing key component misses.
+  EXPECT_FALSE(store.load({12, 22, 3, 7}, &out));
+  EXPECT_FALSE(store.load({11, 23, 3, 7}, &out));
+  EXPECT_FALSE(store.load({11, 22, 4, 7}, &out));
+  EXPECT_FALSE(store.load({11, 22, 3, 8}, &out));
+
+  // Re-storing the same key overwrites, not duplicates.
+  store.store(key, make_basis(7, BasisStatus::kNonbasicLower));
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_TRUE(store.load(key, &out));
+  EXPECT_EQ(out.num_basic(), 0);
+
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(BasisStore, SeedPreloadsOnlyMatchingEntriesAndCountsNoStores) {
+  BasisStore store;
+  store.store({7, 9, 10, 20}, make_basis(20, BasisStatus::kBasic));
+  store.store({7, 9, 30, 40}, make_basis(40, BasisStatus::kBasic));
+  store.store({7, 8, 10, 20}, make_basis(20, BasisStatus::kBasic));  // other set
+  store.store({6, 9, 10, 20}, make_basis(20, BasisStatus::kBasic));  // other topo
+
+  ScopedWarmStartCache cache;
+  EXPECT_EQ(store.seed(7, 9, cache), 2);
+  EXPECT_EQ(cache.entries().size(), 2u);
+  EXPECT_EQ(cache.entries().count({10, 20}), 1u);
+  EXPECT_EQ(cache.entries().count({30, 40}), 1u);
+  // Preloads must not pollute this run's own store counter.
+  EXPECT_EQ(cache.stores(), 0);
+  EXPECT_EQ(cache.hits(), 0);
+}
+
+TEST(BasisStore, AbsorbPersistsCacheEntries) {
+  BasisStore store;
+  {
+    ScopedWarmStartCache cache;
+    cache.store(5, 12, make_basis(12, BasisStatus::kBasic));
+    cache.store(8, 16, make_basis(16, BasisStatus::kNonbasicUpper));
+    EXPECT_EQ(store.absorb(3, 4, cache), 2);
+  }
+  EXPECT_EQ(store.size(), 2u);
+  Basis out;
+  ASSERT_TRUE(store.load({3, 4, 5, 12}, &out));
+  EXPECT_EQ(out.status.size(), 12u);
+  ASSERT_TRUE(store.load({3, 4, 8, 16}, &out));
+  EXPECT_EQ(out.status.size(), 16u);
+}
+
+TEST(BasisStore, GlobalIsASingleton) {
+  EXPECT_EQ(&BasisStore::global(), &BasisStore::global());
+}
+
+// A small LP solved in one scope leaves its basis in the store; the next
+// scope's identically-shaped solve warm-starts from it and lands on the same
+// optimum.
+TEST(BasisStore, SecondScopeWarmStartsFromFirstScopesBasis) {
+  BasisStore store;
+  const auto solve_once = [] {
+    Model m;
+    m.set_maximize();
+    const auto x = m.add_var(0.0, 10.0, 1.0, "x");
+    const auto y = m.add_var(0.0, 10.0, 2.0, "y");
+    LinExpr sum;
+    sum.add_term(x, 1.0);
+    sum.add_term(y, 1.0);
+    m.add_constr(sum, Sense::kLe, 12.0);
+    const auto res = m.solve();
+    EXPECT_TRUE(res.optimal());
+    return res.objective;
+  };
+
+  double cold_obj = 0.0;
+  {
+    ScopedWarmStartCache cache;
+    EXPECT_EQ(store.seed(1, 2, cache), 0);  // store starts empty
+    cold_obj = solve_once();
+    EXPECT_EQ(cache.hits(), 0);
+    EXPECT_GT(cache.stores(), 0);
+    EXPECT_GT(store.absorb(1, 2, cache), 0);
+  }
+  {
+    ScopedWarmStartCache cache;
+    EXPECT_GT(store.seed(1, 2, cache), 0);
+    const double warm_obj = solve_once();
+    EXPECT_EQ(cache.hits(), 1);  // the solve found the preloaded basis
+    EXPECT_DOUBLE_EQ(warm_obj, cold_obj);
+  }
+}
+
+// Controller opt-in plumbing: a run with config.basis_store set populates
+// the store, and a second run over the same network still solves every
+// matrix on the primary rung while reusing the persisted bases.
+TEST(BasisStore, ControllerRunsPopulateAndReuseTheStore) {
+  const topo::Network net = topo::build_b4();
+  util::Rng trng(7);
+  traffic::TrafficParams tp;
+  tp.num_matrices = 1;
+  const auto tms = traffic::generate_traffic(net, tp, trng);
+
+  ctrl::ControllerConfig config;
+  config.scheme = ctrl::Scheme::kFfc1;
+  config.horizon_s = 1800.0;
+  config.te_interval_s = 600.0;
+  config.tunnels.tunnels_per_flow = 4;
+  config.scenarios.probability_cutoff = 0.002;
+  config.demand_scale = 0.3;
+
+  BasisStore store;
+  config.basis_store = &store;
+  util::Rng r1(5);
+  const auto first = ctrl::run_controller(net, tms, {}, config, r1);
+  EXPECT_EQ(first.fallback_counts[0], first.te_runs);
+  EXPECT_GT(store.size(), 0u);
+
+  const std::size_t after_first = store.size();
+  util::Rng r2(5);
+  const auto second = ctrl::run_controller(net, tms, {}, config, r2);
+  EXPECT_EQ(second.fallback_counts[0], second.te_runs);
+  // Same network + scenario set: the second run re-keys onto the same
+  // entries instead of growing the store.
+  EXPECT_EQ(store.size(), after_first);
+  // Warm starts must not change what the controller delivers.
+  EXPECT_DOUBLE_EQ(second.offered_gbps_seconds, first.offered_gbps_seconds);
+  EXPECT_NEAR(second.availability(), first.availability(), 1e-9);
+}
+
+}  // namespace
+}  // namespace arrow::solver

@@ -1,0 +1,196 @@
+// Tests for the shared RestorabilityCache and the fast model-build path
+// (link->tunnel incidence index + parallel Phase I row generation): the
+// cache must agree flag-for-flag with fresh restorable_flags computations,
+// and the fast and legacy builds must produce bit-identical models — and
+// therefore bit-identical TE solutions — at any thread count, with the
+// cache shared or rebuilt locally.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "te/arrow.h"
+#include "te/basic.h"
+#include "topo/builders.h"
+#include "traffic/traffic.h"
+#include "util/parallel.h"
+
+namespace arrow::te {
+namespace {
+
+class RestorabilityFixture : public ::testing::Test {
+ protected:
+  RestorabilityFixture() : net_(topo::build_b4()) {
+    util::Rng rng(51);
+    traffic::TrafficParams tp;
+    tp.num_matrices = 1;
+    matrices_ = traffic::generate_traffic(net_, tp, rng);
+    scenario::ScenarioParams sp;
+    sp.probability_cutoff = 0.001;
+    auto set = scenario::generate_scenarios(net_, sp, rng);
+    scenarios_ = scenario::remove_disconnecting(net_, set.scenarios);
+    TunnelParams tun;
+    tun.tunnels_per_flow = 6;
+    input_ = std::make_unique<TeInput>(net_, matrices_[0], scenarios_, tun);
+    input_->scale_demands(max_satisfiable_scale(*input_));
+    input_->scale_demands(0.8);
+    params_.tickets.num_tickets = 5;
+    prepared_ = prepare_arrow(*input_, params_, rng);
+  }
+
+  topo::Network net_;
+  std::vector<traffic::TrafficMatrix> matrices_;
+  std::vector<scenario::Scenario> scenarios_;
+  std::unique_ptr<TeInput> input_;
+  ArrowParams params_;
+  ArrowPrepared prepared_;
+};
+
+// Every TeSolution field that defines the TE outcome, compared exactly:
+// identical models solved by a deterministic simplex must agree to the bit,
+// not just to a tolerance.
+void expect_identical(const TeSolution& a, const TeSolution& b) {
+  EXPECT_EQ(a.optimal, b.optimal);
+  EXPECT_EQ(a.objective, b.objective);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.alloc, b.alloc);
+  EXPECT_EQ(a.winner, b.winner);
+  EXPECT_EQ(a.restored, b.restored);
+}
+
+TEST_F(RestorabilityFixture, CachedFlagsMatchFreshComputation) {
+  const RestorabilityCache cache(*input_, prepared_);
+  ASSERT_EQ(cache.num_scenarios(), input_->num_scenarios());
+  for (int q = 0; q < input_->num_scenarios(); ++q) {
+    const auto& tickets = prepared_.tickets[static_cast<std::size_t>(q)];
+    ASSERT_EQ(cache.num_tickets(q),
+              static_cast<int>(tickets.tickets.size()));
+    for (int z = 0; z < cache.num_tickets(q); ++z) {
+      EXPECT_EQ(cache.flags(q, z),
+                restorable_flags(*input_, q, tickets,
+                                 tickets.tickets[static_cast<std::size_t>(z)]))
+          << "q=" << q << " z=" << z;
+    }
+    // Out-of-range z selects the naive RWA-floor plan (the -1 convention).
+    const auto naive_fresh = restorable_flags(
+        *input_, q, tickets,
+        ticket::naive_ticket(prepared_.rwa[static_cast<std::size_t>(q)]));
+    EXPECT_EQ(cache.flags(q, -1), naive_fresh) << "q=" << q;
+    EXPECT_EQ(cache.flags(q, cache.num_tickets(q)), naive_fresh) << "q=" << q;
+  }
+}
+
+TEST_F(RestorabilityFixture, UnionIsOrOfPerTicketFlags) {
+  const RestorabilityCache cache(*input_, prepared_);
+  for (int q = 0; q < cache.num_scenarios(); ++q) {
+    const auto& u = cache.union_flags(q);
+    if (cache.num_tickets(q) == 0) {
+      // No candidates: Phase I's only plan is the naive one.
+      EXPECT_EQ(u, cache.flags(q, -1)) << "q=" << q;
+      continue;
+    }
+    std::vector<char> expect(u.size(), 0);
+    for (int z = 0; z < cache.num_tickets(q); ++z) {
+      const auto& f = cache.flags(q, z);
+      for (std::size_t i = 0; i < expect.size(); ++i) expect[i] |= f[i];
+    }
+    EXPECT_EQ(u, expect) << "q=" << q;
+  }
+}
+
+TEST_F(RestorabilityFixture, CacheIsThreadCountInvariant) {
+  util::ThreadPool p1(1), p2(2), p8(8);
+  const RestorabilityCache c1(*input_, prepared_, p1);
+  const RestorabilityCache c2(*input_, prepared_, p2);
+  const RestorabilityCache c8(*input_, prepared_, p8);
+  for (int q = 0; q < c1.num_scenarios(); ++q) {
+    for (int z = -1; z < c1.num_tickets(q); ++z) {
+      EXPECT_EQ(c1.flags(q, z), c2.flags(q, z));
+      EXPECT_EQ(c1.flags(q, z), c8.flags(q, z));
+    }
+    EXPECT_EQ(c1.union_flags(q), c2.union_flags(q));
+    EXPECT_EQ(c1.union_flags(q), c8.union_flags(q));
+  }
+}
+
+TEST_F(RestorabilityFixture, FastAndLegacyPhase1ModelsAreBitIdentical) {
+  ArrowParams legacy = params_;
+  legacy.fast_build = false;
+  util::ThreadPool p1(1), p2(2), p8(8);
+  const Phase1BuildStats base = build_phase1_model(*input_, prepared_,
+                                                   legacy, p1);
+  ASSERT_GT(base.vars, 0);
+  ASSERT_GT(base.rows, 0);
+  ASSERT_NE(base.model_fingerprint, 0u);
+
+  const RestorabilityCache shared(*input_, prepared_, p8);
+  for (util::ThreadPool* pool : {&p1, &p2, &p8}) {
+    for (const RestorabilityCache* cache :
+         {static_cast<const RestorabilityCache*>(nullptr), &shared}) {
+      const Phase1BuildStats fast =
+          build_phase1_model(*input_, prepared_, params_, *pool, cache);
+      EXPECT_EQ(fast.vars, base.vars);
+      EXPECT_EQ(fast.rows, base.rows);
+      EXPECT_EQ(fast.model_fingerprint, base.model_fingerprint)
+          << "threads=" << pool->threads() << " shared_cache=" << (cache != nullptr);
+    }
+  }
+}
+
+TEST_F(RestorabilityFixture, SolveArrowIdenticalFastVsLegacy) {
+  ArrowParams legacy = params_;
+  legacy.fast_build = false;
+  const TeSolution before = solve_arrow(*input_, prepared_, legacy);
+  ASSERT_TRUE(before.optimal);
+
+  util::ThreadPool p1(1), p8(8);
+  const RestorabilityCache shared(*input_, prepared_, p8);
+  expect_identical(before, solve_arrow(*input_, prepared_, params_, p1));
+  expect_identical(before, solve_arrow(*input_, prepared_, params_, p8));
+  expect_identical(before,
+                   solve_arrow(*input_, prepared_, params_, p8, &shared));
+}
+
+TEST_F(RestorabilityFixture, SolveArrowNaiveIdenticalFastVsLegacy) {
+  ArrowParams legacy = params_;
+  legacy.fast_build = false;
+  const TeSolution before = solve_arrow_naive(*input_, prepared_, legacy);
+  ASSERT_TRUE(before.optimal);
+  const RestorabilityCache shared(*input_, prepared_);
+  expect_identical(before, solve_arrow_naive(*input_, prepared_, params_));
+  expect_identical(before,
+                   solve_arrow_naive(*input_, prepared_, params_, &shared));
+}
+
+TEST(RestorabilitySmall, SolveArrowIlpIdenticalFastVsLegacy) {
+  // Tiny instance so the binary ILP (Table 9) finishes (same setup as
+  // te_test's ArrowSmall).
+  const topo::Network net = topo::build_testbed();
+  util::Rng rng(4);
+  traffic::TrafficParams tp;
+  tp.num_matrices = 1;
+  tp.min_share = 0.0;
+  const auto ms = traffic::generate_traffic(net, tp, rng);
+  std::vector<scenario::Scenario> scenarios{
+      {{0}, 0.01}, {{1}, 0.01}, {{3}, 0.01}};
+  TunnelParams tun;
+  tun.tunnels_per_flow = 3;
+  TeInput input(net, ms[0], scenarios, tun);
+  input.scale_demands(max_satisfiable_scale(input));
+  input.scale_demands(0.8);
+
+  ArrowParams ap;
+  ap.tickets.num_tickets = 4;
+  const auto prepared = prepare_arrow(input, ap, rng);
+
+  ArrowParams legacy = ap;
+  legacy.fast_build = false;
+  const TeSolution before = solve_arrow_ilp(input, prepared, legacy);
+  ASSERT_TRUE(before.optimal);
+  const RestorabilityCache shared(input, prepared);
+  expect_identical(before, solve_arrow_ilp(input, prepared, ap));
+  expect_identical(before, solve_arrow_ilp(input, prepared, ap, &shared));
+}
+
+}  // namespace
+}  // namespace arrow::te

@@ -10,11 +10,13 @@
 #include "sim/cost.h"
 #include "sim/sweep.h"
 #include "sim/tickets.h"
+#include "solver/lp.h"
 #include "te/arrow.h"
 #include "te/basic.h"
 #include "te/ffc.h"
 #include "topo/builders.h"
 #include "traffic/traffic.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 
 namespace arrow::sim {
@@ -282,6 +284,87 @@ TEST_F(SimFixture, StateDeliveryRestorationMonotone) {
     EXPECT_GE(st.delivered_gbps, prev - 1e-6);
     prev = st.delivered_gbps;
   }
+}
+
+TEST_F(SimFixture, OverRestoringTicketIsClampedToLinkCapacity) {
+  // Regression: the scenario-indexed delivery path (delivered_alloc) used to
+  // take a ticket's restored gbps at face value, so a ticket whose surrogate
+  // waves exceeded the original link let a failed link deliver MORE than its
+  // provisioned capacity. state_delivery always clamped; the two paths must
+  // agree.
+  input_->scale_demands(3.0);  // over-subscribe so the clamp is load-bearing
+  te::TeSolution sol = te::solve_ecmp(*input_);
+  const auto& failed = input_->failed_links(0);
+  if (failed.empty()) GTEST_SKIP();
+  sol.restored.resize(static_cast<std::size_t>(input_->num_scenarios()));
+  te::TeSolution exact = sol;
+  for (topo::IpLinkId e : failed) {
+    const double cap =
+        net_.ip_links[static_cast<std::size_t>(e)].capacity_gbps();
+    sol.restored[0][e] = 50.0 * cap;  // over-restoring ticket
+    exact.restored[0][e] = cap;       // physically attainable plan
+  }
+  EXPECT_DOUBLE_EQ(scenario_satisfaction(*input_, sol, 0),
+                   scenario_satisfaction(*input_, exact, 0));
+  // Delivered load on a restored link never exceeds the IP link itself.
+  const auto loads = link_loads(*input_, sol, 0);
+  for (topo::IpLinkId e : failed) {
+    EXPECT_LE(loads[static_cast<std::size_t>(e)],
+              net_.ip_links[static_cast<std::size_t>(e)].capacity_gbps() +
+                  1e-6);
+  }
+}
+
+TEST(Sweep, SolveFailuresAreCountedAndExcludedFromMeans) {
+  // Regression: a chain solve that came back non-optimal used to be averaged
+  // into the availability mean as 0.0 — silently dragging the curve down.
+  // Now the slot is excluded from the mean and the failure is counted.
+  const topo::Network net = topo::build_b4();
+  util::Rng rng(9);
+  traffic::TrafficParams tp;
+  tp.num_matrices = 2;
+  const auto matrices = traffic::generate_traffic(net, tp, rng);
+  scenario::ScenarioParams sp;
+  sp.probability_cutoff = 0.005;
+  auto set = scenario::generate_scenarios(net, sp, rng);
+  const auto scenarios = scenario::remove_disconnecting(net, set.scenarios);
+
+  SweepParams params;
+  params.scales = {0.5};
+  params.run_arrow = false;
+  params.run_arrow_naive = false;
+  params.run_ffc2 = false;
+  params.run_teavar = false;
+  params.run_ecmp = false;  // FFC-1 only: one LP per calibration + chain
+  params.warm_start = false;
+  params.tunnels.tunnels_per_flow = 5;
+
+  // Baseline: matrix 1 alone, no faults.
+  util::ThreadPool inline_pool(1);
+  util::Rng rng_base(1);
+  const SweepResult clean =
+      run_sweep(net, {matrices[1]}, scenarios, params, rng_base, inline_pool);
+  ASSERT_EQ(clean.total_solve_failures(), 0);
+
+  // Faulted run over both matrices, inline so the thread-local observer sees
+  // every solve. Solve order with ThreadPool(1): calibration m0, calibration
+  // m1, chain m0, chain m1 — index 2 is matrix 0's FFC-1 solve.
+  int solve_idx = 0;
+  solver::ScopedSolveObserver fail_third(
+      [&](const solver::Lp&, solver::LpSolution& s) {
+        if (solve_idx++ == 2) s.status = solver::LpStatus::kIterationLimit;
+      });
+  util::Rng rng_fault(1);
+  const SweepResult faulted =
+      run_sweep(net, matrices, scenarios, params, rng_fault, inline_pool);
+  EXPECT_EQ(faulted.solve_failures.at("FFC-1")[0], 1);
+  EXPECT_EQ(faulted.total_solve_failures(), 1);
+  // The mean over the surviving matrix equals matrix 1's own value — the
+  // failed matrix 0 slot contributes neither a 0.0 nor a divisor.
+  EXPECT_DOUBLE_EQ(faulted.availability.at("FFC-1")[0],
+                   clean.availability.at("FFC-1")[0]);
+  EXPECT_DOUBLE_EQ(faulted.throughput.at("FFC-1")[0],
+                   clean.throughput.at("FFC-1")[0]);
 }
 
 TEST_F(SimFixture, StateDeliveryRestoredCapacityIsClamped) {

@@ -118,6 +118,39 @@ TEST_F(TicketFixture, NaiveTicketFloorsTheLp) {
   }
 }
 
+TEST(TicketDistribution, TiedSharesBreakTowardLowerPathIndex) {
+  // Regression: waves are distributed over surrogate paths largest
+  // fractional share first via std::sort, which is unstable — paths with
+  // EQUAL shares landed in implementation-defined order, so the same RWA
+  // could yield different tickets across platforms / libstdc++ versions.
+  // Ties must deterministically favour the lower path index.
+  // Enough tied paths (> libstdc++'s ~16-element insertion-sort threshold)
+  // that an unstable sort actually reorders equal keys.
+  constexpr int kPaths = 20;
+  optical::RwaResult rwa;
+  optical::LinkRestoration lr;
+  lr.link = 0;
+  lr.lost_waves = kPaths;
+  lr.original_gbps = 100.0;
+  for (int pi = 0; pi < kPaths; ++pi) {
+    optical::SurrogatePath p;
+    p.gbps = 100.0;
+    p.fractional_waves = 0.5;          // all paths exactly tied
+    p.usable_slots = {0, 1};           // room for 2 waves each
+    lr.paths.push_back(std::move(p));
+  }
+  rwa.links.push_back(std::move(lr));
+
+  // naive_ticket wants floor(20 * 0.5) = 10 waves: 2 on each of the first
+  // five paths, 0 on the rest — never any other permutation of the ties.
+  const LotteryTicket t = naive_ticket(rwa);
+  ASSERT_EQ(t.path_waves.size(), 1u);
+  std::vector<int> expect(kPaths, 0);
+  for (int pi = 0; pi < 5; ++pi) expect[static_cast<std::size_t>(pi)] = 2;
+  EXPECT_EQ(t.path_waves[0], expect);
+  EXPECT_EQ(t.waves[0], 10);
+}
+
 TEST(TicketTheory, RhoFormula) {
   EXPECT_DOUBLE_EQ(optimality_probability(0.0, 100), 0.0);
   EXPECT_DOUBLE_EQ(optimality_probability(1.0, 1), 1.0);
