@@ -1,0 +1,194 @@
+// Phase II (Table 3) model-build cost: pre-refactor serial dense scans vs
+// the incidence-index + shared-RestorabilityCache + parallel row-generation
+// path (the Phase I fast build extended to the rest of the pipeline).
+//
+// The legacy build recomputes restorability flags per scenario and walks
+// every (flow, tunnel) pair per failed link; the fast build reads the
+// link->tunnel incidence index, pulls flags from the shared cache, and
+// generates per-scenario constraint rows on the pool with a serial
+// fixed-order append. Both must produce bit-identical models — verified via
+// Model::fingerprint at 1/2/8 threads with the cache shared and rebuilt —
+// and the fast path must cut build time by >= 2x on an FBsynth-sized
+// instance, else the bench exits nonzero. A solve cross-check confirms the
+// identical models also yield identical ARROW-Naive solutions.
+//
+// Environment knobs: ARROW_BENCH_FAST=1 shrinks to the IBM topology for
+// CI-speed runs (bench-smoke); the identity checks still run, the
+// absolute-speedup gate does not. Results land in BENCH_phase2_build.json.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "te/arrow.h"
+#include "te/basic.h"
+#include "topo/builders.h"
+#include "traffic/traffic.h"
+#include "util/parallel.h"
+
+using namespace arrow;
+
+namespace {
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] == '1';
+}
+
+double solution_checksum(const te::TeSolution& sol) {
+  double sum = sol.objective;
+  for (std::size_t f = 0; f < sol.alloc.size(); ++f) {
+    for (std::size_t ti = 0; ti < sol.alloc[f].size(); ++ti) {
+      sum += static_cast<double>((f + 1) * (ti + 2)) * sol.alloc[f][ti];
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  const bool fast_mode = env_flag("ARROW_BENCH_FAST");
+  const topo::Network net =
+      fast_mode ? topo::build_ibm() : topo::build_fbsynth();
+  util::Rng rng(2024);
+  traffic::TrafficParams tp;
+  tp.num_matrices = 1;
+  const auto ms = traffic::generate_traffic(net, tp, rng);
+  scenario::ScenarioParams sp;
+  sp.probability_cutoff = 0.001;
+  auto scen = scenario::generate_scenarios(net, sp, rng);
+  const auto scenarios = scenario::remove_disconnecting(net, scen.scenarios);
+  te::TunnelParams tun;
+  tun.tunnels_per_flow = fast_mode ? 6 : 8;
+  te::TeInput input(net, ms[0], scenarios, tun);
+  input.scale_demands(te::max_satisfiable_scale(input) * 0.6);
+  te::ArrowParams params;
+  params.tickets.num_tickets = fast_mode ? 6 : 10;
+
+  const int n_threads = util::default_thread_count();
+  util::ThreadPool pool(n_threads);
+  util::Rng prep_rng(7);
+  const auto prepared = te::prepare_arrow(input, params, prep_rng, pool);
+
+  // Mixed winner vector: the naive RWA plan for odd scenarios, the first
+  // real candidate where one exists for even ones — exercises both the
+  // cached per-ticket and cached naive flag paths.
+  std::vector<int> winners(static_cast<std::size_t>(input.num_scenarios()), -1);
+  for (int q = 0; q < input.num_scenarios(); q += 2) {
+    if (!prepared.tickets[static_cast<std::size_t>(q)].tickets.empty()) {
+      winners[static_cast<std::size_t>(q)] = 0;
+    }
+  }
+
+  bench::BenchJson out("phase2_build");
+  out.set("topology", net.name);
+  out.set("scenarios", static_cast<long long>(scenarios.size()));
+  out.set("flows", input.num_flows());
+  out.set("tunnels", input.total_tunnels());
+  out.set("tickets_per_scenario", params.tickets.num_tickets);
+  out.set("threads", n_threads);
+  out.set("hardware_concurrency",
+          static_cast<long long>(std::thread::hardware_concurrency()));
+
+  bool ok = true;
+
+  // --- build-time comparison ----------------------------------------------
+  te::ArrowParams legacy = params;
+  legacy.fast_build = false;
+  util::ThreadPool pool1(1), pool2(2), pool8(8);
+  const te::ModelBuildStats base =
+      te::build_phase2_model(input, prepared, winners, legacy, pool1);
+  out.set("vars", base.vars);
+  out.set("rows", base.rows);
+  out.set("legacy_build_ms", base.build_seconds * 1e3);
+  std::printf("legacy build: %.1f ms (%d vars, %d rows)\n",
+              base.build_seconds * 1e3, base.vars, base.rows);
+
+  // Amortized fast build: the cache is shared across solves in production
+  // (sweep chains, the controller's ladder), so it is built once up front.
+  const te::RestorabilityCache cache(input, prepared, pool);
+  const te::ModelBuildStats fast =
+      te::build_phase2_model(input, prepared, winners, params, pool, &cache);
+  out.set("fast_build_ms", fast.build_seconds * 1e3);
+  // Cold fast build: cache construction included (an unshared solve pays it).
+  const te::ModelBuildStats cold =
+      te::build_phase2_model(input, prepared, winners, params, pool);
+  out.set("fast_build_with_cache_build_ms", cold.build_seconds * 1e3);
+
+  const double speedup = fast.build_seconds > 0.0
+                             ? base.build_seconds / fast.build_seconds
+                             : 0.0;
+  const double cold_speedup = cold.build_seconds > 0.0
+                                  ? base.build_seconds / cold.build_seconds
+                                  : 0.0;
+  out.set("build_speedup", speedup);
+  out.set("build_speedup_including_cache", cold_speedup);
+  std::printf("fast build:   %.1f ms shared cache (%.2fx), %.1f ms with "
+              "cache construction (%.2fx)\n",
+              fast.build_seconds * 1e3, speedup, cold.build_seconds * 1e3,
+              cold_speedup);
+  if (!fast_mode && speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: fast Phase II build is %.2fx vs legacy (need >= 2x)\n",
+                 speedup);
+    ok = false;
+  }
+
+  // --- model bit-identity across thread counts and cache sharing ----------
+  for (util::ThreadPool* p : {&pool1, &pool2, &pool8}) {
+    for (const te::RestorabilityCache* c :
+         {static_cast<const te::RestorabilityCache*>(nullptr), &cache}) {
+      const te::ModelBuildStats s =
+          te::build_phase2_model(input, prepared, winners, params, *p, c);
+      if (s.model_fingerprint != base.model_fingerprint ||
+          s.vars != base.vars || s.rows != base.rows) {
+        std::fprintf(stderr,
+                     "FAIL: fast build (threads=%d, shared_cache=%d) is not "
+                     "bit-identical to the legacy model\n",
+                     p->threads(), c != nullptr ? 1 : 0);
+        ok = false;
+      }
+    }
+  }
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(base.model_fingerprint));
+  out.set("model_fingerprint", std::string(fp));
+  if (ok) {
+    std::printf("model fingerprint %s identical at 1/2/8 threads, cache "
+                "shared and rebuilt\n", fp);
+  }
+
+  // --- solution bit-identity (ARROW-Naive = Phase II with naive winners) ---
+  const te::TeSolution sol_legacy =
+      te::solve_arrow_naive(input, prepared, legacy);
+  const te::TeSolution sol1 =
+      te::solve_arrow_naive(input, prepared, params, pool1);
+  const te::TeSolution sol8 =
+      te::solve_arrow_naive(input, prepared, params, pool8, &cache);
+  const double checksum = solution_checksum(sol_legacy);
+  out.set("solution_checksum", checksum);
+  for (const te::TeSolution* s : {&sol1, &sol8}) {
+    if (!s->optimal || !sol_legacy.optimal ||
+        s->alloc != sol_legacy.alloc ||
+        s->objective != sol_legacy.objective) {
+      std::fprintf(stderr,
+                   "FAIL: fast-build ARROW-Naive solution differs from legacy "
+                   "(checksums %.17g vs %.17g)\n",
+                   solution_checksum(*s), checksum);
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::printf("ARROW-Naive solutions identical: legacy vs fast at 1/8 "
+                "threads (checksum %.17g)\n", checksum);
+  }
+
+  out.set("status", std::string(ok ? "ok" : "fail"));
+  out.write();
+  return ok ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <optional>
 #include <set>
 
@@ -104,7 +105,7 @@ te::TeSolution solve_primary(const ControllerConfig& config,
     case Scheme::kArrow:
       return te::solve_arrow(input, prepared, config.arrow, pool, cache);
     case Scheme::kArrowNaive:
-      return te::solve_arrow_naive(input, prepared, config.arrow, cache);
+      return te::solve_arrow_naive(input, prepared, config.arrow, pool, cache);
     case Scheme::kFfc1:
       return te::solve_ffc(input, te::FfcParams{1, 0});
     case Scheme::kTeaVar:
@@ -218,15 +219,31 @@ ControllerReport run_controller(const topo::Network& net,
   // bases for this exact (topology, scenario set) before any solve, absorb
   // the run's final bases back just before returning. The hashes key on
   // structure, not demands, so runs over different traffic matrices share
-  // vertices as long as the network and scenario set match.
+  // vertices as long as the network and scenario set match. A basis
+  // directory (config field, else ARROW_BASIS_DIR) extends the store across
+  // processes: load its file before seeding, save after absorbing. With no
+  // in-process store configured the disk file gets a run-local one.
+  std::string basis_dir = config.basis_dir;
+  if (basis_dir.empty()) {
+    if (const char* env = std::getenv("ARROW_BASIS_DIR")) basis_dir = env;
+  }
+  std::optional<solver::BasisStore> run_local_store;
+  solver::BasisStore* store = config.basis_store;
+  if (store == nullptr && !basis_dir.empty()) {
+    run_local_store.emplace();
+    store = &*run_local_store;
+  }
   std::uint64_t topo_h = 0;
   std::uint64_t scen_h = 0;
   std::optional<solver::ScopedWarmStartCache> warm;
-  if (config.basis_store != nullptr) {
+  if (store != nullptr) {
+    if (!basis_dir.empty()) {
+      store->load(solver::BasisStore::file_in(basis_dir));  // false = cold
+    }
     topo_h = topo::structure_hash(net);
     scen_h = scenario::set_hash(scenarios);
     warm.emplace();
-    config.basis_store->seed(topo_h, scen_h, *warm);
+    store->seed(topo_h, scen_h, *warm);
   }
 
   std::vector<te::TeInput> inputs;
@@ -587,8 +604,11 @@ ControllerReport run_controller(const topo::Network& net,
   recompute_rates();
   report.timeline.emplace_back(0.0, delivered_rate);
   queue.run();
-  if (config.basis_store != nullptr) {
-    config.basis_store->absorb(topo_h, scen_h, *warm);
+  if (store != nullptr) {
+    store->absorb(topo_h, scen_h, *warm);
+    if (!basis_dir.empty()) {
+      store->save(solver::BasisStore::file_in(basis_dir));
+    }
   }
   return report;
 }

@@ -103,6 +103,16 @@ struct ControllerConfig {
   // mutable store would break.
   solver::BasisStore* basis_store = nullptr;
 
+  // Directory for the on-disk basis store (extends warm starts across
+  // *processes*). When non-empty — or when the ARROW_BASIS_DIR environment
+  // variable is set, which this field overrides — the run loads
+  // solver::BasisStore::file_in(dir) into the store before seeding and saves
+  // the store back after absorbing. Pairs with `basis_store` when one is
+  // given; with `basis_store` null, a run-local store is used so the disk
+  // file alone carries the warm starts. A missing, truncated or corrupted
+  // file degrades to a cold start — never to an error or a changed solution.
+  std::string basis_dir;
+
   // Fault hooks, normally unset (wired by resilience::FaultInjector):
   // consulted when a restoration plan is about to be installed. `true` from
   // drop_restoration_plan loses the plan entirely; restoration_delay_s adds

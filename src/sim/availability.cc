@@ -2,15 +2,15 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 #include "util/check.h"
 
 namespace arrow::sim {
 
-namespace {
-
 // Per-scenario delivered bandwidth per (flow, tunnel), shared by the
-// satisfaction and link-load computations.
+// satisfaction and link-load computations (and exercised directly by the
+// delivery property tests — see the invariant list in the header).
 //
 // Model (matching how routers behave between TE runs, §3.3): each flow
 // offers min(demand, total allocation) and splits it over the tunnels that
@@ -24,7 +24,8 @@ namespace {
 // approximation applied uniformly to all schemes.
 std::vector<std::vector<double>> delivered_for_capacity(
     const te::TeInput& input, const te::TeSolution& sol,
-    const std::vector<double>& capacity) {
+    const std::vector<double>& capacity,
+    std::vector<std::vector<double>>* offered_out) {
   const auto& net = input.net();
   const std::size_t num_links = net.ip_links.size();
 
@@ -89,8 +90,11 @@ std::vector<std::vector<double>> delivered_for_capacity(
       delivered[f][ti] = offered[f][ti] / worst;
     }
   }
+  if (offered_out != nullptr) *offered_out = std::move(offered);
   return delivered;
 }
+
+namespace {
 
 // Scenario-index entry point: capacities from the scenario's failed links
 // and the solution's planned restoration.

@@ -48,4 +48,18 @@ StateDelivery state_delivery(const te::TeInput& input,
 std::vector<double> link_loads(const te::TeInput& input,
                                const te::TeSolution& solution, int q);
 
+// The delivery model itself: per-(flow, tunnel) delivered Gbps under an
+// explicit per-IP-link capacity vector (Gbps; 0 = link down). Each flow
+// offers min(demand, total allocation) split over its usable tunnels by
+// installed ratio (+epsilon, footnote 6), dead tunnels rehash onto
+// survivors, and over-subscribed links scale every crossing tunnel by their
+// worst factor. Invariants (pinned by property tests): post-scaling link
+// load never exceeds capacity, a flow with no usable tunnel delivers zero,
+// and delivered <= offered per tunnel. `offered_out` (optional) receives the
+// pre-scaling per-tunnel offered volumes, same shape as the return value.
+std::vector<std::vector<double>> delivered_for_capacity(
+    const te::TeInput& input, const te::TeSolution& solution,
+    const std::vector<double>& capacity,
+    std::vector<std::vector<double>>* offered_out = nullptr);
+
 }  // namespace arrow::sim

@@ -25,7 +25,7 @@ te::TeSolution solve_scheme(const std::string& scheme, const te::TeInput& input,
     return te::solve_arrow(input, prepared, params.arrow, pool, cache);
   }
   if (scheme == "ARROW-Naive") {
-    return te::solve_arrow_naive(input, prepared, params.arrow, cache);
+    return te::solve_arrow_naive(input, prepared, params.arrow, pool, cache);
   }
   if (scheme == "FFC-1") return te::solve_ffc(input, te::FfcParams{1, 0});
   if (scheme == "FFC-2") {

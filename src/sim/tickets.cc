@@ -1,5 +1,6 @@
 #include "sim/tickets.h"
 
+#include <algorithm>
 #include <map>
 
 #include "util/check.h"
@@ -21,6 +22,8 @@ std::vector<FailureTicket> generate_tickets(const topo::Network& net,
                                             const TicketStudyParams& params,
                                             util::Rng& rng) {
   ARROW_CHECK(!net.optical.fibers.empty(), "network has no fibers");
+  ARROW_CHECK(params.num_tickets >= 0, "negative ticket count");
+  ARROW_CHECK(params.window_hours > 0.0, "non-positive observation window");
   const std::vector<double> weights = {
       params.fiber_cut_weight, params.hardware_weight, params.software_weight,
       params.power_weight, params.maintenance_weight};
@@ -42,6 +45,12 @@ std::vector<FailureTicket> generate_tickets(const topo::Network& net,
     } else {
       t.duration_hours = rng.lognormal(params.other_mu, params.other_sigma);
     }
+    // Clip to the observation window: a lognormal repair drawn near the
+    // window's edge would otherwise extend past it and count downtime that
+    // falls outside the study, inflating downtime_share and lost-Gbps totals
+    // (the study only *observes* window_hours of each ticket).
+    t.duration_hours =
+        std::min(t.duration_hours, params.window_hours - t.start_hours);
     tickets.push_back(t);
   }
   return tickets;

@@ -1,8 +1,92 @@
 #include "solver/basis_store.h"
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
 #include <utility>
+#include <vector>
+
+#include "util/hash.h"
 
 namespace arrow::solver {
+
+namespace {
+
+// On-disk layout (all integers little-endian, fixed width):
+//
+//   bytes 0..3    magic "ARBS"
+//   bytes 4..7    format version (u32, currently 1)
+//   bytes 8..15   entry count (u64)
+//   per entry:    topo_hash u64, scenario_hash u64, rows i32, cols i32,
+//                 status count u64, then that many status bytes (each 0..3)
+//   trailer:      FNV-1a 64-bit checksum (u64) over every preceding byte
+//
+// The checksum makes truncation and bit rot detectable without trusting any
+// length field; the per-entry bounds checks below make a *valid-checksum*
+// file from a future version (or a hostile one) unable to write garbage
+// statuses into the store.
+constexpr char kMagic[4] = {'A', 'R', 'B', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+// Cursor over an untrusted byte buffer: every read checks bounds and flips
+// `ok` sticky-false on overrun, so the parser below can read linearly and
+// check once per entry.
+struct Reader {
+  const unsigned char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool take(std::size_t n) {
+    if (!ok || size - pos < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data[pos + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data[pos + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+};
+
+}  // namespace
 
 void BasisStore::store(const Key& key, Basis basis) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -51,6 +135,113 @@ int BasisStore::absorb(std::uint64_t topo_hash, std::uint64_t scenario_hash,
     ++n;
   }
   return n;
+}
+
+bool BasisStore::save(const std::string& path) const {
+  std::string buf;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buf.append(kMagic, sizeof(kMagic));
+    put_u32(buf, kVersion);
+    put_u64(buf, static_cast<std::uint64_t>(entries_.size()));
+    for (const auto& [key, basis] : entries_) {
+      put_u64(buf, key.topo_hash);
+      put_u64(buf, key.scenario_hash);
+      put_i32(buf, key.rows);
+      put_i32(buf, key.cols);
+      put_u64(buf, static_cast<std::uint64_t>(basis.status.size()));
+      for (BasisStatus s : basis.status) {
+        buf.push_back(static_cast<char>(s));
+      }
+    }
+  }
+  put_u64(buf, util::Fnv1a().bytes(buf.data(), buf.size()).value());
+
+  // Write-to-temp + rename: readers only ever see the old file or the
+  // complete new one. The pid suffix keeps concurrent writers (two
+  // controller processes sharing ARROW_BASIS_DIR) off each other's temp
+  // files; rename picks an arbitrary winner, which is fine — either file is
+  // a complete, valid store.
+  const std::string tmp = path + ".tmp." + std::to_string(getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool BasisStore::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  if (in.bad()) return false;
+  // Shortest valid file: header + checksum, zero entries.
+  if (buf.size() < sizeof(kMagic) + 4 + 8 + 8) return false;
+
+  const std::uint64_t want =
+      util::Fnv1a().bytes(buf.data(), buf.size() - 8).value();
+  Reader r{reinterpret_cast<const unsigned char*>(buf.data()), buf.size()};
+  Reader trailer = r;
+  trailer.pos = buf.size() - 8;
+  if (trailer.u64() != want) return false;
+  r.size = buf.size() - 8;  // everything before the checksum
+
+  if (!r.take(sizeof(kMagic)) ||
+      std::memcmp(buf.data(), kMagic, sizeof(kMagic)) != 0) {
+    return false;
+  }
+  r.pos += sizeof(kMagic);
+  if (r.u32() != kVersion) return false;
+  const std::uint64_t count = r.u64();
+
+  // Parse into a staging map first: the store mutates only after the whole
+  // file checks out.
+  std::map<Key, Basis> staged;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Key key;
+    key.topo_hash = r.u64();
+    key.scenario_hash = r.u64();
+    key.rows = r.i32();
+    key.cols = r.i32();
+    const std::uint64_t n = r.u64();
+    if (!r.ok || key.rows < 0 || key.cols < 0 || n > r.size - r.pos) {
+      return false;
+    }
+    Basis basis;
+    basis.status.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t j = 0; j < n; ++j) {
+      const unsigned char s = r.data[r.pos + static_cast<std::size_t>(j)];
+      if (s > static_cast<unsigned char>(BasisStatus::kNonbasicFree)) {
+        return false;
+      }
+      basis.status.push_back(static_cast<BasisStatus>(s));
+    }
+    r.pos += static_cast<std::size_t>(n);
+    staged[key] = std::move(basis);
+  }
+  // Trailing garbage before the checksum means the count lied.
+  if (!r.ok || r.pos != r.size) return false;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, basis] : staged) {
+    entries_[key] = std::move(basis);
+  }
+  return true;
+}
+
+std::string BasisStore::file_in(const std::string& dir) {
+  return dir + "/arrow_basis.bin";
 }
 
 std::size_t BasisStore::size() const {

@@ -16,11 +16,22 @@
 // mismatched basis is just a poor starting vertex and the simplex falls back
 // to (or retries from) the all-slack start, so warm-starting never costs
 // correctness.
+//
+// save()/load() extend the store across *processes*: a versioned,
+// FNV-1a-checksummed little-endian binary file (see basis_store.cc for the
+// exact layout). Writes go to a temp file in the same directory and land via
+// atomic rename, so a crashed or concurrent writer never leaves a torn file
+// under the real name. load() verifies magic, version, checksum and every
+// structural bound before touching the store; anything unexpected —
+// truncation, corruption, a future format version — makes it return false
+// with the store unchanged, degrading to a cold start by the same
+// never-costs-correctness argument as above.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <string>
 
 #include "solver/lp.h"
 
@@ -60,6 +71,22 @@ class BasisStore {
 
   std::size_t size() const;
   void clear();
+
+  // Writes every entry to `path` (atomic: temp file + rename). Returns false
+  // when the file cannot be created or written; the store is unaffected
+  // either way.
+  bool save(const std::string& path) const;
+
+  // Merges the entries of a file previously written by save() into the store
+  // (file entries overwrite same-key entries). Returns false — with the
+  // store untouched — when the file is missing, truncated, corrupted, or a
+  // different format version; a bad store file must never cost more than a
+  // cold start.
+  bool load(const std::string& path);
+
+  // The store filename under a persistence directory (what the controller
+  // uses for ControllerConfig::basis_dir / ARROW_BASIS_DIR).
+  static std::string file_in(const std::string& dir);
 
   // Process-wide store. Opt-in: nothing uses it unless a caller passes it
   // (e.g. ControllerConfig::basis_store = &BasisStore::global()) — runs that

@@ -114,31 +114,101 @@ std::vector<ticket::LotteryTicket> make_naive_tickets(const ArrowPrepared& prepa
   return out;
 }
 
-// Phase II (Table 3) against a chosen ticket per scenario (z = -1 selects
-// the naive RWA ticket). `fast` selects the incidence-index load rows;
-// `cache` (optional) supplies precomputed restorability flags.
-TeSolution phase2(const TeInput& input, const ArrowPrepared& prepared,
-                  const std::vector<ticket::LotteryTicket>& naive,
-                  const std::vector<int>& winners, const char* scheme,
-                  double extra_seconds, bool fast,
-                  const RestorabilityCache* cache) {
-  const int Q = input.num_scenarios();
+struct Phase2Model {
   solver::Model model;
-  model.set_maximize();
-  BaseVars vars = add_base(model, input, fast);
+  BaseVars vars;
+};
 
+// Builds the Phase II LP (Table 3) against a chosen ticket per scenario
+// (z = -1 selects the naive RWA ticket). `fast` selects the parallel path:
+// per-scenario cover (10) and restored-capacity (11) expressions are
+// generated on `pool` into per-q slots — flags from `cache` when one is
+// shared, recomputed inside the body otherwise (restorable_flags is pure) —
+// then appended serially in fixed q order. Same protocol as build_phase1:
+// row order and contents match the serial dense build exactly, so the model
+// is bit-identical at any thread count.
+void build_phase2(const TeInput& input, const ArrowPrepared& prepared,
+                  const std::vector<ticket::LotteryTicket>& naive,
+                  const std::vector<int>& winners, bool fast,
+                  const RestorabilityCache* cache, util::ThreadPool& pool,
+                  Phase2Model* out) {
+  const int Q = input.num_scenarios();
+  solver::Model& model = out->model;
+  model.set_maximize();
+  out->vars = add_base(model, input, fast);
+  const BaseVars& vars = out->vars;
+
+  if (fast) {
+    struct ScenarioRows {
+      std::vector<solver::LinExpr> cover;      // per affected flow of q
+      std::vector<solver::LinExpr> link_load;  // per failed link of q
+    };
+    std::vector<ScenarioRows> rows(static_cast<std::size_t>(Q));
+    pool.parallel_for(0, Q, [&](int q) {
+      const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+      std::vector<char> fresh;
+      if (cache == nullptr) {
+        fresh = restorable_flags(
+            input, q, tickets,
+            ticket_or_naive(prepared, naive, q,
+                            winners[static_cast<std::size_t>(q)]));
+      }
+      const std::vector<char>& restorable =
+          cache != nullptr
+              ? cache->flags(q, winners[static_cast<std::size_t>(q)])
+              : fresh;
+      ScenarioRows& r = rows[static_cast<std::size_t>(q)];
+      r.cover.reserve(input.affected_flows(q).size());
+      for (int f : input.affected_flows(q)) {
+        solver::LinExpr expr;
+        const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+        for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
+          const int flat = input.tunnel_index(f, static_cast<int>(ti));
+          if (input.tunnel_alive(f, static_cast<int>(ti), q) ||
+              restorable[static_cast<std::size_t>(flat)]) {
+            expr.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
+          }
+        }
+        expr -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
+        r.cover.push_back(std::move(expr));
+      }
+      r.link_load.resize(tickets.failed_links.size());
+      for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+        for (const auto& lt : input.tunnels_on_link(tickets.failed_links[li])) {
+          if (restorable[static_cast<std::size_t>(lt.flat)]) {
+            r.link_load[li].add_term(
+                vars.a[static_cast<std::size_t>(lt.flow)]
+                      [static_cast<std::size_t>(lt.ti)],
+                1.0);
+          }
+        }
+      }
+    });
+    for (int q = 0; q < Q; ++q) {
+      const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+      const auto& ticket = ticket_or_naive(
+          prepared, naive, q, winners[static_cast<std::size_t>(q)]);
+      ScenarioRows& r = rows[static_cast<std::size_t>(q)];
+      for (auto& expr : r.cover) {
+        model.add_constr(expr, solver::Sense::kGe, 0.0);
+      }
+      for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+        if (!r.link_load[li].terms().empty()) {
+          model.add_constr(r.link_load[li], solver::Sense::kLe,
+                           ticket.gbps[li]);
+        }
+      }
+    }
+    return;
+  }
+
+  // Legacy serial build: dense F x T scans, flags recomputed per scenario.
   for (int q = 0; q < Q; ++q) {
     const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
     const auto& ticket = ticket_or_naive(prepared, naive, q,
                                          winners[static_cast<std::size_t>(q)]);
-    std::vector<char> fresh;
-    if (cache == nullptr) {
-      fresh = restorable_flags(input, q, tickets, ticket);
-    }
-    const std::vector<char>& restorable =
-        cache != nullptr
-            ? cache->flags(q, winners[static_cast<std::size_t>(q)])
-            : fresh;
+    const std::vector<char> restorable =
+        restorable_flags(input, q, tickets, ticket);
     // (10): residual + restorable tunnels cover b_f.
     for (int f : input.affected_flows(q)) {
       solver::LinExpr expr;
@@ -157,23 +227,13 @@ TeSolution phase2(const TeInput& input, const ArrowPrepared& prepared,
     for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
       const topo::IpLinkId e = tickets.failed_links[li];
       solver::LinExpr load;
-      if (fast) {
-        for (const auto& lt : input.tunnels_on_link(e)) {
-          if (restorable[static_cast<std::size_t>(lt.flat)]) {
-            load.add_term(vars.a[static_cast<std::size_t>(lt.flow)]
-                                [static_cast<std::size_t>(lt.ti)],
-                          1.0);
-          }
-        }
-      } else {
-        for (int f = 0; f < input.num_flows(); ++f) {
-          const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
-          for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
-            const int flat = input.tunnel_index(f, static_cast<int>(ti));
-            if (restorable[static_cast<std::size_t>(flat)] &&
-                input.tunnel_uses_link(f, static_cast<int>(ti), e)) {
-              load.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
-            }
+      for (int f = 0; f < input.num_flows(); ++f) {
+        const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+        for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
+          const int flat = input.tunnel_index(f, static_cast<int>(ti));
+          if (restorable[static_cast<std::size_t>(flat)] &&
+              input.tunnel_uses_link(f, static_cast<int>(ti), e)) {
+            load.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
           }
         }
       }
@@ -182,6 +242,19 @@ TeSolution phase2(const TeInput& input, const ArrowPrepared& prepared,
       }
     }
   }
+}
+
+// Phase II build + solve + solution extraction.
+TeSolution phase2(const TeInput& input, const ArrowPrepared& prepared,
+                  const std::vector<ticket::LotteryTicket>& naive,
+                  const std::vector<int>& winners, const char* scheme,
+                  double extra_seconds, bool fast,
+                  const RestorabilityCache* cache, util::ThreadPool& pool) {
+  const int Q = input.num_scenarios();
+  Phase2Model p2;
+  build_phase2(input, prepared, naive, winners, fast, cache, pool, &p2);
+  solver::Model& model = p2.model;
+  BaseVars& vars = p2.vars;
 
   const auto t0 = Clock::now();
   const auto res = model.solve();
@@ -377,6 +450,168 @@ void build_phase1(const TeInput& input, const ArrowPrepared& prepared,
         model.add_constr(row, solver::Sense::kLe, r);
       }
     }
+  }
+}
+
+struct IlpModel {
+  solver::Model model;
+  BaseVars vars;
+  std::vector<std::vector<solver::VarId>> select;  // [q][z]
+};
+
+// Builds the exact selection ILP (Table 9). `fast` selects the parallel
+// path: the per-(q, z) cover (31) and restored-capacity (32) expressions —
+// minus their big-M selector terms, which reference variables that do not
+// exist yet — are generated on `pool` into per-q slots, then appended
+// serially in fixed (q, z) order with the binary selectors created in that
+// same order. Selector var ids, row order and row contents therefore match
+// the serial dense build exactly (add_constr canonicalizes term order, so
+// appending the big-M term last changes nothing), and the model is
+// bit-identical at any thread count.
+void build_ilp(const TeInput& input, const ArrowPrepared& prepared,
+               const std::vector<ticket::LotteryTicket>& naive, bool fast,
+               const RestorabilityCache* cache, util::ThreadPool& pool,
+               IlpModel* out) {
+  const int Q = input.num_scenarios();
+  solver::Model& model = out->model;
+  model.set_maximize();
+  out->vars = add_base(model, input, fast);
+  const BaseVars& vars = out->vars;
+  out->select.assign(static_cast<std::size_t>(Q), {});
+
+  if (fast) {
+    struct TicketRows {
+      std::vector<solver::LinExpr> cover;  // per affected flow, sans -M x
+      std::vector<solver::LinExpr> load;   // per failed link, sans +M x
+    };
+    std::vector<std::vector<TicketRows>> rows(static_cast<std::size_t>(Q));
+    pool.parallel_for(0, Q, [&](int q) {
+      const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+      const int Z = std::max<int>(1, static_cast<int>(tickets.tickets.size()));
+      auto& per_z = rows[static_cast<std::size_t>(q)];
+      per_z.resize(static_cast<std::size_t>(Z));
+      for (int z = 0; z < Z; ++z) {
+        const int zi = tickets.tickets.empty() ? -1 : z;
+        std::vector<char> fresh;
+        if (cache == nullptr) {
+          fresh = restorable_flags(input, q, tickets,
+                                   ticket_or_naive(prepared, naive, q, zi));
+        }
+        const std::vector<char>& restorable =
+            cache != nullptr ? cache->flags(q, zi) : fresh;
+        TicketRows& r = per_z[static_cast<std::size_t>(z)];
+        r.cover.reserve(input.affected_flows(q).size());
+        for (int f : input.affected_flows(q)) {
+          solver::LinExpr expr;
+          const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+          for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
+            const int flat = input.tunnel_index(f, static_cast<int>(ti));
+            if (input.tunnel_alive(f, static_cast<int>(ti), q) ||
+                restorable[static_cast<std::size_t>(flat)]) {
+              expr.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
+            }
+          }
+          expr -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
+          r.cover.push_back(std::move(expr));
+        }
+        r.load.resize(tickets.failed_links.size());
+        for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+          for (const auto& lt :
+               input.tunnels_on_link(tickets.failed_links[li])) {
+            if (restorable[static_cast<std::size_t>(lt.flat)]) {
+              r.load[li].add_term(vars.a[static_cast<std::size_t>(lt.flow)]
+                                        [static_cast<std::size_t>(lt.ti)],
+                                  1.0);
+            }
+          }
+        }
+      }
+    });
+    for (int q = 0; q < Q; ++q) {
+      const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+      const int Z = std::max<int>(1, static_cast<int>(tickets.tickets.size()));
+      solver::LinExpr one;
+      for (int z = 0; z < Z; ++z) {
+        const auto x = model.add_binary(0.0);
+        out->select[static_cast<std::size_t>(q)].push_back(x);
+        one.add_term(x, 1.0);
+        const int zi = tickets.tickets.empty() ? -1 : z;
+        const auto& ticket = ticket_or_naive(prepared, naive, q, zi);
+        TicketRows& r =
+            rows[static_cast<std::size_t>(q)][static_cast<std::size_t>(z)];
+        std::size_t ci = 0;
+        for (int f : input.affected_flows(q)) {
+          const double big_m =
+              input.flows()[static_cast<std::size_t>(f)].demand_gbps;
+          solver::LinExpr expr = std::move(r.cover[ci++]);
+          expr.add_term(x, -big_m);
+          model.add_constr(expr, solver::Sense::kGe, -big_m);
+        }
+        for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+          const topo::IpLinkId e = tickets.failed_links[li];
+          const double big_m =
+              input.net().ip_links[static_cast<std::size_t>(e)].capacity_gbps();
+          solver::LinExpr load = std::move(r.load[li]);
+          load.add_term(x, big_m);
+          model.add_constr(load, solver::Sense::kLe, ticket.gbps[li] + big_m);
+        }
+      }
+      model.add_constr(one, solver::Sense::kEq, 1.0);  // (33)
+    }
+    return;
+  }
+
+  // Legacy serial build: dense F x T scans, flags recomputed per (q, z).
+  for (int q = 0; q < Q; ++q) {
+    const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+    const int Z = std::max<int>(1, static_cast<int>(tickets.tickets.size()));
+    solver::LinExpr one;
+    for (int z = 0; z < Z; ++z) {
+      const auto x = model.add_binary(0.0);
+      out->select[static_cast<std::size_t>(q)].push_back(x);
+      one.add_term(x, 1.0);
+      const int zi = tickets.tickets.empty() ? -1 : z;
+      const auto& ticket = ticket_or_naive(prepared, naive, q, zi);
+      const std::vector<char> restorable =
+          restorable_flags(input, q, tickets, ticket);
+      // (31): cover constraint relaxed unless ticket z is selected.
+      for (int f : input.affected_flows(q)) {
+        const double big_m =
+            input.flows()[static_cast<std::size_t>(f)].demand_gbps;
+        solver::LinExpr expr;
+        const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+        for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
+          const int flat = input.tunnel_index(f, static_cast<int>(ti));
+          if (input.tunnel_alive(f, static_cast<int>(ti), q) ||
+              restorable[static_cast<std::size_t>(flat)]) {
+            expr.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
+          }
+        }
+        expr -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
+        expr.add_term(x, -big_m);
+        model.add_constr(expr, solver::Sense::kGe, -big_m);
+      }
+      // (32): restored-capacity constraint relaxed unless selected.
+      for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+        const topo::IpLinkId e = tickets.failed_links[li];
+        const double big_m =
+            input.net().ip_links[static_cast<std::size_t>(e)].capacity_gbps();
+        solver::LinExpr load;
+        for (int f = 0; f < input.num_flows(); ++f) {
+          const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
+          for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
+            const int flat = input.tunnel_index(f, static_cast<int>(ti));
+            if (restorable[static_cast<std::size_t>(flat)] &&
+                input.tunnel_uses_link(f, static_cast<int>(ti), e)) {
+              load.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
+            }
+          }
+        }
+        load.add_term(x, big_m);
+        model.add_constr(load, solver::Sense::kLe, ticket.gbps[li] + big_m);
+      }
+    }
+    model.add_constr(one, solver::Sense::kEq, 1.0);  // (33)
   }
 }
 
@@ -638,7 +873,7 @@ TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
 
   // ---- Phase II -----------------------------------------------------------
   TeSolution sol = phase2(input, prepared, naive, winners, "ARROW",
-                          phase1_seconds, params.fast_build, cache);
+                          phase1_seconds, params.fast_build, cache, pool);
   sol.simplex_iterations += res.simplex_iterations;  // include Phase I's share
   return sol;
 }
@@ -650,107 +885,58 @@ TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
 
 TeSolution solve_arrow_naive(const TeInput& input,
                              const ArrowPrepared& prepared,
-                             const ArrowParams& params,
+                             const ArrowParams& params, util::ThreadPool& pool,
                              const RestorabilityCache* cache) {
   const auto naive = make_naive_tickets(prepared);
   std::vector<int> winners(static_cast<std::size_t>(input.num_scenarios()), -1);
   return phase2(input, prepared, naive, winners, "ARROW-Naive", 0.0,
-                params.fast_build, params.fast_build ? cache : nullptr);
+                params.fast_build, params.fast_build ? cache : nullptr, pool);
+}
+
+TeSolution solve_arrow_naive(const TeInput& input,
+                             const ArrowPrepared& prepared,
+                             const ArrowParams& params,
+                             const RestorabilityCache* cache) {
+  return solve_arrow_naive(input, prepared, params, util::global_pool(), cache);
+}
+
+TeSolution solve_arrow_with_winners(const TeInput& input,
+                                    const ArrowPrepared& prepared,
+                                    const std::vector<int>& winners,
+                                    util::ThreadPool& pool,
+                                    const RestorabilityCache* cache) {
+  ARROW_CHECK(static_cast<int>(winners.size()) == input.num_scenarios(),
+              "winner count mismatch");
+  const auto naive = make_naive_tickets(prepared);
+  return phase2(input, prepared, naive, winners, "ARROW-Fixed", 0.0,
+                /*fast=*/true, cache, pool);
 }
 
 TeSolution solve_arrow_with_winners(const TeInput& input,
                                     const ArrowPrepared& prepared,
                                     const std::vector<int>& winners,
                                     const RestorabilityCache* cache) {
-  ARROW_CHECK(static_cast<int>(winners.size()) == input.num_scenarios(),
-              "winner count mismatch");
-  const auto naive = make_naive_tickets(prepared);
-  return phase2(input, prepared, naive, winners, "ARROW-Fixed", 0.0,
-                /*fast=*/true, cache);
+  return solve_arrow_with_winners(input, prepared, winners, util::global_pool(),
+                                  cache);
 }
 
 TeSolution solve_arrow_ilp(const TeInput& input, const ArrowPrepared& prepared,
-                           const ArrowParams& params,
+                           const ArrowParams& params, util::ThreadPool& pool,
                            const RestorabilityCache* cache) {
   const int Q = input.num_scenarios();
   const auto naive = make_naive_tickets(prepared);
   const bool fast = params.fast_build;
   std::optional<RestorabilityCache> local;
   if (fast && cache == nullptr) {
-    local.emplace(input, prepared);
+    local.emplace(input, prepared, pool);
     cache = &*local;
   }
   if (!fast) cache = nullptr;
-  solver::Model model;
-  model.set_maximize();
-  BaseVars vars = add_base(model, input, fast);
-
-  std::vector<std::vector<solver::VarId>> select(static_cast<std::size_t>(Q));
-  for (int q = 0; q < Q; ++q) {
-    const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
-    const int Z = std::max<int>(1, static_cast<int>(tickets.tickets.size()));
-    solver::LinExpr one;
-    for (int z = 0; z < Z; ++z) {
-      const auto x = model.add_binary(0.0);
-      select[static_cast<std::size_t>(q)].push_back(x);
-      one.add_term(x, 1.0);
-      const int zi = tickets.tickets.empty() ? -1 : z;
-      const auto& ticket = ticket_or_naive(prepared, naive, q, zi);
-      std::vector<char> fresh;
-      if (cache == nullptr) {
-        fresh = restorable_flags(input, q, tickets, ticket);
-      }
-      const std::vector<char>& restorable =
-          cache != nullptr ? cache->flags(q, zi) : fresh;
-      // (31): cover constraint relaxed unless ticket z is selected.
-      for (int f : input.affected_flows(q)) {
-        const double big_m =
-            input.flows()[static_cast<std::size_t>(f)].demand_gbps;
-        solver::LinExpr expr;
-        const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
-        for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
-          const int flat = input.tunnel_index(f, static_cast<int>(ti));
-          if (input.tunnel_alive(f, static_cast<int>(ti), q) ||
-              restorable[static_cast<std::size_t>(flat)]) {
-            expr.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
-          }
-        }
-        expr -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
-        expr.add_term(x, -big_m);
-        model.add_constr(expr, solver::Sense::kGe, -big_m);
-      }
-      // (32): restored-capacity constraint relaxed unless selected.
-      for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
-        const topo::IpLinkId e = tickets.failed_links[li];
-        const double big_m =
-            input.net().ip_links[static_cast<std::size_t>(e)].capacity_gbps();
-        solver::LinExpr load;
-        if (fast) {
-          for (const auto& lt : input.tunnels_on_link(e)) {
-            if (restorable[static_cast<std::size_t>(lt.flat)]) {
-              load.add_term(vars.a[static_cast<std::size_t>(lt.flow)]
-                                  [static_cast<std::size_t>(lt.ti)],
-                            1.0);
-            }
-          }
-        } else {
-          for (int f = 0; f < input.num_flows(); ++f) {
-            const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
-            for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
-              const int flat = input.tunnel_index(f, static_cast<int>(ti));
-              if (restorable[static_cast<std::size_t>(flat)] &&
-                  input.tunnel_uses_link(f, static_cast<int>(ti), e)) {
-                load.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
-              }
-            }
-          }
-        }
-        load.add_term(x, big_m);
-        model.add_constr(load, solver::Sense::kLe, ticket.gbps[li] + big_m);
-      }
-    }
-    model.add_constr(one, solver::Sense::kEq, 1.0);  // (33)
-  }
+  IlpModel ilp;
+  build_ilp(input, prepared, naive, fast, cache, pool, &ilp);
+  solver::Model& model = ilp.model;
+  BaseVars& vars = ilp.vars;
+  std::vector<std::vector<solver::VarId>>& select = ilp.select;
 
   const auto t0 = Clock::now();
   const auto res = model.solve();
@@ -779,6 +965,64 @@ TeSolution solve_arrow_ilp(const TeInput& input, const ArrowPrepared& prepared,
     }
   }
   return sol;
+}
+
+TeSolution solve_arrow_ilp(const TeInput& input, const ArrowPrepared& prepared,
+                           const ArrowParams& params,
+                           const RestorabilityCache* cache) {
+  return solve_arrow_ilp(input, prepared, params, util::global_pool(), cache);
+}
+
+ModelBuildStats build_phase2_model(const TeInput& input,
+                                   const ArrowPrepared& prepared,
+                                   const std::vector<int>& winners,
+                                   const ArrowParams& params,
+                                   util::ThreadPool& pool,
+                                   const RestorabilityCache* cache) {
+  ARROW_CHECK(static_cast<int>(winners.size()) == input.num_scenarios(),
+              "winner count mismatch");
+  const auto t0 = Clock::now();
+  const auto naive = make_naive_tickets(prepared);
+  std::optional<RestorabilityCache> local;
+  if (params.fast_build && cache == nullptr) {
+    local.emplace(input, prepared, pool);
+    cache = &*local;
+  }
+  if (!params.fast_build) cache = nullptr;
+  Phase2Model p2;
+  build_phase2(input, prepared, naive, winners, params.fast_build, cache, pool,
+               &p2);
+  ModelBuildStats stats;
+  stats.build_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  stats.vars = p2.model.num_vars();
+  stats.rows = p2.model.num_constrs();
+  stats.model_fingerprint = p2.model.fingerprint();
+  return stats;
+}
+
+ModelBuildStats build_arrow_ilp_model(const TeInput& input,
+                                      const ArrowPrepared& prepared,
+                                      const ArrowParams& params,
+                                      util::ThreadPool& pool,
+                                      const RestorabilityCache* cache) {
+  const auto t0 = Clock::now();
+  const auto naive = make_naive_tickets(prepared);
+  std::optional<RestorabilityCache> local;
+  if (params.fast_build && cache == nullptr) {
+    local.emplace(input, prepared, pool);
+    cache = &*local;
+  }
+  if (!params.fast_build) cache = nullptr;
+  IlpModel ilp;
+  build_ilp(input, prepared, naive, params.fast_build, cache, pool, &ilp);
+  ModelBuildStats stats;
+  stats.build_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  stats.vars = ilp.model.num_vars();
+  stats.rows = ilp.model.num_constrs();
+  stats.model_fingerprint = ilp.model.fingerprint();
+  return stats;
 }
 
 }  // namespace arrow::te

@@ -33,7 +33,8 @@ struct ArrowParams {
   // worse than ARROW-Naive). Disable for paper-faithful Fig. 14 runs.
   bool include_naive_candidate = true;
   // Use the link->tunnel incidence index, the shared RestorabilityCache and
-  // the parallel Phase I row generator when building models. `false` keeps
+  // the parallel Phase I / Phase II / ILP row generators when building
+  // models. `false` keeps
   // the original dense F x T scans with per-call-site flag recomputation —
   // the models (and therefore the solutions) are identical either way
   // (Model::add_constr canonicalizes term order and the flags are a pure
@@ -135,6 +136,13 @@ TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
                        const RestorabilityCache* cache = nullptr);
 
 // Phase II only, with the RWA-derived restoration plan as the sole ticket.
+// The pool overload fans the per-scenario row generation out (fast_build);
+// pass an inline ThreadPool(1) when calling from a pool worker (see
+// sim::run_sweep) — the pool-less overload uses util::global_pool().
+TeSolution solve_arrow_naive(const TeInput& input,
+                             const ArrowPrepared& prepared,
+                             const ArrowParams& params, util::ThreadPool& pool,
+                             const RestorabilityCache* cache = nullptr);
 TeSolution solve_arrow_naive(const TeInput& input,
                              const ArrowPrepared& prepared,
                              const ArrowParams& params,
@@ -145,30 +153,63 @@ TeSolution solve_arrow_naive(const TeInput& input,
 TeSolution solve_arrow_with_winners(const TeInput& input,
                                     const ArrowPrepared& prepared,
                                     const std::vector<int>& winners,
+                                    util::ThreadPool& pool,
+                                    const RestorabilityCache* cache = nullptr);
+TeSolution solve_arrow_with_winners(const TeInput& input,
+                                    const ArrowPrepared& prepared,
+                                    const std::vector<int>& winners,
                                     const RestorabilityCache* cache = nullptr);
 
 // Exact ticket selection via binary ILP (Table 9); exponential — small
 // instances only. Used to validate the two-phase LP in tests/ablations.
+// Constraint rows (31)-(32) are generated per scenario on `pool` under
+// fast_build, with the binary selectors and the serial append keeping the
+// model bit-identical to the legacy dense build.
+TeSolution solve_arrow_ilp(const TeInput& input, const ArrowPrepared& prepared,
+                           const ArrowParams& params, util::ThreadPool& pool,
+                           const RestorabilityCache* cache = nullptr);
 TeSolution solve_arrow_ilp(const TeInput& input, const ArrowPrepared& prepared,
                            const ArrowParams& params,
                            const RestorabilityCache* cache = nullptr);
 
-// Builds (but does not solve) the Phase I model and reports build cost —
-// the hook bench_phase1_build uses to time the incidence-index + parallel
+// Build cost + fingerprint of a model assembled but not solved — the hook
+// the bench_phase*_build binaries use to time the incidence-index + parallel
 // row-generation path against the legacy dense scan. The fingerprint hashes
 // every variable and row of the built model, so two builds that claim to be
-// equivalent can be checked for bit-identity without solving.
-struct Phase1BuildStats {
+// equivalent can be checked for bit-identity without solving. When
+// params.fast_build is set and `cache` is null, the RestorabilityCache is
+// built internally on `pool` and its construction counts toward
+// build_seconds (the cost an unshared solve pays).
+struct ModelBuildStats {
   double build_seconds = 0.0;
   int vars = 0;
   int rows = 0;
   std::uint64_t model_fingerprint = 0;
 };
-Phase1BuildStats build_phase1_model(const TeInput& input,
-                                    const ArrowPrepared& prepared,
-                                    const ArrowParams& params,
-                                    util::ThreadPool& pool,
-                                    const RestorabilityCache* cache = nullptr);
+using Phase1BuildStats = ModelBuildStats;
+
+// Phase I (Table 2).
+ModelBuildStats build_phase1_model(const TeInput& input,
+                                   const ArrowPrepared& prepared,
+                                   const ArrowParams& params,
+                                   util::ThreadPool& pool,
+                                   const RestorabilityCache* cache = nullptr);
+
+// Phase II (Table 3) against an explicit winner per scenario (-1 = naive
+// RWA-floor plan, the solve_arrow_with_winners convention).
+ModelBuildStats build_phase2_model(const TeInput& input,
+                                   const ArrowPrepared& prepared,
+                                   const std::vector<int>& winners,
+                                   const ArrowParams& params,
+                                   util::ThreadPool& pool,
+                                   const RestorabilityCache* cache = nullptr);
+
+// Exact binary-ILP selection (Table 9).
+ModelBuildStats build_arrow_ilp_model(const TeInput& input,
+                                      const ArrowPrepared& prepared,
+                                      const ArrowParams& params,
+                                      util::ThreadPool& pool,
+                                      const RestorabilityCache* cache = nullptr);
 
 // Is tunnel (f, ti) restorable under scenario q and the given ticket? True
 // iff the tunnel is dead in q and every failed link it crosses has restored

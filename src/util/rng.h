@@ -98,9 +98,16 @@ class Rng {
   }
 
   // Pick an index according to non-negative weights (sum must be > 0).
+  // Degenerate inputs — an empty list, a negative or NaN weight, an all-zero
+  // sum — fail loudly here: a silent fallback would draw from the wrong
+  // distribution (or index out of bounds) and skew every downstream figure.
   std::size_t weighted_index(const std::vector<double>& weights) {
+    ARROW_CHECK(!weights.empty(), "weighted_index: no weights");
     double total = 0.0;
-    for (double w : weights) total += w;
+    for (double w : weights) {
+      ARROW_CHECK(w >= 0.0, "weighted_index: negative or NaN weight");
+      total += w;
+    }
     ARROW_CHECK(total > 0.0, "weighted_index: weights sum to zero");
     double r = uniform() * total;
     for (std::size_t i = 0; i < weights.size(); ++i) {

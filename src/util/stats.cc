@@ -12,6 +12,12 @@ namespace {
 double percentile_sorted(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
   if (sorted.size() == 1) return sorted.front();
+  // Clamp instead of extrapolating or aborting: a p slightly outside
+  // [0, 100] (accumulated floating-point error in a caller's sweep, or NaN)
+  // answers with the nearest order statistic. NaN fails the >= test and
+  // lands on 0.
+  if (!(p >= 0.0)) p = 0.0;
+  if (p > 100.0) p = 100.0;
   const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(std::floor(rank));
   const auto hi = static_cast<std::size_t>(std::ceil(rank));
@@ -43,9 +49,8 @@ Summary summarize(std::vector<double> values) {
 }
 
 double percentile(std::vector<double> values, double p) {
-  ARROW_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range");
   std::sort(values.begin(), values.end());
-  return percentile_sorted(values, p);
+  return percentile_sorted(values, p);  // clamps p to [0, 100]
 }
 
 EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
@@ -61,8 +66,7 @@ double EmpiricalCdf::at(double x) const {
 }
 
 double EmpiricalCdf::quantile(double q) const {
-  ARROW_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
-  return percentile_sorted(sorted_, q * 100.0);
+  return percentile_sorted(sorted_, q * 100.0);  // clamps to [0, 1]
 }
 
 std::vector<std::pair<double, double>> EmpiricalCdf::curve(int points) const {

@@ -22,8 +22,10 @@ struct Summary {
 
 Summary summarize(std::vector<double> values);
 
-// Percentile with linear interpolation; p in [0, 100]. The input need not be
-// sorted. Returns 0 for an empty sample.
+// Percentile with linear interpolation; p outside [0, 100] (including NaN)
+// is clamped to the nearest order statistic, never extrapolated. The input
+// need not be sorted. Returns 0 for an empty sample, the sole sample for a
+// singleton.
 double percentile(std::vector<double> values, double p);
 
 // Empirical CDF evaluated at fixed points.
@@ -34,7 +36,8 @@ class EmpiricalCdf {
   // P[X <= x].
   double at(double x) const;
 
-  // Inverse CDF (quantile), q in [0, 1].
+  // Inverse CDF (quantile); q outside [0, 1] is clamped to the min/max
+  // sample (same contract as percentile).
   double quantile(double q) const;
 
   std::size_t size() const { return sorted_.size(); }

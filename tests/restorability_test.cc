@@ -5,6 +5,7 @@
 // therefore bit-identical TE solutions — at any thread count, with the
 // cache shared or rebuilt locally.
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -137,6 +138,48 @@ TEST_F(RestorabilityFixture, FastAndLegacyPhase1ModelsAreBitIdentical) {
   }
 }
 
+TEST_F(RestorabilityFixture, FastAndLegacyPhase2ModelsAreBitIdentical) {
+  // Mixed winner vector: naive RWA plan everywhere, the first real candidate
+  // for even scenarios that have one — covers both flag paths of the cache.
+  std::vector<int> winners(
+      static_cast<std::size_t>(input_->num_scenarios()), -1);
+  for (int q = 0; q < input_->num_scenarios(); q += 2) {
+    if (!prepared_.tickets[static_cast<std::size_t>(q)].tickets.empty()) {
+      winners[static_cast<std::size_t>(q)] = 0;
+    }
+  }
+
+  ArrowParams legacy = params_;
+  legacy.fast_build = false;
+  util::ThreadPool p1(1), p2(2), p8(8);
+  const ModelBuildStats base =
+      build_phase2_model(*input_, prepared_, winners, legacy, p1);
+  ASSERT_GT(base.vars, 0);
+  ASSERT_GT(base.rows, 0);
+  ASSERT_NE(base.model_fingerprint, 0u);
+
+  const RestorabilityCache shared(*input_, prepared_, p8);
+  for (util::ThreadPool* pool : {&p1, &p2, &p8}) {
+    for (const RestorabilityCache* cache :
+         {static_cast<const RestorabilityCache*>(nullptr), &shared}) {
+      const ModelBuildStats fast =
+          build_phase2_model(*input_, prepared_, winners, params_, *pool,
+                             cache);
+      EXPECT_EQ(fast.vars, base.vars);
+      EXPECT_EQ(fast.rows, base.rows);
+      EXPECT_EQ(fast.model_fingerprint, base.model_fingerprint)
+          << "threads=" << pool->threads()
+          << " shared_cache=" << (cache != nullptr);
+    }
+  }
+
+  // A winner count that does not match the scenario count is a caller bug.
+  std::vector<int> short_winners(winners.begin(), winners.end() - 1);
+  EXPECT_THROW(
+      build_phase2_model(*input_, prepared_, short_winners, params_, p1),
+      std::logic_error);
+}
+
 TEST_F(RestorabilityFixture, SolveArrowIdenticalFastVsLegacy) {
   ArrowParams legacy = params_;
   legacy.fast_build = false;
@@ -190,6 +233,52 @@ TEST(RestorabilitySmall, SolveArrowIlpIdenticalFastVsLegacy) {
   const RestorabilityCache shared(input, prepared);
   expect_identical(before, solve_arrow_ilp(input, prepared, ap));
   expect_identical(before, solve_arrow_ilp(input, prepared, ap, &shared));
+}
+
+TEST(RestorabilitySmall, FastAndLegacyIlpModelsAreBitIdentical) {
+  // Same tiny instance as above; the fingerprint check needs no ILP solve,
+  // only the built model, so the binary selectors and big-M rows of the
+  // parallel generator are compared against the legacy dense build exactly.
+  const topo::Network net = topo::build_testbed();
+  util::Rng rng(4);
+  traffic::TrafficParams tp;
+  tp.num_matrices = 1;
+  tp.min_share = 0.0;
+  const auto ms = traffic::generate_traffic(net, tp, rng);
+  std::vector<scenario::Scenario> scenarios{
+      {{0}, 0.01}, {{1}, 0.01}, {{3}, 0.01}};
+  TunnelParams tun;
+  tun.tunnels_per_flow = 3;
+  TeInput input(net, ms[0], scenarios, tun);
+  input.scale_demands(max_satisfiable_scale(input));
+  input.scale_demands(0.8);
+
+  ArrowParams ap;
+  ap.tickets.num_tickets = 4;
+  const auto prepared = prepare_arrow(input, ap, rng);
+
+  ArrowParams legacy = ap;
+  legacy.fast_build = false;
+  util::ThreadPool p1(1), p2(2), p8(8);
+  const ModelBuildStats base =
+      build_arrow_ilp_model(input, prepared, legacy, p1);
+  ASSERT_GT(base.vars, 0);
+  ASSERT_GT(base.rows, 0);
+  ASSERT_NE(base.model_fingerprint, 0u);
+
+  const RestorabilityCache shared(input, prepared, p8);
+  for (util::ThreadPool* pool : {&p1, &p2, &p8}) {
+    for (const RestorabilityCache* cache :
+         {static_cast<const RestorabilityCache*>(nullptr), &shared}) {
+      const ModelBuildStats fast =
+          build_arrow_ilp_model(input, prepared, ap, *pool, cache);
+      EXPECT_EQ(fast.vars, base.vars);
+      EXPECT_EQ(fast.rows, base.rows);
+      EXPECT_EQ(fast.model_fingerprint, base.model_fingerprint)
+          << "threads=" << pool->threads()
+          << " shared_cache=" << (cache != nullptr);
+    }
+  }
 }
 
 }  // namespace

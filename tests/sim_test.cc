@@ -172,6 +172,57 @@ TEST(Tickets, CalibratedToPaperHeadlines) {
   }
 }
 
+// Regression: repairs drawn near the end of the observation window used to
+// extend past it, counting downtime the study never observes and inflating
+// downtime_share. Durations must be clipped to the window.
+TEST(Tickets, DurationsAreClippedToTheObservationWindow) {
+  const topo::Network net = topo::build_fbsynth();
+  util::Rng rng(44);
+  TicketStudyParams p;
+  p.num_tickets = 400;
+  p.window_hours = 48.0;  // lognormal MTTR (median ~9 h) overruns this often
+  const auto tickets = generate_tickets(net, p, rng);
+  ASSERT_EQ(tickets.size(), 400u);
+  bool clip_engaged = false;
+  double total_downtime = 0.0;
+  for (const auto& t : tickets) {
+    EXPECT_GE(t.start_hours, 0.0);
+    EXPECT_LE(t.start_hours, p.window_hours);
+    EXPECT_GE(t.duration_hours, 0.0);
+    EXPECT_LE(t.start_hours + t.duration_hours, p.window_hours + 1e-9);
+    clip_engaged |=
+        t.start_hours + t.duration_hours > p.window_hours - 1e-9;
+    total_downtime += t.duration_hours;
+  }
+  EXPECT_TRUE(clip_engaged);  // the short window must actually clip someone
+  // downtime_share over clipped tickets still partitions the total.
+  double share_sum = 0.0;
+  for (const auto& [cause, share] : downtime_share(tickets)) {
+    EXPECT_GE(share, 0.0);
+    share_sum += share;
+  }
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);
+  EXPECT_LE(total_downtime,
+            static_cast<double>(tickets.size()) * p.window_hours);
+}
+
+TEST(Tickets, DegenerateParamsAreRejected) {
+  const topo::Network net = topo::build_b4();
+  util::Rng rng(45);
+  TicketStudyParams p;
+  p.num_tickets = -1;
+  EXPECT_THROW(generate_tickets(net, p, rng), std::logic_error);
+  p.num_tickets = 10;
+  p.window_hours = 0.0;
+  EXPECT_THROW(generate_tickets(net, p, rng), std::logic_error);
+  p.window_hours = -24.0;
+  EXPECT_THROW(generate_tickets(net, p, rng), std::logic_error);
+  // Zero tickets is a valid (empty) study, not an error.
+  p.num_tickets = 0;
+  p.window_hours = 24.0;
+  EXPECT_TRUE(generate_tickets(net, p, rng).empty());
+}
+
 TEST(Tickets, LostCapacityMatchesProvisioning) {
   const topo::Network net = topo::build_fbsynth();
   util::Rng rng(43);

@@ -112,6 +112,23 @@ TEST(Check, ThrowsOnViolation) {
   EXPECT_NO_THROW(ARROW_CHECK(true));
 }
 
+// Degenerate weight vectors used to fall through to the last index (or read
+// garbage); they are caller bugs and must be rejected loudly.
+TEST(Rng, WeightedIndexRejectsDegenerateWeights) {
+  Rng rng(3);
+  EXPECT_THROW(rng.weighted_index({}), std::logic_error);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0, 0.0}), std::logic_error);
+  EXPECT_THROW(rng.weighted_index({0.5, -0.1}), std::logic_error);
+  EXPECT_THROW(rng.weighted_index({0.5, std::nan("")}), std::logic_error);
+}
+
+TEST(Rng, WeightedIndexNeverPicksAZeroWeightEntry) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(rng.weighted_index({0.0, 1.0, 0.0}), 1u);
+  }
+}
+
 TEST(Stats, SummaryBasics) {
   const auto s = summarize({1, 2, 3, 4, 5});
   EXPECT_EQ(s.count, 5u);
@@ -132,6 +149,31 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile({0, 10}, 0.0), 0.0);
   EXPECT_DOUBLE_EQ(percentile({0, 10}, 100.0), 10.0);
   EXPECT_DOUBLE_EQ(percentile({5}, 73.0), 5.0);
+}
+
+// Out-of-range p (accumulated floating-point error in a sweep, or NaN) must
+// clamp to the nearest order statistic — never extrapolate, never throw.
+TEST(Stats, PercentileClampsOutOfRangeP) {
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3}, 150.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3}, 100.0 + 1e-12), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3}, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3}, std::nan("")), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({4}, -10.0), 4.0);   // singleton
+  EXPECT_DOUBLE_EQ(percentile({4}, 300.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);     // empty
+  EXPECT_DOUBLE_EQ(percentile({}, -1.0), 0.0);
+}
+
+TEST(Stats, QuantileClampsOutOfRangeQ) {
+  EmpiricalCdf cdf({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(cdf.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.5), 4.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(std::nan("")), 1.0);
+  EmpiricalCdf single({7.0});
+  EXPECT_DOUBLE_EQ(single.quantile(2.0), 7.0);
+  EXPECT_DOUBLE_EQ(single.quantile(-1.0), 7.0);
+  EmpiricalCdf empty(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
 }
 
 TEST(Stats, EmpiricalCdfAtAndQuantile) {
