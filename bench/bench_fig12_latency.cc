@@ -8,16 +8,18 @@
 //            ~14 minutes with legacy hardware.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "optical/latency.h"
 #include "optical/rwa.h"
 #include "topo/builders.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 using namespace arrow;
 
 namespace {
 
-void fig12() {
+void fig12(bench::BenchJson& out) {
   std::printf("=== Fig. 12: end-to-end restoration latency on the testbed ===\n");
   const topo::Network net = topo::build_testbed();
   const std::vector<topo::FiberId> cuts{2};  // fiber C-D, as in Fig. 11(b)
@@ -50,6 +52,10 @@ void fig12() {
   std::fputs(table.to_string().c_str(), stdout);
   std::printf("speedup: %.0fx (paper: 127x)\n\n",
               legacy_res.total_s / arrow_res.total_s);
+  out.set("fig12_arrow_restoration_ms", arrow_res.total_s * 1000.0);
+  out.set("fig12_legacy_restoration_ms", legacy_res.total_s * 1000.0);
+  out.set("fig12_arrow_restored_gbps", arrow_res.restored_gbps);
+  out.set("fig12_speedup", legacy_res.total_s / arrow_res.total_s);
 
   std::printf("ARROW capacity staircase (Fig. 12c):\n");
   for (const auto& p : arrow_res.timeline) {
@@ -76,7 +82,7 @@ void fig12() {
   std::printf("\n\n");
 }
 
-void fig20() {
+void fig20(bench::BenchJson& out) {
   std::printf(
       "=== Fig. 20: legacy amplifier settling, 4 waves over ~2,000 km ===\n");
   // A straight 2,000 km line with amplifier sites every ~83 km (24 sites),
@@ -124,12 +130,17 @@ void fig20() {
       "settled in %.0f s (%.1f min) over %d amplifier sites; paper: ~14 min "
       "over 24 sites\n",
       res.total_s, res.total_s / 60.0, res.amplifiers_touched);
+  out.set("fig20_settle_ms", res.total_s * 1000.0);
+  out.set("fig20_amplifiers", res.amplifiers_touched);
 }
 
 }  // namespace
 
 int main() {
-  fig12();
-  fig20();
+  bench::BenchJson out("fig12_latency");
+  out.set("threads", util::default_thread_count());
+  fig12(out);
+  fig20(out);
+  out.write();
   return 0;
 }

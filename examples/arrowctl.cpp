@@ -7,16 +7,21 @@
 //       restoration-ratio analysis over all single fiber cuts (§2.3)
 //   arrowctl latency <net.topo> <fiber_id> [--legacy]
 //       cut a fiber, plan restoration (RWA ILP), replay the reconfiguration
-//   arrowctl te <net.topo> <traffic.tm> [scale]
+//   arrowctl te <net.topo> <traffic.tm> [scale] [--obs <dir>]
 //       solve ARROW's restoration-aware TE and report per-scheme
-//       availability at the given demand scale
+//       availability at the given demand scale; --obs records trace spans
+//       and writes trace_te.json + metrics_te.{prom,json} into <dir>
 //
 // File formats are documented in src/topo/io.h.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optical/latency.h"
 #include "optical/restoration.h"
 #include "sim/availability.h"
@@ -38,7 +43,7 @@ int usage() {
       "usage: arrowctl export <b4|ibm|fbsynth|testbed> <net.topo> [tm]\n"
       "       arrowctl ratio <net.topo>\n"
       "       arrowctl latency <net.topo> <fiber_id> [--legacy]\n"
-      "       arrowctl te <net.topo> <traffic.tm> [scale]\n",
+      "       arrowctl te <net.topo> <traffic.tm> [scale] [--obs <dir>]\n",
       stderr);
   return 2;
 }
@@ -122,7 +127,18 @@ int cmd_te(int argc, char** argv) {
   if (argc < 4) return usage();
   const topo::Network net = topo::load_network_file(argv[2]);
   const auto tm = topo::load_traffic_file(argv[3]);
-  const double scale = argc > 4 ? std::atof(argv[4]) : 0.5;
+  double scale = 0.5;
+  std::string obs_dir;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--obs") == 0) {
+      if (i + 1 >= argc) return usage();
+      obs_dir = argv[++i];
+    } else {
+      scale = std::atof(argv[i]);
+    }
+  }
+  std::optional<obs::ScopedTraceEnable> trace_scope;
+  if (!obs_dir.empty()) trace_scope.emplace(true);
 
   util::Rng rng(42);
   scenario::ScenarioParams sp;
@@ -158,6 +174,28 @@ int cmd_te(int argc, char** argv) {
   report(te::solve_teavar(input, te::TeaVarParams{}));
   report(te::solve_ecmp(input));
   std::fputs(table.to_string().c_str(), stdout);
+
+  if (!obs_dir.empty()) {
+    const auto dump = [](const std::string& path, const std::string& body) {
+      std::ofstream out(path, std::ios::trunc);
+      out << body;
+      return static_cast<bool>(out);
+    };
+    const bool ok =
+        obs::write_chrome_trace(obs_dir + "/trace_te.json") &&
+        dump(obs_dir + "/metrics_te.prom",
+             obs::Registry::global().prometheus_text()) &&
+        dump(obs_dir + "/metrics_te.json",
+             obs::Registry::global().json_text());
+    if (!ok) {
+      std::fprintf(stderr, "arrowctl: failed to write obs files to %s\n",
+                   obs_dir.c_str());
+      return 1;
+    }
+    std::printf("wrote %s/trace_te.json and metrics_te.{prom,json} "
+                "(%zu spans)\n",
+                obs_dir.c_str(), obs::trace_span_count());
+  }
   return 0;
 }
 

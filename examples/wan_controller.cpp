@@ -41,10 +41,13 @@ int main(int argc, char** argv) {
   util::Table table({"discipline", "availability", "lost (Tbps*s)",
                      "transient loss", "worst restoration", "cuts planned"});
   const auto run = [&](ctrl::Scheme scheme, bool noise_loading,
-                       const char* label) {
+                       const char* label, const char* run_id) {
     ctrl::ControllerConfig cfg = base;
     cfg.scheme = scheme;
     cfg.latency.noise_loading = noise_loading;
+    // Per-run artifact names; files appear only when ARROW_OBS_DIR /
+    // ARROW_TRACE (or explicit config) turn observability on.
+    cfg.obs.run_id = run_id;
     util::Rng run_rng(7);  // identical stream for apples-to-apples replays
     const auto r = ctrl::run_controller(net, tms, trace, cfg, run_rng);
     table.add_row({label, util::Table::pct(r.availability(), 4),
@@ -54,12 +57,13 @@ int main(int argc, char** argv) {
                    std::to_string(r.cuts_with_plan) + "/" +
                        std::to_string(r.cuts_handled)});
   };
-  run(ctrl::Scheme::kArrow, true, "ARROW (noise loading)");
-  run(ctrl::Scheme::kArrow, false, "ARROW (legacy amplifiers)");
-  run(ctrl::Scheme::kArrowNaive, true, "ARROW-Naive");
-  run(ctrl::Scheme::kFfc1, true, "FFC-1 (no restoration)");
-  run(ctrl::Scheme::kTeaVar, true, "TeaVaR (no restoration)");
-  run(ctrl::Scheme::kEcmp, true, "ECMP");
+  run(ctrl::Scheme::kArrow, true, "ARROW (noise loading)", "arrow");
+  run(ctrl::Scheme::kArrow, false, "ARROW (legacy amplifiers)",
+      "arrow_legacy");
+  run(ctrl::Scheme::kArrowNaive, true, "ARROW-Naive", "arrow_naive");
+  run(ctrl::Scheme::kFfc1, true, "FFC-1 (no restoration)", "ffc1");
+  run(ctrl::Scheme::kTeaVar, true, "TeaVaR (no restoration)", "teavar");
+  run(ctrl::Scheme::kEcmp, true, "ECMP", "ecmp");
   std::fputs(table.to_string().c_str(), stdout);
   std::printf(
       "\n'transient loss' is traffic lost while restorations were still "

@@ -6,6 +6,8 @@
 #include <optional>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optical/event_sim.h"
 #include "optical/rwa.h"
 #include "sim/availability.h"
@@ -18,6 +20,7 @@
 #include "ticket/ticket.h"
 #include "util/check.h"
 #include "util/parallel.h"
+#include "util/stats.h"
 
 namespace arrow::ctrl {
 
@@ -153,8 +156,19 @@ te::TeSolution carry_forward(const te::TeSolution& last_good,
 struct LadderOutcome {
   te::TeSolution sol;
   Rung rung = Rung::kPrimary;
-  double seconds = 0.0;  // wall clock across all attempts this period
+  double seconds = 0.0;     // wall clock across all attempts this period
+  long long iterations = 0;  // simplex pivots across all attempts
 };
+
+// Rung name with the metric-safe spelling (dashes are not legal in
+// Prometheus metric names).
+std::string rung_metric_name(Rung r) {
+  std::string name = to_string(r);
+  for (char& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name;
+}
 
 // Walks the degradation ladder until some rung yields a usable solution.
 // kEcmp is closed-form (no LP anywhere in solve_ecmp), so the ladder cannot
@@ -168,6 +182,7 @@ LadderOutcome solve_with_ladder(const ControllerConfig& config,
   LadderOutcome out;
   out.sol = solve_primary(config, input, prepared, cache, pool);
   out.seconds += out.sol.solve_seconds;
+  out.iterations += out.sol.simplex_iterations;
   if (out.sol.optimal) return out;
 
   {
@@ -178,12 +193,14 @@ LadderOutcome solve_with_ladder(const ControllerConfig& config,
     out.sol = solve_primary(config, input, prepared, cache, inline_pool);
   }
   out.seconds += out.sol.solve_seconds;
+  out.iterations += out.sol.simplex_iterations;
   out.rung = Rung::kRelaxedRetry;
   if (out.sol.optimal) return out;
 
   if (config.scheme != Scheme::kFfc1) {  // pointless to retry the same LP
     out.sol = te::solve_ffc(input, te::FfcParams{1, 0});
     out.seconds += out.sol.solve_seconds;
+    out.iterations += out.sol.simplex_iterations;
     out.rung = Rung::kFfcFallback;
     if (out.sol.optimal) return out;
   }
@@ -207,6 +224,14 @@ ControllerReport run_controller(const topo::Network& net,
                                 util::Rng& rng) {
   ARROW_CHECK(!tms.empty(), "need at least one traffic matrix");
   ControllerReport report;
+
+  // Observability scope for the whole run. Tracing flips a global flag, so
+  // spans recorded on pool workers are captured too; everything here is
+  // read-only on solver state — solutions are identical with obs on or off.
+  const obs::ObsConfig obs_cfg = config.obs.resolved();
+  std::optional<obs::ScopedTraceEnable> trace_scope;
+  if (obs_cfg.trace) trace_scope.emplace(true);
+  OBS_SPAN("controller_run");
 
   // --- offline: scenarios, tunnels, per-matrix TE solutions ---------------
   std::vector<scenario::Scenario> raw = config.explicit_scenarios;
@@ -243,7 +268,7 @@ ControllerReport run_controller(const topo::Network& net,
     topo_h = topo::structure_hash(net);
     scen_h = scenario::set_hash(scenarios);
     warm.emplace();
-    store->seed(topo_h, scen_h, *warm);
+    report.basis_seeded = store->seed(topo_h, scen_h, *warm);
   }
 
   std::vector<te::TeInput> inputs;
@@ -345,6 +370,11 @@ ControllerReport run_controller(const topo::Network& net,
     report.fallback_counts[static_cast<std::size_t>(out.rung)] += 1;
     report.rung_by_matrix.push_back(out.rung);
     report.solve_seconds_by_matrix.push_back(out.seconds);
+    report.simplex_iterations_by_matrix.push_back(out.iterations);
+    report.te_simplex_iterations += out.iterations;
+    obs::Registry::global()
+        .counter("arrow_ctrl_rung_" + rung_metric_name(out.rung) + "_total")
+        .add();
     if (config.te_budget_s > 0.0 && out.seconds > config.te_budget_s) {
       ++report.deadline_overruns;
     }
@@ -455,6 +485,7 @@ ControllerReport run_controller(const topo::Network& net,
                                                        config.latency, replay);
     report.worst_restoration_s =
         std::max(report.worst_restoration_s, delay + latency.total_s);
+    report.restoration_latency_s.push_back(delay + latency.total_s);
     ++state.restorations_in_flight;
     // Replay each wavelength-up event; the restoration window closes at the
     // final one.
@@ -605,10 +636,52 @@ ControllerReport run_controller(const topo::Network& net,
   report.timeline.emplace_back(0.0, delivered_rate);
   queue.run();
   if (store != nullptr) {
-    store->absorb(topo_h, scen_h, *warm);
+    report.warm_start_hits = warm->hits();
+    report.warm_start_stores = warm->stores();
+    report.basis_absorbed = store->absorb(topo_h, scen_h, *warm);
     if (!basis_dir.empty()) {
       store->save(solver::BasisStore::file_in(basis_dir));
     }
+    report.basis_evictions = store->evictions();
+  }
+
+  // RunReport: copied from this report's own accounting (never re-derived
+  // from global metrics — see obs/report.h), then written out if enabled.
+  {
+    obs::RunReport& rr = report.run_report;
+    rr.run_id = obs_cfg.run_id;
+    rr.scheme = to_string(config.scheme);
+    rr.traffic_matrices = static_cast<int>(tms.size());
+    rr.scenarios = static_cast<int>(scenarios.size());
+    rr.te_runs = report.te_runs;
+    for (int r = 0; r < kNumRungs; ++r) {
+      rr.ladder.emplace_back(to_string(static_cast<Rung>(r)),
+                             report.fallback_counts[static_cast<std::size_t>(r)]);
+    }
+    rr.degraded_periods = report.degraded_periods;
+    rr.deadline_overruns = report.deadline_overruns;
+    rr.simplex_iterations = report.te_simplex_iterations;
+    rr.warm_start_hits = report.warm_start_hits;
+    rr.warm_start_stores = report.warm_start_stores;
+    rr.basis_seeded = report.basis_seeded;
+    rr.basis_absorbed = report.basis_absorbed;
+    rr.basis_evictions = report.basis_evictions;
+    rr.cuts_handled = report.cuts_handled;
+    rr.cuts_with_plan = report.cuts_with_plan;
+    rr.unplanned_cuts = report.unplanned_cuts;
+    rr.emergency_restorations = report.emergency_restorations;
+    rr.rwa_repairs = report.rwa_repairs;
+    rr.restorations = static_cast<int>(report.restoration_latency_s.size());
+    if (!report.restoration_latency_s.empty()) {
+      rr.restoration_p50_s = util::percentile(report.restoration_latency_s, 50);
+      rr.restoration_p90_s = util::percentile(report.restoration_latency_s, 90);
+      rr.restoration_p99_s = util::percentile(report.restoration_latency_s, 99);
+      rr.restoration_max_s = *std::max_element(
+          report.restoration_latency_s.begin(),
+          report.restoration_latency_s.end());
+    }
+    rr.availability = report.availability();
+    emit_run_artifacts(obs_cfg, rr);
   }
   return report;
 }

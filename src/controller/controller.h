@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.h"
 #include "optical/latency.h"
 #include "scenario/scenario.h"
 #include "te/arrow.h"
@@ -113,6 +114,14 @@ struct ControllerConfig {
   // file degrades to a cold start — never to an error or a changed solution.
   std::string basis_dir;
 
+  // Observability. Resolved against the environment (ARROW_OBS_DIR,
+  // ARROW_TRACE) at run start; when enabled the run writes a RunReport,
+  // metrics snapshots, and (with trace) a Chrome trace into obs.dir. The
+  // ControllerReport's run_report field is populated either way —
+  // observability is strictly read-only on solver state, so TE solutions
+  // are bit-identical with it on or off.
+  obs::ObsConfig obs;
+
   // Fault hooks, normally unset (wired by resilience::FaultInjector):
   // consulted when a restoration plan is about to be installed. `true` from
   // drop_restoration_plan loses the plan entirely; restoration_delay_s adds
@@ -139,6 +148,11 @@ struct ControllerReport {
   // Rung and wall-clock solve time behind each traffic matrix's solution.
   std::vector<Rung> rung_by_matrix;
   std::vector<double> solve_seconds_by_matrix;
+  // Simplex pivots spent on each matrix's ladder (every attempt counts, not
+  // just the winning rung), and their sum — the controller's own accounting
+  // of what the solver returned, which the RunReport copies verbatim.
+  std::vector<long long> simplex_iterations_by_matrix;
+  long long te_simplex_iterations = 0;
   // TE periods in the horizon served by a rung below kPrimary or by a
   // solve that blew the te_budget_s deadline.
   int degraded_periods = 0;
@@ -153,6 +167,22 @@ struct ControllerReport {
   int plans_dropped = 0;           // fault hook discarded an available plan
   int plans_delayed = 0;           // fault hook delayed plan installation
   int overlapping_cuts = 0;        // cut arrived while another was active
+  // End-to-end latency (control-plane delay + optical convergence) of every
+  // installed restoration plan, in installation order.
+  std::vector<double> restoration_latency_s;
+
+  // --- warm-start traffic ----------------------------------------------------
+  // Hits/stores of the run's ScopedWarmStartCache and the BasisStore
+  // seed/absorb counts (all zero when no store is configured).
+  int warm_start_hits = 0;
+  int warm_start_stores = 0;
+  int basis_seeded = 0;
+  int basis_absorbed = 0;
+  long long basis_evictions = 0;
+
+  // Machine-readable summary of this run (always populated; written to disk
+  // only when ControllerConfig::obs resolves to enabled).
+  obs::RunReport run_report;
   // Delivered-rate staircase: (time, delivered Gbps). One point per state
   // change (TE run, cut, wavelength-up, repair).
   std::vector<std::pair<double, double>> timeline;

@@ -1,0 +1,196 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace arrow::obs {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at byte " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return fail("dangling escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            // \uXXXX: decoded as a raw code unit truncated to one byte for
+            // ASCII, which is all this subsystem ever emits.
+            if (text.size() - pos < 4) return fail("short \\u escape");
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            out->push_back(static_cast<char>(v & 0xff));
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out->type = JsonValue::Type::kObject;
+      skip_ws();
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        std::string key;
+        if (!parse_string(&key)) return false;
+        if (!consume(':')) return false;
+        JsonValue child;
+        if (!parse_value(&child, depth + 1)) return false;
+        out->object[key] = std::move(child);
+        skip_ws();
+        if (pos >= text.size()) return fail("unterminated object");
+        if (text[pos] == ',') {
+          ++pos;
+          skip_ws();
+          continue;
+        }
+        if (text[pos] == '}') {
+          ++pos;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out->type = JsonValue::Type::kArray;
+      skip_ws();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        JsonValue child;
+        if (!parse_value(&child, depth + 1)) return false;
+        out->array.push_back(std::move(child));
+        skip_ws();
+        if (pos >= text.size()) return fail("unterminated array");
+        if (text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (text[pos] == ']') {
+          ++pos;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return parse_string(&out->str);
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      pos += 4;
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = false;
+      pos += 5;
+      return true;
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      out->type = JsonValue::Type::kNull;
+      pos += 4;
+      return true;
+    }
+    // Number: delegate to strtod, then verify it consumed something sane.
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str() + pos, &end);
+    if (end == text.c_str() + pos) return fail("unexpected token");
+    out->type = JsonValue::Type::kNumber;
+    out->number = v;
+    pos = static_cast<std::size_t>(end - text.c_str());
+    return true;
+  }
+};
+
+}  // namespace
+
+bool json_parse(const std::string& text, JsonValue* out, std::string* error) {
+  Parser p{text};
+  JsonValue value;
+  if (!p.parse_value(&value, 0)) {
+    if (error != nullptr) *error = p.error;
+    return false;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error != nullptr) {
+      *error = "trailing garbage at byte " + std::to_string(p.pos);
+    }
+    return false;
+  }
+  *out = std::move(value);
+  return true;
+}
+
+}  // namespace arrow::obs

@@ -1,0 +1,153 @@
+// Thread-safe metrics registry: counters, gauges, and fixed-bucket
+// histograms, exported as Prometheus text or JSON.
+//
+// Hot-path design: every Counter/Histogram is an array of cache-line-padded
+// shards and each thread hashes to one shard by a thread-local slot id, so
+// concurrent add()/observe() calls from the pool's workers never contend on
+// one cache line. Shards are merged only on snapshot()/export, which is why
+// reads are "eventually exact": a snapshot taken while writers are running
+// can miss in-flight increments but never tears a value (all accesses are
+// relaxed atomics — TSan-clean by construction).
+//
+// Observability is strictly read-only on the computation it watches: nothing
+// in this library feeds back into solver or TE state, so instrumented runs
+// produce bit-identical results to uninstrumented ones.
+//
+// Usage — cache the lookup in a static, then hit the shard directly:
+//
+//   static obs::Counter& solves =
+//       obs::Registry::global().counter("arrow_solver_solves_total");
+//   solves.add();
+//
+// `arrow_obs` sits below every other arrow library (even arrow_util links
+// it), so nothing here may include arrow headers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace arrow::obs {
+
+// Shard count per metric. Power of two; threads map to slots by a process-
+// wide thread-local ticket, so up to kShards threads write contention-free
+// and beyond that collisions just share a cache line, never lose counts.
+inline constexpr int kShards = 16;
+
+// Returns this thread's shard slot in [0, kShards).
+unsigned shard_slot();
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    shards_[shard_slot()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+// A single last-written double (queue depths, configuration values). set()
+// is a plain store — the freshest write wins, which is the gauge contract —
+// and add() is a CAS loop for the accumulate-a-double cases.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Fixed-bucket histogram: `bounds` are strictly increasing bucket upper
+// bounds; one implicit +Inf bucket is appended. observe() finds the bucket
+// by linear scan (bound lists are short) and bumps this thread's shard.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;             // as constructed
+    std::vector<std::uint64_t> buckets;     // size bounds.size() + 1
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+  // Prometheus-style default bounds for wall-clock seconds: 100us .. 60s.
+  static std::vector<double> seconds_buckets();
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+    std::atomic<double> sum{0.0};
+  };
+  std::vector<double> bounds_;
+  Shard shards_[kShards];
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
+};
+
+// Name -> metric, get-or-create. Returned references are stable for the
+// registry's lifetime (metrics are never deleted), so call sites cache them
+// in function-local statics and pay the map lookup once.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  // `bounds` is only consulted on first creation; empty selects
+  // Histogram::seconds_buckets().
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  MetricsSnapshot snapshot() const;
+  // Prometheus text exposition format (counters, gauges, histograms with
+  // cumulative _bucket/_sum/_count series).
+  std::string prometheus_text() const;
+  std::string json_text() const;
+
+  // Zeroes every registered metric (registration survives). Test-only:
+  // callers must quiesce writers first.
+  void reset();
+
+  static Registry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace arrow::obs

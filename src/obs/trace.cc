@@ -1,0 +1,221 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace arrow::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TraceEvent {
+  const char* name = nullptr;
+  std::int64_t start_us = 0;
+  std::int64_t dur_us = 0;
+};
+
+// Events per thread before the ring wraps. 64k spans x 24 bytes = 1.5 MiB,
+// allocated lazily on a thread's first recorded span.
+constexpr std::size_t kRingCapacity = 1 << 16;
+
+// One ring per thread. The owning thread appends under the buffer's own
+// mutex (uncontended in steady state — the exporter takes it only during a
+// snapshot), so exporting while workers are mid-run is safe and TSan-clean.
+struct TraceBuffer {
+  std::mutex mu;
+  int tid = 0;
+  std::vector<TraceEvent> ring;   // grows to kRingCapacity then wraps
+  std::size_t next = 0;           // wrap position once full
+  std::uint64_t total = 0;        // spans ever recorded
+  bool in_use = false;            // owned by a live thread
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers;
+  int next_tid = 1;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();  // leaked: outlives all threads
+  return *s;
+}
+
+std::atomic<bool> g_enabled{false};
+
+bool env_default() {
+  const char* env = std::getenv("ARROW_TRACE");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+// Thread-exit hook: hand the ring back for reuse so workloads that churn
+// short-lived pools don't grow one ring per dead thread. Recorded events
+// stay in place until clear_trace() — a reusing thread shares the tid.
+struct BufferLease {
+  TraceBuffer* buffer = nullptr;
+  ~BufferLease() {
+    if (buffer == nullptr) return;
+    std::lock_guard<std::mutex> lock(state().mu);
+    buffer->in_use = false;
+  }
+};
+
+TraceBuffer* this_thread_buffer() {
+  thread_local BufferLease lease;
+  if (lease.buffer == nullptr) {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (auto& b : s.buffers) {
+      if (!b->in_use) {
+        b->in_use = true;
+        lease.buffer = b.get();
+        break;
+      }
+    }
+    if (lease.buffer == nullptr) {
+      auto b = std::make_unique<TraceBuffer>();
+      b->tid = s.next_tid++;
+      b->in_use = true;
+      lease.buffer = b.get();
+      s.buffers.push_back(std::move(b));
+    }
+  }
+  return lease.buffer;
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  static const bool env_applied = [] {
+    if (env_default()) g_enabled.store(true, std::memory_order_relaxed);
+    return true;
+  }();
+  (void)env_applied;
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool enabled) {
+  trace_enabled();  // fold in the env default first so it cannot clobber us
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+ScopedTraceEnable::ScopedTraceEnable(bool enabled) : previous_(trace_enabled()) {
+  set_trace_enabled(enabled);
+}
+
+ScopedTraceEnable::~ScopedTraceEnable() { set_trace_enabled(previous_); }
+
+std::int64_t trace_now_us() {
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch)
+      .count();
+}
+
+void record_span(const char* name, std::int64_t start_us,
+                 std::int64_t dur_us) {
+  TraceBuffer* buf = this_thread_buffer();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  const TraceEvent ev{name, start_us, dur_us};
+  if (buf->ring.size() < kRingCapacity) {
+    buf->ring.push_back(ev);
+  } else {
+    buf->ring[buf->next] = ev;
+    buf->next = (buf->next + 1) % kRingCapacity;
+  }
+  ++buf->total;
+}
+
+std::string chrome_trace_json() {
+  // Snapshot every buffer under its own lock, then serialize lock-free.
+  struct Snap {
+    int tid;
+    std::vector<TraceEvent> events;
+  };
+  std::vector<Snap> snaps;
+  {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    snaps.reserve(s.buffers.size());
+    for (auto& b : s.buffers) {
+      std::lock_guard<std::mutex> block(b->mu);
+      if (b->ring.empty()) continue;
+      Snap snap;
+      snap.tid = b->tid;
+      // Unroll the ring into chronological order.
+      snap.events.assign(b->ring.begin() + static_cast<std::ptrdiff_t>(b->next),
+                         b->ring.end());
+      snap.events.insert(snap.events.end(), b->ring.begin(),
+                         b->ring.begin() + static_cast<std::ptrdiff_t>(b->next));
+      snaps.push_back(std::move(snap));
+    }
+  }
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  char buf[256];
+  for (const Snap& snap : snaps) {
+    for (const TraceEvent& ev : snap.events) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n  {\"name\": \"%s\", \"cat\": \"arrow\", "
+                    "\"ph\": \"X\", \"ts\": %lld, \"dur\": %lld, "
+                    "\"pid\": 1, \"tid\": %d}",
+                    first ? "" : ",", ev.name,
+                    static_cast<long long>(ev.start_us),
+                    static_cast<long long>(ev.dur_us), snap.tid);
+      out += buf;
+      first = false;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << chrome_trace_json();
+  return static_cast<bool>(out);
+}
+
+std::uint64_t trace_span_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::uint64_t n = 0;
+  for (auto& b : s.buffers) {
+    std::lock_guard<std::mutex> block(b->mu);
+    n += b->total;
+  }
+  return n;
+}
+
+std::uint64_t trace_dropped_count() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::uint64_t n = 0;
+  for (auto& b : s.buffers) {
+    std::lock_guard<std::mutex> block(b->mu);
+    n += b->total - b->ring.size();
+  }
+  return n;
+}
+
+void clear_trace() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& b : s.buffers) {
+    std::lock_guard<std::mutex> block(b->mu);
+    b->ring.clear();
+    b->next = 0;
+    b->total = 0;
+  }
+}
+
+}  // namespace arrow::obs

@@ -1,0 +1,97 @@
+// Scoped wall-time trace spans with Chrome trace_event JSON export.
+//
+//   OBS_SPAN("phase1_solve");
+//   ... // everything until end of scope is timed
+//
+// Each thread records completed spans into its own fixed-capacity ring
+// buffer (oldest events overwritten; drops are counted). write_chrome_trace()
+// merges every thread's ring into a trace_event JSON file that loads in
+// chrome://tracing and Perfetto: spans become complete events ("ph":"X")
+// with microsecond timestamps relative to the first enable, so nesting
+// renders as a flame graph per thread.
+//
+// Cost model: recording is off by default. A disabled OBS_SPAN is one
+// relaxed atomic load and two dead stores the optimizer removes — near-zero
+// on hot paths — and a build can hard-disable spans entirely with
+// -DARROW_OBS_NO_TRACE (the macro compiles to nothing). Recording turns on
+// via set_trace_enabled(true), a ScopedTraceEnable guard, or the
+// ARROW_TRACE=1 environment variable (read once, at first query).
+//
+// Span names must be string literals (or otherwise outlive the export):
+// the ring stores the pointer, not a copy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace arrow::obs {
+
+// Current recording state. The env default (ARROW_TRACE set to anything but
+// "0" or empty) is folded in on first call.
+bool trace_enabled();
+void set_trace_enabled(bool enabled);
+
+// RAII enable/disable, restoring the previous state. Process-global, not
+// thread-local: spans on pool workers record too.
+class ScopedTraceEnable {
+ public:
+  explicit ScopedTraceEnable(bool enabled = true);
+  ~ScopedTraceEnable();
+  ScopedTraceEnable(const ScopedTraceEnable&) = delete;
+  ScopedTraceEnable& operator=(const ScopedTraceEnable&) = delete;
+
+ private:
+  bool previous_;
+};
+
+// Microseconds since the process trace epoch (steady clock).
+std::int64_t trace_now_us();
+
+// Records one completed span for the calling thread. Callers normally use
+// OBS_SPAN / Span rather than this.
+void record_span(const char* name, std::int64_t start_us, std::int64_t dur_us);
+
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (trace_enabled()) {
+      name_ = name;
+      start_us_ = trace_now_us();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) {
+      record_span(name_, start_us_, trace_now_us() - start_us_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // null: recording was off at entry
+  std::int64_t start_us_ = 0;
+};
+
+// Serialized Chrome trace ({"traceEvents": [...]}) over every span recorded
+// since the last clear_trace(). Events carry pid 1 and a small per-thread
+// tid assigned in thread-creation order.
+std::string chrome_trace_json();
+bool write_chrome_trace(const std::string& path);
+
+// Spans recorded / dropped (ring overwrites) since the last clear_trace().
+std::uint64_t trace_span_count();
+std::uint64_t trace_dropped_count();
+void clear_trace();
+
+}  // namespace arrow::obs
+
+#define ARROW_OBS_CONCAT2(a, b) a##b
+#define ARROW_OBS_CONCAT(a, b) ARROW_OBS_CONCAT2(a, b)
+#if defined(ARROW_OBS_NO_TRACE)
+#define OBS_SPAN(name) \
+  do {                 \
+  } while (0)
+#else
+#define OBS_SPAN(name) \
+  ::arrow::obs::Span ARROW_OBS_CONCAT(arrow_obs_span_, __LINE__)(name)
+#endif

@@ -5,10 +5,22 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optical/event_sim.h"
 #include "util/check.h"
 
 namespace arrow::optical {
+
+namespace {
+
+LatencyResult simulate_restoration_impl(const topo::Network& net,
+                                        const std::vector<topo::FiberId>& cuts,
+                                        const std::vector<WavePlan>& plan,
+                                        const LatencyParams& params,
+                                        util::Rng& rng);
+
+}  // namespace
 
 int amp_count(double km, double spacing_km) {
   if (km <= 0.0) return 0;
@@ -43,6 +55,24 @@ LatencyResult simulate_restoration(const topo::Network& net,
                                    const std::vector<WavePlan>& plan,
                                    const LatencyParams& params,
                                    util::Rng& rng) {
+  OBS_SPAN("simulate_restoration");
+  LatencyResult result = simulate_restoration_impl(net, cuts, plan, params, rng);
+  static obs::Counter& sims =
+      obs::Registry::global().counter("arrow_restoration_sims_total");
+  static obs::Histogram& latency = obs::Registry::global().histogram(
+      "arrow_restoration_sim_latency_seconds");
+  sims.add();
+  latency.observe(result.total_s);
+  return result;
+}
+
+namespace {
+
+LatencyResult simulate_restoration_impl(const topo::Network& net,
+                                        const std::vector<topo::FiberId>& cuts,
+                                        const std::vector<WavePlan>& plan,
+                                        const LatencyParams& params,
+                                        util::Rng& rng) {
   LatencyResult result;
   for (topo::IpLinkId e : net.failed_ip_links(cuts)) {
     result.lost_gbps +=
@@ -189,5 +219,7 @@ LatencyResult simulate_restoration(const topo::Network& net,
   }
   return result;
 }
+
+}  // namespace
 
 }  // namespace arrow::optical

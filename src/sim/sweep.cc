@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/trace.h"
 #include "solver/lp.h"
 #include "util/check.h"
 
@@ -69,6 +70,7 @@ SweepResult run_sweep(const topo::Network& net,
                       const std::vector<scenario::Scenario>& scenarios,
                       const SweepParams& params, util::Rng& rng,
                       util::ThreadPool& pool) {
+  OBS_SPAN("run_sweep");
   ARROW_CHECK(!matrices.empty(), "no traffic matrices");
   SweepResult result;
   result.scales = params.scales;
@@ -136,6 +138,7 @@ SweepResult run_sweep(const topo::Network& net,
   std::vector<ChainOut> outs(jobs.size());
 
   pool.parallel_for(0, static_cast<int>(jobs.size()), [&](int ji) {
+    OBS_SPAN("sweep_chain");
     const ChainJob& job = jobs[static_cast<std::size_t>(ji)];
     ChainOut& out = outs[static_cast<std::size_t>(ji)];
     out.availability.assign(params.scales.size(), 0.0);

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -9,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/hash.h"
 
 namespace arrow::solver {
@@ -90,14 +92,17 @@ struct Reader {
 
 void BasisStore::store(const Key& key, Basis basis) {
   std::lock_guard<std::mutex> lock(mu_);
-  entries_[key] = std::move(basis);
+  Entry& entry = entries_[key];
+  entry.basis = std::move(basis);
+  touch(entry);
 }
 
 bool BasisStore::load(const Key& key, Basis* out) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) return false;
-  if (out != nullptr) *out = it->second;
+  touch(it->second);
+  if (out != nullptr) *out = it->second.basis;
   return true;
 }
 
@@ -115,9 +120,13 @@ int BasisStore::seed(std::uint64_t topo_hash, std::uint64_t scenario_hash,
         it->first.scenario_hash != scenario_hash) {
       break;
     }
-    cache.preload(it->first.rows, it->first.cols, it->second);
+    touch(it->second);
+    cache.preload(it->first.rows, it->first.cols, it->second.basis);
     ++n;
   }
+  static obs::Counter& seeded =
+      obs::Registry::global().counter("arrow_basis_store_seeded_total");
+  seeded.add(static_cast<std::uint64_t>(n));
   return n;
 }
 
@@ -131,9 +140,14 @@ int BasisStore::absorb(std::uint64_t topo_hash, std::uint64_t scenario_hash,
     key.scenario_hash = scenario_hash;
     key.rows = shape.first;
     key.cols = shape.second;
-    entries_[key] = basis;
+    Entry& entry = entries_[key];
+    entry.basis = basis;
+    touch(entry);
     ++n;
   }
+  static obs::Counter& absorbed =
+      obs::Registry::global().counter("arrow_basis_store_absorbed_total");
+  absorbed.add(static_cast<std::uint64_t>(n));
   return n;
 }
 
@@ -141,10 +155,35 @@ bool BasisStore::save(const std::string& path) const {
   std::string buf;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // LRU cap: when the store outgrows max_disk_entries_, only the most
+    // recently used entries reach the file (format v1 carries no recency, so
+    // the pruning decision lives here, not in the file). The in-memory map
+    // keeps everything — a long-lived process loses nothing.
+    std::vector<const std::map<Key, Entry>::value_type*> keep;
+    keep.reserve(entries_.size());
+    for (const auto& kv : entries_) keep.push_back(&kv);
+    if (max_disk_entries_ > 0 && keep.size() > max_disk_entries_) {
+      std::sort(keep.begin(), keep.end(), [](const auto* a, const auto* b) {
+        return a->second.last_use > b->second.last_use;
+      });
+      const long long pruned =
+          static_cast<long long>(keep.size() - max_disk_entries_);
+      keep.resize(max_disk_entries_);
+      // Deterministic file layout: back to key order after the recency cut.
+      std::sort(keep.begin(), keep.end(), [](const auto* a, const auto* b) {
+        return a->first < b->first;
+      });
+      evictions_ += pruned;
+      static obs::Counter& evicted = obs::Registry::global().counter(
+          "arrow_basis_store_evictions_total");
+      evicted.add(static_cast<std::uint64_t>(pruned));
+    }
     buf.append(kMagic, sizeof(kMagic));
     put_u32(buf, kVersion);
-    put_u64(buf, static_cast<std::uint64_t>(entries_.size()));
-    for (const auto& [key, basis] : entries_) {
+    put_u64(buf, static_cast<std::uint64_t>(keep.size()));
+    for (const auto* kv : keep) {
+      const Key& key = kv->first;
+      const Basis& basis = kv->second.basis;
       put_u64(buf, key.topo_hash);
       put_u64(buf, key.scenario_hash);
       put_i32(buf, key.rows);
@@ -235,8 +274,13 @@ bool BasisStore::load(const std::string& path) {
 
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, basis] : staged) {
-    entries_[key] = std::move(basis);
+    Entry& entry = entries_[key];
+    entry.basis = std::move(basis);
+    touch(entry);  // key order: file entries start oldest-first
   }
+  static obs::Counter& loads =
+      obs::Registry::global().counter("arrow_basis_store_file_loads_total");
+  loads.add();
   return true;
 }
 
@@ -252,6 +296,21 @@ std::size_t BasisStore::size() const {
 void BasisStore::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+}
+
+void BasisStore::set_max_disk_entries(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_disk_entries_ = n;
+}
+
+std::size_t BasisStore::max_disk_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_disk_entries_;
+}
+
+long long BasisStore::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
 }
 
 BasisStore& BasisStore::global() {

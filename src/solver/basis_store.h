@@ -72,10 +72,23 @@ class BasisStore {
   std::size_t size() const;
   void clear();
 
-  // Writes every entry to `path` (atomic: temp file + rename). Returns false
-  // when the file cannot be created or written; the store is unaffected
-  // either way.
+  // Writes the store to `path` (atomic: temp file + rename), keeping at most
+  // max_disk_entries() — the least-recently-used entries beyond the cap are
+  // pruned from the file (the in-memory store is never shrunk). "Used" means
+  // touched by store/load/seed/absorb in this process; entries merged from a
+  // file start oldest, in key order. Returns false when the file cannot be
+  // created or written; the store is unaffected either way.
   bool save(const std::string& path) const;
+
+  // On-disk entry cap for save(). Default 512 — a full controller run over
+  // one (topology, scenario set) absorbs well under a dozen shapes, so the
+  // cap only bites when many networks share one basis file. n == 0 disables
+  // pruning.
+  void set_max_disk_entries(std::size_t n);
+  std::size_t max_disk_entries() const;
+  // Entries pruned by save() over this store's lifetime (also exported as
+  // the arrow_basis_store_evictions_total obs counter).
+  long long evictions() const;
 
   // Merges the entries of a file previously written by save() into the store
   // (file entries overwrite same-key entries). Returns false — with the
@@ -94,8 +107,21 @@ class BasisStore {
   static BasisStore& global();
 
  private:
+  struct Entry {
+    Basis basis;
+    std::uint64_t last_use = 0;  // monotonic ticket; higher = more recent
+  };
+
+  // Bumps an entry's recency. Caller holds mu_.
+  void touch(Entry& entry) const { entry.last_use = ++use_tick_; }
+
   mutable std::mutex mu_;
-  std::map<Key, Basis> entries_;
+  // mutable: const reads (load-by-key, seed) still bump last_use — LRU
+  // recency is bookkeeping, not logical state.
+  mutable std::map<Key, Entry> entries_;
+  mutable std::uint64_t use_tick_ = 0;
+  std::size_t max_disk_entries_ = 512;
+  mutable long long evictions_ = 0;
 };
 
 }  // namespace arrow::solver

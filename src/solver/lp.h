@@ -101,6 +101,9 @@ struct LpSolution {
   Basis basis;                        // final basis (empty on hard failure)
   int iterations = 0;
   int phase1_iterations = 0;
+  int refactorizations = 0;           // basis refactorizations performed
+  double phase1_seconds = 0.0;        // wall clock in feasibility restoration
+  double phase2_seconds = 0.0;        // wall clock in optimality iterations
   bool warm_started = false;          // solved from a caller/cache basis
 };
 

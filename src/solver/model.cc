@@ -5,6 +5,8 @@
 #include <map>
 #include <queue>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/hash.h"
 
@@ -175,6 +177,9 @@ Lp Model::build_lp(const std::vector<double>& lb_override,
 SolveResult Model::solve(const Basis* warm_start) {
   if (num_integer_vars() > 0) {
     result_ = solve_mip();
+    static obs::Counter& nodes =
+        obs::Registry::global().counter("arrow_mip_nodes_total");
+    nodes.add(static_cast<std::uint64_t>(result_.bb_nodes));
     return result_;
   }
   std::vector<double> lb(vars_.size()), ub(vars_.size());
@@ -187,6 +192,9 @@ SolveResult Model::solve(const Basis* warm_start) {
   SolveResult res;
   res.simplex_iterations = sol.iterations;
   res.phase1_iterations = sol.phase1_iterations;
+  res.refactorizations = sol.refactorizations;
+  res.phase1_seconds = sol.phase1_seconds;
+  res.phase2_seconds = sol.phase2_seconds;
   res.basis = sol.basis;
   res.warm_started = sol.warm_started;
   switch (sol.status) {
@@ -218,6 +226,7 @@ SolveResult Model::solve(const Basis* warm_start) {
 }
 
 SolveResult Model::solve_mip() {
+  OBS_SPAN("mip_solve");
   struct Node {
     std::vector<double> lb, ub;
     double bound;  // parent LP objective in internal (min) sense
@@ -257,6 +266,7 @@ SolveResult Model::solve_mip() {
     const Lp lp = build_lp(node.lb, node.ub);
     const LpSolution sol = solve_lp(lp, simplex_options_);
     res.simplex_iterations += sol.iterations;
+    res.refactorizations += sol.refactorizations;
     if (sol.status == LpStatus::kInfeasible) continue;
     if (sol.status == LpStatus::kUnbounded) {
       if (res.bb_nodes == 1) root_unbounded = true;

@@ -34,6 +34,9 @@ struct SolveResult {
   double objective = 0.0;
   int simplex_iterations = 0;
   int phase1_iterations = 0;  // feasibility-restoration share of the above
+  int refactorizations = 0;   // LU refactorizations (summed over MIP nodes)
+  double phase1_seconds = 0.0;  // simplex phase wall clocks (pure LPs only)
+  double phase2_seconds = 0.0;
   int bb_nodes = 0;           // 0 for pure LPs
   // Final simplex basis (pure LPs only; empty for MIPs and hard failures).
   // Feed it back into a later solve() of a same-shaped model to warm-start.

@@ -13,9 +13,12 @@
 //  * after `bland_threshold` consecutive degenerate pivots the pivot rule
 //    switches to Bland's rule until progress resumes.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solver/lp.h"
 #include "solver/basis.h"
 #include "util/check.h"
@@ -95,12 +98,20 @@ class Simplex {
         return sol;
       }
     }
+    // Phase wall clocks are observability only: nothing downstream of the
+    // timings feeds back into pivot decisions.
+    using SimplexClock = std::chrono::steady_clock;
+    const auto t0 = SimplexClock::now();
     LpStatus st = iterate(/*phase=*/1);
     if (st == LpStatus::kOptimal && total_infeasibility() > feas_total_tol()) {
       st = LpStatus::kInfeasible;
     }
+    const auto t1 = SimplexClock::now();
+    phase1_seconds_ = std::chrono::duration<double>(t1 - t0).count();
     if (st == LpStatus::kOptimal) {
       st = iterate(/*phase=*/2);
+      phase2_seconds_ =
+          std::chrono::duration<double>(SimplexClock::now() - t1).count();
     }
     return extract(st);
   }
@@ -209,6 +220,7 @@ class Simplex {
   }
 
   bool refactorize() {
+    ++refactorizations_;
     std::vector<LuBasis::Column> cols(static_cast<std::size_t>(m_));
     for (int p = 0; p < m_; ++p) {
       const int j = basis_[static_cast<std::size_t>(p)];
@@ -550,6 +562,9 @@ class Simplex {
     sol.status = st;
     sol.iterations = iterations_;
     sol.phase1_iterations = phase1_iterations_;
+    sol.refactorizations = refactorizations_;
+    sol.phase1_seconds = phase1_seconds_;
+    sol.phase2_seconds = phase2_seconds_;
     sol.warm_started = warm_started_;
     sol.x.assign(static_cast<std::size_t>(n_), 0.0);
     sol.basis.status.resize(static_cast<std::size_t>(n_));
@@ -608,6 +623,9 @@ class Simplex {
   int max_iter_ = 0;
   int iterations_ = 0;
   int phase1_iterations_ = 0;
+  int refactorizations_ = 0;
+  double phase1_seconds_ = 0.0;
+  double phase2_seconds_ = 0.0;
   std::vector<int> basis_;
   std::vector<VStat> vstat_;
   std::vector<double> xb_;
@@ -686,19 +704,59 @@ LpSolution solve_lp(const Lp& lp, const SimplexOptions& options,
   if (warm == nullptr && cache != nullptr) {
     warm = cache->find(lp.a.rows, lp.a.cols);
   }
+  OBS_SPAN("lp_solve");
+  const auto solve_t0 = std::chrono::steady_clock::now();
   Simplex s(lp, opt, warm);
   LpSolution sol = s.run();
   if (s.warm_started() && sol.status == LpStatus::kNumericalError) {
     // The warm basis led the solve astray; the all-slack start is the
     // correctness baseline, so pay for a cold solve before reporting failure.
+    static obs::Counter& warm_retries =
+        obs::Registry::global().counter("arrow_solver_warm_retries_total");
+    warm_retries.add();
     const int warm_iterations = sol.iterations;
+    const int warm_refactorizations = sol.refactorizations;
     Simplex cold(lp, opt);
     sol = cold.run();
     sol.iterations += warm_iterations;
+    sol.refactorizations += warm_refactorizations;
   }
   if (cache != nullptr && sol.status == LpStatus::kOptimal &&
       !sol.basis.empty()) {
     cache->store(lp.a.rows, lp.a.cols, sol.basis);
+  }
+  // Metrics record what the solver *returned* — reads only, after the
+  // result is final, so instrumented and uninstrumented runs pivot
+  // identically.
+  {
+    auto& reg = obs::Registry::global();
+    static obs::Counter& solves = reg.counter("arrow_solver_solves_total");
+    static obs::Counter& iters =
+        reg.counter("arrow_solver_simplex_iterations_total");
+    static obs::Counter& p1_iters =
+        reg.counter("arrow_solver_phase1_iterations_total");
+    static obs::Counter& refactors =
+        reg.counter("arrow_solver_refactorizations_total");
+    static obs::Counter& warm_starts =
+        reg.counter("arrow_solver_warm_starts_total");
+    static obs::Counter& cold_starts =
+        reg.counter("arrow_solver_cold_starts_total");
+    static obs::Histogram& solve_seconds =
+        reg.histogram("arrow_solver_solve_seconds");
+    static obs::Histogram& phase1_seconds =
+        reg.histogram("arrow_solver_phase1_seconds");
+    static obs::Histogram& phase2_seconds =
+        reg.histogram("arrow_solver_phase2_seconds");
+    solves.add();
+    iters.add(static_cast<std::uint64_t>(sol.iterations));
+    p1_iters.add(static_cast<std::uint64_t>(sol.phase1_iterations));
+    refactors.add(static_cast<std::uint64_t>(sol.refactorizations));
+    (sol.warm_started ? warm_starts : cold_starts).add();
+    solve_seconds.observe(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - solve_t0)
+                              .count());
+    phase1_seconds.observe(sol.phase1_seconds);
+    phase2_seconds.observe(sol.phase2_seconds);
   }
   if (SolveObserver* observer = ScopedSolveObserver::active()) {
     (*observer)(lp, sol);

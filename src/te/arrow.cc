@@ -5,6 +5,7 @@
 #include <map>
 #include <optional>
 
+#include "obs/trace.h"
 #include "solver/model.h"
 #include "util/check.h"
 
@@ -132,6 +133,7 @@ void build_phase2(const TeInput& input, const ArrowPrepared& prepared,
                   const std::vector<int>& winners, bool fast,
                   const RestorabilityCache* cache, util::ThreadPool& pool,
                   Phase2Model* out) {
+  OBS_SPAN("phase2_build");
   const int Q = input.num_scenarios();
   solver::Model& model = out->model;
   model.set_maximize();
@@ -257,6 +259,7 @@ TeSolution phase2(const TeInput& input, const ArrowPrepared& prepared,
   BaseVars& vars = p2.vars;
 
   const auto t0 = Clock::now();
+  OBS_SPAN("phase2_solve");
   const auto res = model.solve();
   const double seconds =
       std::chrono::duration<double>(Clock::now() - t0).count() + extra_seconds;
@@ -296,6 +299,7 @@ void build_phase1(const TeInput& input, const ArrowPrepared& prepared,
                   const std::vector<ticket::LotteryTicket>& naive,
                   const ArrowParams& params, util::ThreadPool& pool,
                   const RestorabilityCache* cache, Phase1Model* out) {
+  OBS_SPAN("phase1_build");
   const int Q = input.num_scenarios();
   solver::Model& model = out->model;
   model.set_maximize();
@@ -719,6 +723,7 @@ void prepare_arrow_scenario(const TeInput& input, int q,
                             const ArrowParams& params, util::Rng& rng,
                             optical::RwaResult* rwa,
                             ticket::TicketSet* tickets_out) {
+  OBS_SPAN("rwa_scenario");
   const auto& scenario = input.scenarios()[static_cast<std::size_t>(q)];
   *rwa = optical::solve_rwa(input.net(), scenario.cuts, params.rwa);
   auto tickets = ticket::generate_tickets(input.net(), scenario.cuts, *rwa,
@@ -746,6 +751,7 @@ void prepare_arrow_scenario(const TeInput& input, int q,
 
 ArrowPrepared prepare_arrow(const TeInput& input, const ArrowParams& params,
                             util::Rng& rng, util::ThreadPool& pool) {
+  OBS_SPAN("prepare_arrow");
   ArrowPrepared prepared;
   const int Q = static_cast<int>(input.scenarios().size());
   prepared.rwa.resize(static_cast<std::size_t>(Q));
@@ -816,6 +822,7 @@ TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
   const auto& slack = p1.slack;
 
   const auto t0 = Clock::now();
+  OBS_SPAN("phase1_solve");
   const auto res = model.solve();
   const double phase1_seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();
@@ -1006,6 +1013,7 @@ ModelBuildStats build_arrow_ilp_model(const TeInput& input,
                                       const ArrowParams& params,
                                       util::ThreadPool& pool,
                                       const RestorabilityCache* cache) {
+  OBS_SPAN("ilp_build");
   const auto t0 = Clock::now();
   const auto naive = make_naive_tickets(prepared);
   std::optional<RestorabilityCache> local;

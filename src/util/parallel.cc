@@ -1,12 +1,45 @@
 #include "util/parallel.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace arrow::util {
+
+namespace {
+
+// Pool telemetry. Shared across every pool in the process (pools are
+// short-lived and interchangeable); the gauge tracks the most recent
+// observed backlog, the histogram the per-task wall time.
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("arrow_threadpool_queue_depth");
+  return g;
+}
+
+obs::Counter& tasks_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("arrow_threadpool_tasks_total");
+  return c;
+}
+
+obs::Counter& task_exceptions_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("arrow_threadpool_task_exceptions_total");
+  return c;
+}
+
+obs::Histogram& task_seconds_histogram() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("arrow_threadpool_task_seconds");
+  return h;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   threads_ = threads > 0 ? threads : default_thread_count();
@@ -26,6 +59,19 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::record_error(std::exception_ptr error) {
+  task_exceptions_counter().add();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!first_error_) first_error_ = std::move(error);
+}
+
+std::exception_ptr ThreadPool::take_error() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::exception_ptr error = std::move(first_error_);
+  first_error_ = nullptr;
+  return error;
+}
+
 void ThreadPool::worker_loop() {
   while (true) {
     std::packaged_task<void()> task;
@@ -38,25 +84,68 @@ void ThreadPool::worker_loop() {
         queue_.clear();
         queue_head_ = 0;
       }
+      ++active_;
+      queue_depth_gauge().set(
+          static_cast<double>(queue_.size() - queue_head_));
     }
+    const auto t0 = std::chrono::steady_clock::now();
     task();  // packaged_task captures exceptions into the future
+    task_seconds_histogram().observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    bool idle = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      idle = active_ == 0 && queue_head_ >= queue_.size();
+    }
+    if (idle) idle_cv_.notify_all();
   }
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> wrapped(std::move(task));
+  tasks_counter().add();
+  // Record a throwing task's exception with the pool before the
+  // packaged_task captures it for the future: a discarded future then
+  // still surfaces the failure at the next wait().
+  auto body = [this, task = std::move(task)] {
+    try {
+      task();
+    } catch (...) {
+      record_error(std::current_exception());
+      throw;
+    }
+  };
+  std::packaged_task<void()> wrapped(std::move(body));
   std::future<void> future = wrapped.get_future();
   if (workers_.empty()) {
+    const auto t0 = std::chrono::steady_clock::now();
     wrapped();  // inline mode: run on the caller, future already settled
+    task_seconds_histogram().observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
     return future;
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
     ARROW_CHECK(!stop_, "submit on a stopped ThreadPool");
     queue_.push_back(Task{std::move(wrapped)});
+    queue_depth_gauge().set(static_cast<double>(queue_.size() - queue_head_));
   }
   cv_.notify_one();
   return future;
+}
+
+void ThreadPool::wait() {
+  if (!workers_.empty()) {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] {
+      return active_ == 0 && queue_head_ >= queue_.size();
+    });
+  }
+  if (std::exception_ptr error = take_error()) {
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::parallel_for(int begin, int end,
@@ -96,7 +185,12 @@ void ThreadPool::parallel_for(int begin, int end,
       if (!first) first = std::current_exception();
     }
   }
-  if (first) std::rethrow_exception(first);
+  if (first) {
+    // Delivered to the caller right here; drop the pool's pending copy so a
+    // later wait() does not rethrow a stale error.
+    take_error();
+    std::rethrow_exception(first);
+  }
 }
 
 int default_thread_count() {

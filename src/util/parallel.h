@@ -33,13 +33,24 @@ class ThreadPool {
 
   int threads() const { return threads_; }
 
-  // Enqueues one task; the future rethrows whatever the task threw.
+  // Enqueues one task; the future rethrows whatever the task threw. The
+  // exception is *also* recorded as the pool's pending error (first thrower
+  // wins), so a caller that discards the future still sees it at the next
+  // wait() instead of the failure vanishing silently.
   std::future<void> submit(std::function<void()> task);
+
+  // Blocks until every queued and in-flight task has finished, then
+  // rethrows the pool's pending error (and clears it) if any task threw
+  // since the last wait()/parallel_for(). The pool stays usable after the
+  // throw. Note an exception may surface twice — once through its future,
+  // once here — when the caller consumes both.
+  void wait();
 
   // Calls fn(i) exactly once for every i in [begin, end), spread across the
   // pool, and blocks until all are done. Indices are claimed dynamically, so
   // fn must only touch state owned by its own index. The first exception
-  // thrown by any fn is rethrown here after the loop drains.
+  // thrown by any fn is rethrown here after the loop drains (and the
+  // pending-error slot is cleared — the error was delivered).
   void parallel_for(int begin, int end, const std::function<void(int)>& fn);
 
  private:
@@ -48,13 +59,19 @@ class ThreadPool {
   };
 
   void worker_loop();
+  void record_error(std::exception_ptr error);
+  // Pops the pending error (caller rethrows outside the lock).
+  std::exception_ptr take_error();
 
   int threads_ = 1;
   std::vector<std::thread> workers_;
   std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;       // workers: work available / stop
+  std::condition_variable idle_cv_;  // waiters: queue drained + nothing active
   std::vector<Task> queue_;  // FIFO via head index
   std::size_t queue_head_ = 0;
+  int active_ = 0;           // tasks currently executing on workers
+  std::exception_ptr first_error_;   // first undelivered task exception
   bool stop_ = false;
 };
 

@@ -252,6 +252,66 @@ TEST(BasisStoreDisk, EmptyStoreRoundTrips) {
   EXPECT_EQ(loaded.size(), 0u);
 }
 
+TEST(BasisStoreDisk, SavePrunesLeastRecentlyUsedBeyondTheCap) {
+  const std::string path = scratch_file("basis_lru.bin");
+  BasisStore store;
+  EXPECT_EQ(store.max_disk_entries(), 512u);  // documented default
+  store.set_max_disk_entries(3);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    store.store({i, 0, 2, 4}, make_basis(4, BasisStatus::kBasic));
+  }
+  // Freshen entries 0 and 1: the const read path must count as a use.
+  Basis out;
+  ASSERT_TRUE(store.load({0, 0, 2, 4}, &out));
+  ASSERT_TRUE(store.load({1, 0, 2, 4}, &out));
+  // Most recent now: 1, 0, 4 (stored last). 2 and 3 fall off the file.
+  ASSERT_TRUE(store.save(path));
+  EXPECT_EQ(store.evictions(), 2);
+  EXPECT_EQ(store.size(), 5u);  // the in-memory store is never shrunk
+
+  BasisStore loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.size(), 3u);
+  EXPECT_TRUE(loaded.load({0, 0, 2, 4}, &out));
+  EXPECT_TRUE(loaded.load({1, 0, 2, 4}, &out));
+  EXPECT_TRUE(loaded.load({4, 0, 2, 4}, &out));
+  EXPECT_FALSE(loaded.load({2, 0, 2, 4}, &out));
+  EXPECT_FALSE(loaded.load({3, 0, 2, 4}, &out));
+}
+
+TEST(BasisStoreDisk, ZeroCapDisablesPruning) {
+  const std::string path = scratch_file("basis_nocap.bin");
+  BasisStore store;
+  store.set_max_disk_entries(0);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    store.store({i, 0, 2, 4}, make_basis(4, BasisStatus::kBasic));
+  }
+  ASSERT_TRUE(store.save(path));
+  EXPECT_EQ(store.evictions(), 0);
+  BasisStore loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.size(), 8u);
+}
+
+TEST(BasisStoreDisk, RepeatedCappedSavesAccumulateEvictions) {
+  const std::string path = scratch_file("basis_lru_repeat.bin");
+  BasisStore store;
+  store.set_max_disk_entries(1);
+  store.store({1, 0, 2, 4}, make_basis(4, BasisStatus::kBasic));
+  store.store({2, 0, 2, 4}, make_basis(4, BasisStatus::kBasic));
+  ASSERT_TRUE(store.save(path));
+  EXPECT_EQ(store.evictions(), 1);
+  ASSERT_TRUE(store.save(path));
+  EXPECT_EQ(store.evictions(), 2);
+
+  // The capped file still round-trips (format is unchanged by pruning).
+  BasisStore loaded;
+  ASSERT_TRUE(loaded.load(path));
+  EXPECT_EQ(loaded.size(), 1u);
+  Basis out;
+  EXPECT_TRUE(loaded.load({2, 0, 2, 4}, &out));  // the most recent store
+}
+
 TEST(BasisStoreDisk, MissingFileAndMissingDirectoryAreCleanFailures) {
   BasisStore store;
   store.store({1, 2, 3, 4}, make_basis(4, BasisStatus::kBasic));

@@ -96,6 +96,61 @@ TEST(ThreadPool, SubmitFutureRethrows) {
   EXPECT_THROW(fut.get(), std::logic_error);
 }
 
+// The regression the pool-level error slot exists for: a fire-and-forget
+// submit whose future is discarded used to lose the exception entirely.
+// wait() must surface it — at every pool size, including inline mode.
+TEST(ThreadPool, WaitRethrowsDiscardedFutureException) {
+  for (int threads : {1, 2, 8}) {
+    util::ThreadPool pool(threads);
+    if (threads == 1) {
+      // Inline mode runs the task on submit; the packaged_task still
+      // captures the throw, so submit itself must not propagate it.
+      EXPECT_NO_THROW(
+          pool.submit([] { throw std::runtime_error("dropped"); }));
+    } else {
+      pool.submit([] { throw std::runtime_error("dropped"); });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error) << threads << " threads";
+    // The error was delivered and cleared: a second wait is clean and the
+    // pool stays usable.
+    EXPECT_NO_THROW(pool.wait());
+    std::atomic<int> n{0};
+    pool.parallel_for(0, 10, [&](int) { n++; });
+    EXPECT_EQ(n.load(), 10);
+  }
+}
+
+TEST(ThreadPool, WaitReportsFirstOfManyFailures) {
+  util::ThreadPool pool(4);
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([] { throw std::runtime_error("one of many"); });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  EXPECT_NO_THROW(pool.wait());
+}
+
+TEST(ThreadPool, WaitWithNoWorkAndNoErrorsIsANoOp) {
+  util::ThreadPool pool(3);
+  EXPECT_NO_THROW(pool.wait());
+  std::atomic<int> n{0};
+  for (int i = 0; i < 8; ++i) pool.submit([&] { n++; });
+  pool.wait();
+  EXPECT_EQ(n.load(), 8);
+}
+
+TEST(ThreadPool, ParallelForDeliveryClearsThePendingError) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   0, 50,
+                   [&](int i) {
+                     if (i == 7) throw std::runtime_error("loop failure");
+                   }),
+               std::runtime_error);
+  // parallel_for already delivered the exception to its caller; wait() must
+  // not replay a stale copy.
+  EXPECT_NO_THROW(pool.wait());
+}
+
 TEST(ThreadPool, DefaultThreadCountHonorsEnvOverride) {
   ::setenv("ARROW_THREADS", "3", 1);
   EXPECT_EQ(util::default_thread_count(), 3);
