@@ -11,8 +11,16 @@
 //       solve ARROW's restoration-aware TE and report per-scheme
 //       availability at the given demand scale; --obs records trace spans
 //       and writes trace_te.json + metrics_te.{prom,json} into <dir>
+//   arrowctl run <net.topo> <traffic.tm> [--journal <dir>] [--budget <s>]
+//                [--horizon <s>] [--cuts-per-day <n>] [--obs <dir>]
+//       run the event-driven WAN controller: deadline-enforced TE periods,
+//       sampled fiber cuts, optical restoration. With --journal the run is
+//       crash-consistent (and recovers a previous run's last-good plan);
+//       SIGTERM/SIGINT drain gracefully — the journal and final RunReport
+//       are flushed before exit.
 //
 // File formats are documented in src/topo/io.h.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +28,7 @@
 #include <optional>
 #include <string>
 
+#include "controller/controller.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optical/latency.h"
@@ -43,10 +52,21 @@ int usage() {
       "usage: arrowctl export <b4|ibm|fbsynth|testbed> <net.topo> [tm]\n"
       "       arrowctl ratio <net.topo>\n"
       "       arrowctl latency <net.topo> <fiber_id> [--legacy]\n"
-      "       arrowctl te <net.topo> <traffic.tm> [scale] [--obs <dir>]\n",
+      "       arrowctl te <net.topo> <traffic.tm> [scale] [--obs <dir>]\n"
+      "       arrowctl run <net.topo> <traffic.tm> [--journal <dir>]\n"
+      "                    [--budget <s>] [--horizon <s>]\n"
+      "                    [--cuts-per-day <n>] [--obs <dir>]\n",
       stderr);
   return 2;
 }
+
+// SIGTERM/SIGINT flag for `arrowctl run`: the handler only sets this; the
+// controller polls it between matrix solves (ControllerConfig::cancel) and
+// drains gracefully — journal end_run and the final RunReport still happen
+// on the normal exit path.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
 
 int cmd_export(int argc, char** argv) {
   if (argc < 4) return usage();
@@ -199,6 +219,89 @@ int cmd_te(int argc, char** argv) {
   return 0;
 }
 
+int cmd_run(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const topo::Network net = topo::load_network_file(argv[2]);
+  const auto tm = topo::load_traffic_file(argv[3]);
+
+  ctrl::ControllerConfig config;
+  config.scheme = ctrl::Scheme::kArrow;
+  config.horizon_s = 2.0 * 3600.0;
+  config.te_interval_s = 600.0;
+  config.tunnels.tunnels_per_flow = 4;
+  config.arrow.tickets.num_tickets = 4;
+  config.scenarios.probability_cutoff = net.num_sites > 20 ? 0.004 : 0.002;
+  double cuts_per_day = 4.0;
+  for (int i = 4; i < argc; ++i) {
+    const auto want_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "arrowctl run: %s needs a value\n", flag);
+        return false;
+      }
+      return true;
+    };
+    if (std::strcmp(argv[i], "--journal") == 0) {
+      if (!want_value("--journal")) return usage();
+      config.journal_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--budget") == 0) {
+      if (!want_value("--budget")) return usage();
+      config.te_budget_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--horizon") == 0) {
+      if (!want_value("--horizon")) return usage();
+      config.horizon_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cuts-per-day") == 0) {
+      if (!want_value("--cuts-per-day")) return usage();
+      cuts_per_day = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--obs") == 0) {
+      if (!want_value("--obs")) return usage();
+      config.obs.enabled = true;
+      config.obs.dir = argv[++i];
+      config.obs.run_id = "arrowctl";
+    } else {
+      return usage();
+    }
+  }
+
+  // Graceful drain on SIGTERM/SIGINT: remaining periods are served by the
+  // closed-form rungs and the run still completes its accounting.
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+  config.cancel = [] { return g_stop_requested != 0; };
+
+  util::Rng rng(42);
+  auto failures =
+      ctrl::sample_failure_trace(net, config.horizon_s, cuts_per_day, rng);
+  std::printf("controller: horizon %.0fs, TE every %.0fs (budget %.0fs), "
+              "%zu cuts%s%s\n",
+              config.horizon_s, config.te_interval_s, config.te_budget_s,
+              failures.size(),
+              config.journal_dir.empty() ? "" : ", journal ",
+              config.journal_dir.c_str());
+
+  const auto report = ctrl::run_controller(net, {tm}, failures, config, rng);
+
+  util::Table table({"metric", "value"});
+  table.add_row({"availability", util::Table::pct(report.availability(), 4)});
+  table.add_row({"TE runs", std::to_string(report.te_runs)});
+  table.add_row({"degraded periods", std::to_string(report.degraded_periods)});
+  table.add_row({"solver timeouts", std::to_string(report.solver_timeouts)});
+  table.add_row({"cuts handled", std::to_string(report.cuts_handled)});
+  table.add_row({"journal recovered",
+                 report.journal_recovered ? "yes" : "no"});
+  table.add_row({"journal writes", std::to_string(report.journal_writes)});
+  table.add_row({"canceled", report.canceled ? "yes (drained)" : "no"});
+  std::fputs(table.to_string().c_str(), stdout);
+  for (int r = 0; r < ctrl::kNumRungs; ++r) {
+    if (report.fallback_counts[r] == 0) continue;
+    std::printf("  rung %-14s %d\n", to_string(static_cast<ctrl::Rung>(r)),
+                report.fallback_counts[r]);
+  }
+  if (config.obs.enabled) {
+    std::printf("wrote %s\n", config.obs.resolved().report_path().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -209,6 +312,7 @@ int main(int argc, char** argv) {
     if (cmd == "ratio") return cmd_ratio(argc, argv);
     if (cmd == "latency") return cmd_latency(argc, argv);
     if (cmd == "te") return cmd_te(argc, argv);
+    if (cmd == "run") return cmd_run(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "arrowctl: %s\n", e.what());
     return 1;

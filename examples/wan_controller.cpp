@@ -2,11 +2,15 @@
 // TE disciplines and compare delivered traffic, downtime, and the transient
 // loss during restoration (ARROW with noise loading vs legacy amplifiers).
 //
-//   $ ./build/examples/wan_controller [cuts_per_day]
+//   $ ./build/examples/wan_controller [cuts_per_day] [journal_dir]
 //
-// This is ARROW as a *system* (Fig. 8): periodic TE runs, precomputed
-// restoration plans, and second-by-second accounting while wavelengths come
-// back one at a time.
+// This is ARROW as a *system* (Fig. 8): periodic TE runs under an enforced
+// wall-clock budget (te_budget_s — a solve that outruns its share degrades
+// down the ladder instead of stalling the period), precomputed restoration
+// plans, and second-by-second accounting while wavelengths come back one at
+// a time. With a journal_dir the ARROW run is crash-consistent: run the
+// binary twice with the same directory and the second invocation recovers
+// the first one's last-good plan ("journal" column flips to "recovered").
 #include <cstdio>
 #include <cstdlib>
 
@@ -18,6 +22,7 @@ using namespace arrow;
 
 int main(int argc, char** argv) {
   const double cuts_per_day = argc > 1 ? std::atof(argv[1]) : 8.0;
+  const char* journal_dir = argc > 2 ? argv[2] : "";
   const topo::Network net = topo::build_b4();
 
   util::Rng rng(20210823);
@@ -32,6 +37,9 @@ int main(int argc, char** argv) {
   base.arrow.tickets.num_tickets = 6;
   base.scenarios.probability_cutoff = 0.002;
   base.demand_scale = 0.55;
+  // One TE period's wall-clock budget: the ladder enforces it per rung, so
+  // a pathologically slow solve costs a degraded period, never a late plan.
+  base.te_budget_s = 60.0;
 
   const auto trace =
       ctrl::sample_failure_trace(net, base.horizon_s, cuts_per_day, rng);
@@ -39,12 +47,18 @@ int main(int argc, char** argv) {
               trace.size(), base.te_interval_s);
 
   util::Table table({"discipline", "availability", "lost (Tbps*s)",
-                     "transient loss", "worst restoration", "cuts planned"});
+                     "transient loss", "worst restoration", "cuts planned",
+                     "journal"});
   const auto run = [&](ctrl::Scheme scheme, bool noise_loading,
                        const char* label, const char* run_id) {
     ctrl::ControllerConfig cfg = base;
     cfg.scheme = scheme;
     cfg.latency.noise_loading = noise_loading;
+    // Crash-consistency journal for the headline ARROW run only (the
+    // disciplines would otherwise race for the same file).
+    if (scheme == ctrl::Scheme::kArrow && noise_loading) {
+      cfg.journal_dir = journal_dir;
+    }
     // Per-run artifact names; files appear only when ARROW_OBS_DIR /
     // ARROW_TRACE (or explicit config) turn observability on.
     cfg.obs.run_id = run_id;
@@ -55,7 +69,11 @@ int main(int argc, char** argv) {
                    util::Table::num(r.transient_loss_gbps_seconds / 1000.0, 1),
                    util::Table::num(r.worst_restoration_s, 1) + " s",
                    std::to_string(r.cuts_with_plan) + "/" +
-                       std::to_string(r.cuts_handled)});
+                       std::to_string(r.cuts_handled),
+                   cfg.journal_dir.empty() ? "-"
+                   : r.journal_recovered   ? "recovered"
+                                           : std::to_string(r.journal_writes) +
+                                               " writes"});
   };
   run(ctrl::Scheme::kArrow, true, "ARROW (noise loading)", "arrow");
   run(ctrl::Scheme::kArrow, false, "ARROW (legacy amplifiers)",

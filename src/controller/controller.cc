@@ -1,11 +1,13 @@
 #include "controller/controller.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <optional>
 #include <set>
 
+#include "controller/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optical/event_sim.h"
@@ -19,6 +21,8 @@
 #include "te/teavar.h"
 #include "ticket/ticket.h"
 #include "util/check.h"
+#include "util/clock.h"
+#include "util/deadline.h"
 #include "util/parallel.h"
 #include "util/stats.h"
 
@@ -158,6 +162,8 @@ struct LadderOutcome {
   Rung rung = Rung::kPrimary;
   double seconds = 0.0;     // wall clock across all attempts this period
   long long iterations = 0;  // simplex pivots across all attempts
+  int timeouts = 0;          // LP solves that returned kTimedOut
+  int backoff_retries = 0;   // backoff sleeps taken between rungs
 };
 
 // Rung name with the metric-safe spelling (dashes are not legal in
@@ -170,48 +176,111 @@ std::string rung_metric_name(Rung r) {
   return name;
 }
 
+// Shares of the period budget the LP rungs may spend. The primary attempt
+// gets half, the relaxed retry 30%, FFC whatever is left — so even when
+// every LP rung burns its full share, the closed-form bottom rungs still
+// land a plan inside the period's deadline.
+constexpr double kPrimaryBudgetShare = 0.5;
+constexpr double kRelaxedBudgetShare = 0.3;
+
 // Walks the degradation ladder until some rung yields a usable solution.
 // kEcmp is closed-form (no LP anywhere in solve_ecmp), so the ladder cannot
 // come back empty no matter what the solver or a fault injector does.
+//
+// `deadline` is this period's whole budget; each LP rung additionally runs
+// under its share of it (ScopedSolveDeadline nests, earliest expiry wins).
+// A rung whose solve times out — or whose turn comes after the period
+// deadline already passed — degrades to the next rung. `backoff` (nullable)
+// spaces the retry rungs with capped jittered delays, never sleeping past
+// the deadline.
 LadderOutcome solve_with_ladder(const ControllerConfig& config,
                                 const te::TeInput& input,
                                 const te::ArrowPrepared& prepared,
                                 const te::TeSolution* last_good,
                                 const te::RestorabilityCache* cache,
-                                util::ThreadPool& pool) {
+                                util::ThreadPool& pool,
+                                const util::Deadline& deadline,
+                                util::Backoff* backoff) {
   LadderOutcome out;
-  out.sol = solve_primary(config, input, prepared, cache, pool);
-  out.seconds += out.sol.solve_seconds;
-  out.iterations += out.sol.simplex_iterations;
-  if (out.sol.optimal) return out;
+  solver::ScopedSolveDeadline run_guard(deadline);
+  const bool budgeted = deadline.is_set();
+  const double t0 = budgeted ? util::mono_now_s() : 0.0;
+  const double budget = deadline.remaining_s();  // +inf when unset
+  // Wall clock (not the sum of per-solve timings): backoff sleeps and
+  // model-build time count against the period too. Falls back to the solver
+  // timings when unbudgeted, avoiding clock reads on the default path.
+  const auto elapsed = [&](double lp_seconds) {
+    return budgeted ? util::mono_now_s() - t0 : lp_seconds;
+  };
+  double lp_seconds = 0.0;
 
-  {
+  if (!deadline.expired()) {
+    util::Deadline rung_deadline;
+    if (budgeted) {
+      rung_deadline = util::Deadline::after(budget * kPrimaryBudgetShare);
+    }
+    solver::ScopedSolveDeadline guard(rung_deadline);
+    out.sol = solve_primary(config, input, prepared, cache, pool);
+    lp_seconds += out.sol.solve_seconds;
+    out.iterations += out.sol.simplex_iterations;
+    if (out.sol.optimal) {
+      out.seconds = elapsed(lp_seconds);
+      out.timeouts = run_guard.timeouts();
+      return out;
+    }
+  }
+
+  out.rung = Rung::kRelaxedRetry;
+  if (!deadline.expired()) {
+    if (backoff != nullptr && backoff->sleep(deadline) > 0.0) {
+      ++out.backoff_retries;
+    }
+    util::Deadline rung_deadline;
+    if (budgeted) {
+      rung_deadline = util::Deadline::after(budget * kRelaxedBudgetShare);
+    }
+    solver::ScopedSolveDeadline guard(rung_deadline);
     solver::ScopedSimplexOverride relax(relaxed_simplex_options());
     // The override is thread-local: the retry must not fan model builds
     // onto pool workers that would escape it.
     util::ThreadPool inline_pool(1);
     out.sol = solve_primary(config, input, prepared, cache, inline_pool);
+    lp_seconds += out.sol.solve_seconds;
+    out.iterations += out.sol.simplex_iterations;
+    if (out.sol.optimal) {
+      out.seconds = elapsed(lp_seconds);
+      out.timeouts = run_guard.timeouts();
+      return out;
+    }
   }
-  out.seconds += out.sol.solve_seconds;
-  out.iterations += out.sol.simplex_iterations;
-  out.rung = Rung::kRelaxedRetry;
-  if (out.sol.optimal) return out;
 
-  if (config.scheme != Scheme::kFfc1) {  // pointless to retry the same LP
+  // FFC runs under the remainder of the period budget (run_guard alone).
+  if (config.scheme != Scheme::kFfc1 &&  // pointless to retry the same LP
+      !deadline.expired()) {
+    if (backoff != nullptr && backoff->sleep(deadline) > 0.0) {
+      ++out.backoff_retries;
+    }
     out.sol = te::solve_ffc(input, te::FfcParams{1, 0});
-    out.seconds += out.sol.solve_seconds;
+    lp_seconds += out.sol.solve_seconds;
     out.iterations += out.sol.simplex_iterations;
     out.rung = Rung::kFfcFallback;
-    if (out.sol.optimal) return out;
+    if (out.sol.optimal) {
+      out.seconds = elapsed(lp_seconds);
+      out.timeouts = run_guard.timeouts();
+      return out;
+    }
   }
 
+  out.timeouts = run_guard.timeouts();
   if (last_good != nullptr) {
     out.sol = carry_forward(*last_good, input);
     out.rung = Rung::kCarryForward;
+    out.seconds = elapsed(lp_seconds);
     return out;
   }
   out.sol = te::solve_ecmp(input);
   out.rung = Rung::kEcmp;
+  out.seconds = elapsed(lp_seconds);
   return out;
 }
 
@@ -258,15 +327,24 @@ ControllerReport run_controller(const topo::Network& net,
     run_local_store.emplace();
     store = &*run_local_store;
   }
+  // Crash-consistency journal (opt-in, like the basis store): config field,
+  // else ARROW_JOURNAL_DIR.
+  std::string journal_dir = config.journal_dir;
+  if (journal_dir.empty()) {
+    if (const char* env = std::getenv("ARROW_JOURNAL_DIR")) journal_dir = env;
+  }
+
   std::uint64_t topo_h = 0;
   std::uint64_t scen_h = 0;
+  if (store != nullptr || !journal_dir.empty()) {
+    topo_h = topo::structure_hash(net);
+    scen_h = scenario::set_hash(scenarios);
+  }
   std::optional<solver::ScopedWarmStartCache> warm;
   if (store != nullptr) {
     if (!basis_dir.empty()) {
       store->load(solver::BasisStore::file_in(basis_dir));  // false = cold
     }
-    topo_h = topo::structure_hash(net);
-    scen_h = scenario::set_hash(scenarios);
     warm.emplace();
     report.basis_seeded = store->seed(topo_h, scen_h, *warm);
   }
@@ -275,6 +353,51 @@ ControllerReport run_controller(const topo::Network& net,
   inputs.reserve(tms.size());
   for (const auto& tm : tms) {
     inputs.emplace_back(net, tm, scenarios, config.tunnels);
+  }
+
+  // Journal recovery + write-ahead in-flight marker. A journaled plan is
+  // adopted as the ladder's initial last-good solution only when it was
+  // written for this exact network structure and scenario set AND its shape
+  // matches this run's flow/tunnel layout — anything else is a cold start.
+  // The marker write happens before any solve: a crash from here on leaves
+  // in_flight set, which the next process (and the chaos drills) can see.
+  std::optional<StateJournal> journal;
+  std::optional<te::TeSolution> recovered;
+  if (!journal_dir.empty()) {
+    journal.emplace(StateJournal::file_in(journal_dir));
+    JournalState prior = journal->load();
+    report.journal_prior_in_flight = prior.in_flight;
+    if (prior.has_plan && prior.topo_hash == topo_h &&
+        prior.scenario_hash == scen_h) {
+      const auto& tunnels = inputs.front().tunnels();
+      bool shape_ok =
+          prior.plan.alloc.size() == tunnels.size() &&
+          prior.plan.admitted.size() == tunnels.size();
+      for (std::size_t f = 0; shape_ok && f < tunnels.size(); ++f) {
+        shape_ok = prior.plan.alloc[f].size() == tunnels[f].size();
+      }
+      if (shape_ok) {
+        te::TeSolution sol;
+        sol.scheme = "Journal(" + prior.plan.scheme + ")";
+        sol.optimal = true;  // was a real plan for this exact structure
+        sol.admitted = prior.plan.admitted;
+        sol.alloc = prior.plan.alloc;
+        recovered = std::move(sol);
+        report.journal_recovered = true;
+        obs::Registry::global()
+            .counter("arrow_journal_recoveries_total")
+            .add();
+      }
+    }
+    if (!report.journal_recovered) {
+      // Do not carry a plan we did not adopt: begin_run stamps OUR hashes
+      // into the journal, and a stale foreign plan under them would be
+      // trusted (wrongly) by the next recovery.
+      prior.has_plan = false;
+      prior.plan = JournalPlan{};
+    }
+    journal->reset(std::move(prior));
+    journal->begin_run(obs_cfg.run_id, topo_h, scen_h);
   }
   // Calibration gets its own two-rung ladder: the LP, the LP under relaxed
   // solver settings, then the closed-form ECMP bound (conservative but
@@ -319,6 +442,12 @@ ControllerReport run_controller(const topo::Network& net,
     // the pool concurrently and still reproduce bit-for-bit.
     constexpr int kRwaRetries = 5;
     const std::uint64_t repair_base = rng.next_u64();
+    // Backoff streams are per scenario (counter-seeded like the retry
+    // streams), drawn unconditionally for the same reason. Sleeps are real
+    // time on the worker running that scenario's repairs — concurrent
+    // repairs back off independently.
+    const std::uint64_t rwa_backoff_base = rng.next_u64();
+    std::atomic<int> rwa_backoff_retries{0};
     std::vector<int> failed;
     for (std::size_t q = 0; q < prepared.rwa.size(); ++q) {
       if (!prepared.rwa[q].optimal) failed.push_back(static_cast<int>(q));
@@ -328,7 +457,14 @@ ControllerReport run_controller(const topo::Network& net,
       const int q = failed[static_cast<std::size_t>(i)];
       auto* rwa = &prepared.rwa[static_cast<std::size_t>(q)];
       auto* tickets = &prepared.tickets[static_cast<std::size_t>(q)];
+      util::Backoff backoff(
+          config.retry_backoff,
+          util::Rng::stream_seed(rwa_backoff_base,
+                                 static_cast<std::uint64_t>(q)));
       for (int attempt = 0; attempt < kRwaRetries; ++attempt) {
+        if (attempt > 0 && backoff.sleep() > 0.0) {
+          rwa_backoff_retries.fetch_add(1, std::memory_order_relaxed);
+        }
         util::Rng retry_rng(util::Rng::stream_seed(
             repair_base,
             static_cast<std::uint64_t>(q) * kRwaRetries +
@@ -350,6 +486,7 @@ ControllerReport run_controller(const topo::Network& net,
     for (char r : repaired) {
       if (r) ++report.rwa_repairs; else ++report.rwa_scenarios_lost;
     }
+    report.backoff_retries += rwa_backoff_retries.load();
   }
   // Restorability flags are a function of (tunnels, tickets), both shared
   // across the matrices (demands differ, topology does not), so one cache
@@ -360,13 +497,53 @@ ControllerReport run_controller(const topo::Network& net,
   }
   std::vector<te::TeSolution> solutions;
   solutions.reserve(inputs.size());
+  // Ladder backoff streams, one per matrix (counter-seeded, drawn whether or
+  // not any rung retries — the rng trajectory downstream must not depend on
+  // how many retries happened).
+  const std::uint64_t te_backoff_base = rng.next_u64();
   int last_solved = -1;  // most recent matrix served by a real solve
-  for (auto& input : inputs) {
+  for (std::size_t m = 0; m < inputs.size(); ++m) {
+    auto& input = inputs[m];
+    // The journal-recovered plan seeds carry-forward until a real solve
+    // supersedes it: a restarted controller whose first solves fault serves
+    // the dead process's last-good plan, not cold ECMP.
     const te::TeSolution* last_good =
         last_solved >= 0 ? &solutions[static_cast<std::size_t>(last_solved)]
-                         : nullptr;
-    LadderOutcome out = solve_with_ladder(config, input, prepared, last_good,
-                                          rcache ? &*rcache : nullptr, pool);
+                         : (recovered ? &*recovered : nullptr);
+    if (!report.canceled && config.cancel && config.cancel()) {
+      report.canceled = true;
+    }
+    LadderOutcome out;
+    if (report.canceled) {
+      // Graceful drain: no further LP work, the closed-form rungs only.
+      if (last_good != nullptr) {
+        out.sol = carry_forward(*last_good, input);
+        out.rung = Rung::kCarryForward;
+      } else {
+        out.sol = te::solve_ecmp(input);
+        out.rung = Rung::kEcmp;
+      }
+    } else {
+      const util::Deadline period_deadline =
+          config.te_budget_s > 0.0 ? util::Deadline::after(config.te_budget_s)
+                                   : util::Deadline();
+      util::Backoff backoff(
+          config.retry_backoff,
+          util::Rng::stream_seed(te_backoff_base,
+                                 static_cast<std::uint64_t>(m)));
+      out = solve_with_ladder(config, input, prepared, last_good,
+                              rcache ? &*rcache : nullptr, pool,
+                              period_deadline, &backoff);
+    }
+    report.solver_timeouts += out.timeouts;
+    report.backoff_retries += out.backoff_retries;
+    if (journal && out.rung <= Rung::kFfcFallback) {
+      JournalPlan plan;
+      plan.scheme = out.sol.scheme;
+      plan.admitted = out.sol.admitted;
+      plan.alloc = out.sol.alloc;
+      journal->record_plan(plan);
+    }
     report.fallback_counts[static_cast<std::size_t>(out.rung)] += 1;
     report.rung_by_matrix.push_back(out.rung);
     report.solve_seconds_by_matrix.push_back(out.seconds);
@@ -639,10 +816,18 @@ ControllerReport run_controller(const topo::Network& net,
     report.warm_start_hits = warm->hits();
     report.warm_start_stores = warm->stores();
     report.basis_absorbed = store->absorb(topo_h, scen_h, *warm);
-    if (!basis_dir.empty()) {
-      store->save(solver::BasisStore::file_in(basis_dir));
+    if (!basis_dir.empty() &&
+        !store->save(solver::BasisStore::file_in(basis_dir))) {
+      // Failed save: the previous on-disk store (if any) is still intact;
+      // the next run just warm-starts from slightly older bases.
+      ++report.basis_save_errors;
     }
     report.basis_evictions = store->evictions();
+  }
+  if (journal) {
+    journal->end_run();  // clears the in-flight marker
+    report.journal_writes = journal->writes();
+    report.journal_write_errors = journal->write_errors();
   }
 
   // RunReport: copied from this report's own accounting (never re-derived
@@ -660,12 +845,20 @@ ControllerReport run_controller(const topo::Network& net,
     }
     rr.degraded_periods = report.degraded_periods;
     rr.deadline_overruns = report.deadline_overruns;
+    rr.solver_timeouts = report.solver_timeouts;
+    rr.backoff_retries = report.backoff_retries;
+    rr.canceled = report.canceled;
+    rr.journal_recovered = report.journal_recovered;
+    rr.journal_prior_in_flight = report.journal_prior_in_flight;
+    rr.journal_writes = report.journal_writes;
+    rr.journal_write_errors = report.journal_write_errors;
     rr.simplex_iterations = report.te_simplex_iterations;
     rr.warm_start_hits = report.warm_start_hits;
     rr.warm_start_stores = report.warm_start_stores;
     rr.basis_seeded = report.basis_seeded;
     rr.basis_absorbed = report.basis_absorbed;
     rr.basis_evictions = report.basis_evictions;
+    rr.basis_save_errors = report.basis_save_errors;
     rr.cuts_handled = report.cuts_handled;
     rr.cuts_with_plan = report.cuts_with_plan;
     rr.unplanned_cuts = report.unplanned_cuts;

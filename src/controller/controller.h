@@ -28,6 +28,7 @@
 #include "te/arrow.h"
 #include "te/input.h"
 #include "traffic/traffic.h"
+#include "util/deadline.h"
 
 namespace arrow::solver {
 class BasisStore;
@@ -85,8 +86,37 @@ struct ControllerConfig {
   // Wall-clock budget for one TE period's solves (ladder attempts
   // included). The production TE period is 5 minutes; a solve that outruns
   // it is recorded as a deadline overrun and its periods count as degraded.
-  // <= 0 disables the check.
+  // The budget is also *enforced*: each period's ladder runs under a
+  // util::Deadline for this many seconds, split across rungs (primary gets
+  // half the budget, the relaxed retry 30%, FFC the remainder), and a solve
+  // that hits its share returns LpStatus::kTimedOut and degrades to the
+  // next rung. Carry-forward and ECMP are closed-form, so the ladder always
+  // lands on some plan inside the budget. <= 0 disables the check.
   double te_budget_s = 300.0;
+
+  // Backoff between ladder retry rungs and RWA repair attempts: capped
+  // jittered exponential delays instead of immediate hammering (defaults
+  // are milliseconds — tuned for transient solver faults, not outages).
+  // Delay sequences are counter-seeded from the run's rng, so runs stay
+  // reproducible. Sleeps never extend past the period's deadline.
+  util::BackoffParams retry_backoff;
+
+  // Directory for the crash-consistency journal (see controller/journal.h).
+  // When non-empty — or when ARROW_JOURNAL_DIR is set, which this field
+  // overrides — the run write-ahead-logs an in-flight marker and the
+  // last-good plan after each real solve, and *recovers* from a journal left
+  // by a previous (possibly crashed) process: a valid journaled plan whose
+  // topology/scenario hashes match this run seeds the ladder's carry-forward
+  // rung, so the first faulted period degrades to the dead process's
+  // last-good plan instead of cold ECMP.
+  std::string journal_dir;
+
+  // Cooperative cancellation (SIGTERM in arrowctl): polled between matrix
+  // solves. Once it returns true, remaining matrices are served by the
+  // carry-forward/ECMP rungs (closed-form, no further LP work), the run
+  // completes its accounting, and the journal and RunReport are flushed —
+  // a graceful drain, not an abort.
+  std::function<bool()> cancel;
 
   // For a cut with no exact precomputed plan, transplant the plan of the
   // nearest precomputed scenario (most-overlapping failed-link set) instead
@@ -157,7 +187,16 @@ struct ControllerReport {
   // solve that blew the te_budget_s deadline.
   int degraded_periods = 0;
   int deadline_overruns = 0;       // TE solves exceeding te_budget_s
+  int solver_timeouts = 0;         // LP solves that returned kTimedOut
+  int backoff_retries = 0;         // backoff sleeps before retries
   bool calibration_degraded = false;  // calibration LP fell back to ECMP bound
+  bool canceled = false;           // config.cancel fired mid-run
+
+  // --- crash-consistency journal --------------------------------------------
+  bool journal_recovered = false;  // a prior journal's plan seeded the ladder
+  bool journal_prior_in_flight = false;  // that journal's writer died mid-run
+  int journal_writes = 0;
+  int journal_write_errors = 0;
 
   // --- restoration robustness ----------------------------------------------
   int rwa_repairs = 0;             // scenario RWA solves recovered by retry
@@ -179,6 +218,7 @@ struct ControllerReport {
   int basis_seeded = 0;
   int basis_absorbed = 0;
   long long basis_evictions = 0;
+  int basis_save_errors = 0;  // failed BasisStore::save (old file kept)
 
   // Machine-readable summary of this run (always populated; written to disk
   // only when ControllerConfig::obs resolves to enabled).

@@ -74,6 +74,17 @@ std::string RunReport::to_json() const {
   out += "},\n";
   out += "  \"degraded_periods\": " + std::to_string(degraded_periods) + ",\n";
   out += "  \"deadline_overruns\": " + std::to_string(deadline_overruns) + ",\n";
+  out += "  \"solver_timeouts\": " + std::to_string(solver_timeouts) + ",\n";
+  out += "  \"backoff_retries\": " + std::to_string(backoff_retries) + ",\n";
+  out += std::string("  \"canceled\": ") + (canceled ? "true" : "false") +
+         ",\n";
+  out += std::string("  \"journal_recovered\": ") +
+         (journal_recovered ? "true" : "false") + ",\n";
+  out += std::string("  \"journal_prior_in_flight\": ") +
+         (journal_prior_in_flight ? "true" : "false") + ",\n";
+  out += "  \"journal_writes\": " + std::to_string(journal_writes) + ",\n";
+  out += "  \"journal_write_errors\": " + std::to_string(journal_write_errors) +
+         ",\n";
   out += "  \"simplex_iterations\": " + std::to_string(simplex_iterations) +
          ",\n";
   out += "  \"warm_start_hits\": " + std::to_string(warm_start_hits) + ",\n";
@@ -82,6 +93,8 @@ std::string RunReport::to_json() const {
   out += "  \"basis_seeded\": " + std::to_string(basis_seeded) + ",\n";
   out += "  \"basis_absorbed\": " + std::to_string(basis_absorbed) + ",\n";
   out += "  \"basis_evictions\": " + std::to_string(basis_evictions) + ",\n";
+  out += "  \"basis_save_errors\": " + std::to_string(basis_save_errors) +
+         ",\n";
   out += "  \"cuts_handled\": " + std::to_string(cuts_handled) + ",\n";
   out += "  \"cuts_with_plan\": " + std::to_string(cuts_with_plan) + ",\n";
   out += "  \"unplanned_cuts\": " + std::to_string(unplanned_cuts) + ",\n";
@@ -125,6 +138,18 @@ bool RunReport::from_json(const std::string& text, RunReport* out) {
   }
   r.degraded_periods = static_cast<int>(root.num("degraded_periods"));
   r.deadline_overruns = static_cast<int>(root.num("deadline_overruns"));
+  r.solver_timeouts = static_cast<int>(root.num("solver_timeouts"));
+  r.backoff_retries = static_cast<int>(root.num("backoff_retries"));
+  if (const JsonValue* v = root.find("canceled")) r.canceled = v->boolean;
+  if (const JsonValue* v = root.find("journal_recovered")) {
+    r.journal_recovered = v->boolean;
+  }
+  if (const JsonValue* v = root.find("journal_prior_in_flight")) {
+    r.journal_prior_in_flight = v->boolean;
+  }
+  r.journal_writes = static_cast<int>(root.num("journal_writes"));
+  r.journal_write_errors =
+      static_cast<int>(root.num("journal_write_errors"));
   r.simplex_iterations =
       static_cast<long long>(root.num("simplex_iterations"));
   r.warm_start_hits = static_cast<int>(root.num("warm_start_hits"));
@@ -132,6 +157,7 @@ bool RunReport::from_json(const std::string& text, RunReport* out) {
   r.basis_seeded = static_cast<int>(root.num("basis_seeded"));
   r.basis_absorbed = static_cast<int>(root.num("basis_absorbed"));
   r.basis_evictions = static_cast<long long>(root.num("basis_evictions"));
+  r.basis_save_errors = static_cast<int>(root.num("basis_save_errors"));
   r.cuts_handled = static_cast<int>(root.num("cuts_handled"));
   r.cuts_with_plan = static_cast<int>(root.num("cuts_with_plan"));
   r.unplanned_cuts = static_cast<int>(root.num("unplanned_cuts"));

@@ -4,7 +4,7 @@
 // RunReport is the machine-readable summary of one controller run —
 // scenario counts, the rung that served each ladder outcome, the solver's
 // returned pivot/warm-start totals, BasisStore traffic, restoration latency
-// percentiles — serialized as versioned JSON (`"version": 1`) so downstream
+// percentiles — serialized as versioned JSON (`"version": 2`) so downstream
 // tooling can evolve with the format. The numbers are copied from the
 // controller's own accounting (which in turn records what the solver
 // returned), never re-derived from global metrics, so a report's counts
@@ -50,7 +50,9 @@ struct ObsConfig {
 };
 
 struct RunReport {
-  static constexpr int kVersion = 1;
+  // v2: adds solver timeout / backoff / cancellation counts and the
+  // crash-consistency journal + basis-store save-error fields.
+  static constexpr int kVersion = 2;
 
   std::string run_id;
   std::string scheme;
@@ -65,6 +67,18 @@ struct RunReport {
   std::vector<std::pair<std::string, int>> ladder;
   int degraded_periods = 0;
   int deadline_overruns = 0;
+  // LP solves that returned kTimedOut under the period budget, backoff
+  // sleeps taken before retries, and whether the run was canceled (graceful
+  // drain) — all from the controller's own accounting.
+  int solver_timeouts = 0;
+  int backoff_retries = 0;
+  bool canceled = false;
+
+  // Crash-consistency journal traffic (zero / false when no journal_dir).
+  bool journal_recovered = false;
+  bool journal_prior_in_flight = false;  // predecessor died mid-run
+  int journal_writes = 0;
+  int journal_write_errors = 0;
 
   // Solver stats, summed from the SolveResults the TE layer returned
   // (every ladder attempt counts, not just the winning rung's).
@@ -75,6 +89,7 @@ struct RunReport {
   int basis_seeded = 0;
   int basis_absorbed = 0;
   long long basis_evictions = 0;
+  int basis_save_errors = 0;
 
   // Restoration outcomes.
   int cuts_handled = 0;

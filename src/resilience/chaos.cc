@@ -1,0 +1,53 @@
+#include "resilience/chaos.h"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "util/clock.h"
+
+namespace arrow::resilience {
+
+int spawn_self(const std::string& argv0,
+               const std::vector<std::pair<std::string, std::string>>& env) {
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    for (const auto& [key, value] : env) {
+      ::setenv(key.c_str(), value.c_str(), /*overwrite=*/1);
+    }
+    char* const argv[] = {const_cast<char*>(argv0.c_str()), nullptr};
+    ::execv(argv0.c_str(), argv);
+    // exec failed (argv0 not an absolute/relative path?): try via /proc.
+    ::execv("/proc/self/exe", argv);
+    ::_exit(127);
+  }
+  return static_cast<int>(pid);
+}
+
+bool kill_child(int pid, double delay_s, int signo) {
+  if (pid <= 0) return false;
+  if (delay_s > 0.0) util::sleep_s(delay_s);
+  return ::kill(static_cast<pid_t>(pid), signo) == 0;
+}
+
+ChildExit wait_child(int pid) {
+  ChildExit out;
+  int status = 0;
+  if (::waitpid(static_cast<pid_t>(pid), &status, 0) < 0) {
+    out.code = -1;
+    return out;
+  }
+  if (WIFSIGNALED(status)) {
+    out.signaled = true;
+    out.code = WTERMSIG(status);
+  } else if (WIFEXITED(status)) {
+    out.code = WEXITSTATUS(status);
+  }
+  return out;
+}
+
+}  // namespace arrow::resilience

@@ -1,0 +1,40 @@
+// Process-level chaos drill helpers: self-exec children and signals.
+//
+// The crash drills (tests/journal_test.cc, examples/fault_drill.cpp) need a
+// victim process they can kill -9 mid-write and then autopsy. The pattern —
+// lifted from bench_basis_store — is self-exec: the test binary re-launches
+// ITSELF with a marker environment variable; its main() sees the marker and
+// runs the child role (e.g. "journal plans in a tight loop forever") instead
+// of the test suite. These helpers wrap the fork/exec/kill/waitpid plumbing
+// so a drill reads as: spawn_self, let it run, kill_child(SIGKILL), assert
+// the survivor's recovery invariant.
+//
+// POSIX-only (fork/execv); fine for this repo's Linux CI.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace arrow::resilience {
+
+// Re-executes the current binary (`argv0`, as received by main) with extra
+// environment variables set on top of the inherited environment. Returns
+// the child pid, or -1 on failure.
+int spawn_self(const std::string& argv0,
+               const std::vector<std::pair<std::string, std::string>>& env);
+
+// Sends `signo` (default SIGKILL — the crash the journal must survive) to
+// the child after `delay_s` of real time. Returns true if the signal was
+// delivered.
+bool kill_child(int pid, double delay_s = 0.0, int signo = 9);
+
+struct ChildExit {
+  bool signaled = false;  // terminated by a signal (true for a kill -9 drill)
+  int code = 0;           // exit code, or the signal number when signaled
+};
+
+// Blocks until the child exits; reaps it.
+ChildExit wait_child(int pid);
+
+}  // namespace arrow::resilience

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/clock.h"
+
 namespace arrow::resilience {
 
 const char* to_string(LpFault f) {
@@ -29,13 +31,14 @@ solver::LpStatus to_status(LpFault f) {
 }  // namespace
 
 FaultInjector::FaultInjector(const FaultConfig& config)
-    : config_(config), lp_rng_(0), plan_rng_(0), tm_rng_(0) {
+    : config_(config), lp_rng_(0), plan_rng_(0), tm_rng_(0), delay_rng_(0) {
   // One root stream per fault family, forked off the seed in a fixed order
   // so enabling one family never perturbs another's decisions.
   util::Rng root(config.seed);
   lp_rng_ = root.fork();
   plan_rng_ = root.fork();
   tm_rng_ = root.fork();
+  delay_rng_ = root.fork();
 }
 
 LpFault FaultInjector::next_lp_fault() {
@@ -50,6 +53,20 @@ void FaultInjector::observe(const solver::Lp& lp,
                             solver::LpSolution& solution) {
   (void)lp;
   ++counts_.solves_observed;
+  if (config_.solve_delay_rate > 0.0 &&
+      delay_rng_.bernoulli(config_.solve_delay_rate)) {
+    // Stall after the real solve: from the caller's side this is a solve
+    // that took solve_delay_s longer, so rung deadlines see genuine
+    // wall-clock pressure. Under a fake clock, advance virtual time instead
+    // of sleeping — the stall then costs zero real time but still expires
+    // deadlines, which is what the bench and chaos drills rely on.
+    if (auto* fake = util::ScopedFakeClock::active()) {
+      fake->advance(config_.solve_delay_s);
+    } else {
+      util::sleep_s(config_.solve_delay_s);
+    }
+    ++counts_.solves_delayed;
+  }
   const LpFault f = next_lp_fault();
   counts_.by_fault[static_cast<std::size_t>(f)] += 1;
   if (f == LpFault::kNone) return;

@@ -56,6 +56,14 @@ struct FaultConfig {
   // (sigma of the underlying normal; 0 = off). Mean-one, so the expected
   // load is unchanged.
   double tm_jitter_sigma = 0.0;
+
+  // Slow-solve injection: probability that a solve_lp() call stalls for
+  // solve_delay_s of wall-clock time before its result is delivered (the
+  // observer sleeps after the real solve). Pairs with the deadline plumbing:
+  // a delayed solve burns the ladder rung's budget exactly like a genuinely
+  // slow LP, without depending on problem size.
+  double solve_delay_rate = 0.0;
+  double solve_delay_s = 0.0;
 };
 
 struct FaultCounts {
@@ -64,6 +72,7 @@ struct FaultCounts {
   std::array<int, kNumLpFaults> by_fault{};  // index with int(LpFault)
   int plans_dropped = 0;
   int plans_delayed = 0;
+  int solves_delayed = 0;               // slow-solve stalls injected
 };
 
 class FaultInjector {
@@ -94,6 +103,9 @@ class FaultInjector {
   util::Rng lp_rng_;
   util::Rng plan_rng_;
   util::Rng tm_rng_;
+  // Forked LAST so configs that never use slow solves keep the exact
+  // lp/plan/tm streams they had before this family existed.
+  util::Rng delay_rng_;
 };
 
 // RAII guard: while alive, every solve_lp() on this thread reports to

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/fs.h"
 #include "util/hash.h"
 
 namespace arrow::solver {
@@ -153,6 +154,7 @@ int BasisStore::absorb(std::uint64_t topo_hash, std::uint64_t scenario_hash,
 
 bool BasisStore::save(const std::string& path) const {
   std::string buf;
+  long long pruned = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     // LRU cap: when the store outgrows max_disk_entries_, only the most
@@ -166,17 +168,15 @@ bool BasisStore::save(const std::string& path) const {
       std::sort(keep.begin(), keep.end(), [](const auto* a, const auto* b) {
         return a->second.last_use > b->second.last_use;
       });
-      const long long pruned =
-          static_cast<long long>(keep.size() - max_disk_entries_);
+      pruned = static_cast<long long>(keep.size() - max_disk_entries_);
       keep.resize(max_disk_entries_);
       // Deterministic file layout: back to key order after the recency cut.
       std::sort(keep.begin(), keep.end(), [](const auto* a, const auto* b) {
         return a->first < b->first;
       });
-      evictions_ += pruned;
-      static obs::Counter& evicted = obs::Registry::global().counter(
-          "arrow_basis_store_evictions_total");
-      evicted.add(static_cast<std::uint64_t>(pruned));
+      // Eviction accounting is deferred until the write actually lands: a
+      // failed save evicts nothing (the old file, with the old entry set, is
+      // still the truth on disk).
     }
     buf.append(kMagic, sizeof(kMagic));
     put_u32(buf, kVersion);
@@ -196,25 +196,23 @@ bool BasisStore::save(const std::string& path) const {
   }
   put_u64(buf, util::Fnv1a().bytes(buf.data(), buf.size()).value());
 
-  // Write-to-temp + rename: readers only ever see the old file or the
-  // complete new one. The pid suffix keeps concurrent writers (two
-  // controller processes sharing ARROW_BASIS_DIR) off each other's temp
-  // files; rename picks an arbitrary winner, which is fine — either file is
-  // a complete, valid store.
-  const std::string tmp = path + ".tmp." + std::to_string(getpid());
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-    if (!out) {
-      out.close();
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
+  // Write-to-temp + rename (util::write_file_atomic): readers only ever see
+  // the old file or the complete new one. The pid suffix keeps concurrent
+  // writers (two controller processes sharing ARROW_BASIS_DIR) off each
+  // other's temp files; rename picks an arbitrary winner, which is fine —
+  // either file is a complete, valid store.
+  if (!util::write_file_atomic(path, buf)) {
+    static obs::Counter& save_errors = obs::Registry::global().counter(
+        "arrow_basis_store_save_errors_total");
+    save_errors.add();
     return false;
+  }
+  if (pruned > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    evictions_ += pruned;
+    static obs::Counter& evicted = obs::Registry::global().counter(
+        "arrow_basis_store_evictions_total");
+    evicted.add(static_cast<std::uint64_t>(pruned));
   }
   return true;
 }

@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/deadline.h"
+
 namespace arrow::solver {
 
 inline constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -49,6 +51,11 @@ enum class LpStatus {
   kUnbounded,
   kIterationLimit,
   kNumericalError,
+  // The solve's deadline expired mid-pivot. NOT a failure mode like the two
+  // above: the solution still carries the best basis reached (and the primal
+  // point extracted from it), so the caller can warm-start a retry or hand
+  // the partial result to a degradation ladder.
+  kTimedOut,
 };
 
 const char* to_string(LpStatus s);
@@ -67,6 +74,10 @@ struct SimplexOptions {
   int bland_threshold = 100;    // degenerate steps before Bland's rule
   int max_iterations = 0;       // 0 = automatic (scales with problem size)
   Pricing pricing = Pricing::kDevex;
+  // Wall-clock bound on this solve (util::mono_now_s timeline; unset = none).
+  // Combined with any ambient ScopedSolveDeadline: the earlier expiry wins.
+  util::Deadline deadline;
+  int deadline_check_interval = 64;  // pivots between deadline checks
 };
 
 // Snapshot of a simplex basis: one status per computational-form column
@@ -201,6 +212,33 @@ class ScopedWarmStartCache {
   int hits_ = 0;
   int stores_ = 0;
   ScopedWarmStartCache* previous_;
+};
+
+// Imposes a wall-clock deadline on every solve_lp() in scope on this thread
+// (same scoped thread-local discipline as the hooks above), and counts the
+// timeouts that occur under it. Unlike the other hooks, nesting does not
+// shadow: the EFFECTIVE deadline is the earliest across the whole chain plus
+// the caller's SimplexOptions::deadline, so an outer "whole run" budget can
+// never be loosened by an inner rung guard. A timeout is counted on every
+// guard in the chain, letting both the rung and the run observe it.
+class ScopedSolveDeadline {
+ public:
+  explicit ScopedSolveDeadline(const util::Deadline& deadline);
+  ~ScopedSolveDeadline();
+  ScopedSolveDeadline(const ScopedSolveDeadline&) = delete;
+  ScopedSolveDeadline& operator=(const ScopedSolveDeadline&) = delete;
+
+  // Min expiry over the active chain (unset Deadline when no guard is live).
+  static util::Deadline active_deadline();
+  // Called by solve_lp when a solve finishes kTimedOut: bumps every guard.
+  static void note_timeout();
+
+  int timeouts() const { return timeouts_; }
+
+ private:
+  util::Deadline deadline_;
+  int timeouts_ = 0;
+  ScopedSolveDeadline* previous_;
 };
 
 // Verification helper (used heavily in tests): returns the maximum violation

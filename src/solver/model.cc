@@ -24,6 +24,7 @@ const char* to_string(SolveStatus s) {
     case SolveStatus::kIterationLimit: return "iteration-limit";
     case SolveStatus::kNodeLimit: return "node-limit";
     case SolveStatus::kNumericalError: return "numerical-error";
+    case SolveStatus::kTimedOut: return "timed-out";
   }
   return "unknown";
 }
@@ -207,6 +208,7 @@ SolveResult Model::solve(const Basis* warm_start) {
     case LpStatus::kNumericalError:
       res.status = SolveStatus::kNumericalError;
       break;
+    case LpStatus::kTimedOut: res.status = SolveStatus::kTimedOut; break;
   }
   solution_.assign(vars_.size(), 0.0);
   duals_.assign(rows_.size(), 0.0);
@@ -252,8 +254,18 @@ SolveResult Model::solve_mip() {
   res.status = SolveStatus::kInfeasible;
   bool root_unbounded = false;
   bool hit_node_limit = false;
+  bool timed_out = false;
+
+  // Resolved once: branch-and-bound checks the budget between nodes, and
+  // each node's LP additionally honors it via SimplexOptions::deadline.
+  const util::Deadline mip_deadline = util::Deadline::earlier(
+      simplex_options_.deadline, ScopedSolveDeadline::active_deadline());
 
   while (!open.empty()) {
+    if (mip_deadline.expired()) {
+      timed_out = true;
+      break;
+    }
     if (res.bb_nodes >= node_limit_) {
       hit_node_limit = true;
       break;
@@ -270,6 +282,12 @@ SolveResult Model::solve_mip() {
     if (sol.status == LpStatus::kInfeasible) continue;
     if (sol.status == LpStatus::kUnbounded) {
       if (res.bb_nodes == 1) root_unbounded = true;
+      break;
+    }
+    if (sol.status == LpStatus::kTimedOut) {
+      // The node LP ran out of budget; the next loop pass will see the
+      // expired deadline too, so stop now and report with the incumbent.
+      timed_out = true;
       break;
     }
     if (sol.status != LpStatus::kOptimal) continue;  // give up on this node
@@ -329,15 +347,19 @@ SolveResult Model::solve_mip() {
   if (root_unbounded) {
     res.status = SolveStatus::kUnbounded;
   } else if (!incumbent_x.empty()) {
-    // With a node-limit stop the incumbent is only a feasible bound; report
-    // node-limit so callers cannot mistake it for a proven optimum.
-    res.status = hit_node_limit ? SolveStatus::kNodeLimit
-                                : SolveStatus::kOptimal;
+    // With a node-limit or deadline stop the incumbent is only a feasible
+    // bound; report that status so callers cannot mistake it for a proven
+    // optimum (the incumbent is still returned as the solution).
+    res.status = timed_out     ? SolveStatus::kTimedOut
+                 : hit_node_limit ? SolveStatus::kNodeLimit
+                                  : SolveStatus::kOptimal;
     solution_ = incumbent_x;
     res.objective = 0.0;
     for (std::size_t j = 0; j < vars_.size(); ++j) {
       res.objective += vars_[j].obj * solution_[j];
     }
+  } else if (timed_out) {
+    res.status = SolveStatus::kTimedOut;
   } else if (hit_node_limit) {
     res.status = SolveStatus::kNodeLimit;
   }

@@ -25,6 +25,11 @@ enum class SolveStatus {
   kIterationLimit,
   kNodeLimit,
   kNumericalError,
+  // The solve's deadline (SimplexOptions::deadline or an ambient
+  // ScopedSolveDeadline) expired. LP path: the result still carries the best
+  // basis reached, for warm-starting a retry. MIP path: the incumbent found
+  // so far (if any) is reported as the solution, like kNodeLimit.
+  kTimedOut,
 };
 
 const char* to_string(SolveStatus s);

@@ -32,6 +32,7 @@ const char* to_string(LpStatus s) {
     case LpStatus::kUnbounded: return "unbounded";
     case LpStatus::kIterationLimit: return "iteration-limit";
     case LpStatus::kNumericalError: return "numerical-error";
+    case LpStatus::kTimedOut: return "timed-out";
   }
   return "unknown";
 }
@@ -279,8 +280,18 @@ class Simplex {
     int stall_refactors = 0;
     const bool devex = opt_.pricing == Pricing::kDevex;
     devex_w_.assign(static_cast<std::size_t>(n_), 1.0);
+    // Deadline checks happen at the loop head, every deadline_check_interval
+    // passes (plus once on entry). The clock is only read when a deadline is
+    // actually set, so unbudgeted solves never touch the clock seam and stay
+    // bit-identical with or without a fake clock installed.
+    int passes_since_deadline_check = opt_.deadline_check_interval;
 
     while (true) {
+      if (opt_.deadline.is_set() &&
+          ++passes_since_deadline_check >= opt_.deadline_check_interval) {
+        passes_since_deadline_check = 0;
+        if (opt_.deadline.expired()) return LpStatus::kTimedOut;
+      }
       if (iterations_ >= max_iter_) return LpStatus::kIterationLimit;
       if (inv_.updates_since_factorize() >= opt_.refactor_interval ||
           (inv_.updates_since_factorize() > 0 &&
@@ -578,6 +589,9 @@ class Simplex {
       }
       sol.basis.status[static_cast<std::size_t>(j)] = bs;
     }
+    // kTimedOut (and kIterationLimit) deliberately fall through to full
+    // extraction: the point reached so far is the "best basis" a retry can
+    // warm-start from, even if it is not yet feasible or optimal.
     if (st == LpStatus::kInfeasible || st == LpStatus::kNumericalError) {
       return sol;
     }
@@ -636,6 +650,7 @@ class Simplex {
 thread_local const SimplexOptions* active_simplex_override = nullptr;
 thread_local SolveObserver* active_solve_observer = nullptr;
 thread_local ScopedWarmStartCache* active_warm_cache = nullptr;
+thread_local ScopedSolveDeadline* active_solve_deadline = nullptr;
 
 }  // namespace
 
@@ -675,6 +690,31 @@ ScopedWarmStartCache* ScopedWarmStartCache::active() {
   return active_warm_cache;
 }
 
+ScopedSolveDeadline::ScopedSolveDeadline(const util::Deadline& deadline)
+    : deadline_(deadline), previous_(active_solve_deadline) {
+  active_solve_deadline = this;
+}
+
+ScopedSolveDeadline::~ScopedSolveDeadline() {
+  active_solve_deadline = previous_;
+}
+
+util::Deadline ScopedSolveDeadline::active_deadline() {
+  util::Deadline d;
+  for (ScopedSolveDeadline* g = active_solve_deadline; g != nullptr;
+       g = g->previous_) {
+    d = util::Deadline::earlier(d, g->deadline_);
+  }
+  return d;
+}
+
+void ScopedSolveDeadline::note_timeout() {
+  for (ScopedSolveDeadline* g = active_solve_deadline; g != nullptr;
+       g = g->previous_) {
+    ++g->timeouts_;
+  }
+}
+
 const Basis* ScopedWarmStartCache::find(int rows, int cols) {
   const auto it = entries_.find({rows, cols});
   if (it == entries_.end()) return nullptr;
@@ -698,7 +738,12 @@ LpSolution solve_lp(const Lp& lp, const SimplexOptions& options,
   ARROW_CHECK(lp.a.cols == static_cast<int>(lp.upper.size()), "upper size");
   ARROW_CHECK(lp.a.rows == static_cast<int>(lp.rhs.size()), "rhs size");
   const SimplexOptions* override = ScopedSimplexOverride::active();
-  const SimplexOptions& opt = override ? *override : options;
+  SimplexOptions opt = override ? *override : options;
+  // The binding deadline is the earliest of the caller's and every ambient
+  // guard's — an override (which replaces the caller's options wholesale)
+  // can therefore never loosen a budget imposed by an enclosing scope.
+  opt.deadline = util::Deadline::earlier(opt.deadline,
+                                         ScopedSolveDeadline::active_deadline());
   ScopedWarmStartCache* cache = ScopedWarmStartCache::active();
   const Basis* warm = warm_start;
   if (warm == nullptr && cache != nullptr) {
@@ -721,9 +766,20 @@ LpSolution solve_lp(const Lp& lp, const SimplexOptions& options,
     sol.iterations += warm_iterations;
     sol.refactorizations += warm_refactorizations;
   }
-  if (cache != nullptr && sol.status == LpStatus::kOptimal &&
+  if (cache != nullptr &&
+      (sol.status == LpStatus::kOptimal ||
+       sol.status == LpStatus::kTimedOut) &&
       !sol.basis.empty()) {
+    // A timed-out basis is the furthest vertex the budget bought; storing it
+    // lets the retry (or the next period's solve) resume from there instead
+    // of repeating the pivots already paid for.
     cache->store(lp.a.rows, lp.a.cols, sol.basis);
+  }
+  if (sol.status == LpStatus::kTimedOut) {
+    static obs::Counter& timeouts =
+        obs::Registry::global().counter("arrow_solver_timeouts_total");
+    timeouts.add();
+    ScopedSolveDeadline::note_timeout();
   }
   // Metrics record what the solver *returned* — reads only, after the
   // result is final, so instrumented and uninstrumented runs pivot

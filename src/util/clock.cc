@@ -1,0 +1,71 @@
+#include "util/clock.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace arrow::util {
+
+namespace {
+// The installed fake clock. An atomic pointer (not thread_local): a chaos
+// drill that jumps time must be visible to deadline checks on pool workers,
+// not just the thread that installed the override.
+std::atomic<ScopedFakeClock*> g_fake_clock{nullptr};
+}  // namespace
+
+double mono_now_s() {
+  if (ScopedFakeClock* fake = g_fake_clock.load(std::memory_order_acquire)) {
+    return fake->read();
+  }
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void sleep_s(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+ScopedFakeClock::ScopedFakeClock(double start_s)
+    : now_s_(start_s),
+      previous_(g_fake_clock.load(std::memory_order_acquire)) {
+  g_fake_clock.store(this, std::memory_order_release);
+}
+
+ScopedFakeClock::~ScopedFakeClock() {
+  g_fake_clock.store(previous_, std::memory_order_release);
+}
+
+void ScopedFakeClock::set(double t_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_s_ = t_s;
+}
+
+void ScopedFakeClock::advance(double dt_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_s_ += dt_s;
+}
+
+void ScopedFakeClock::set_auto_advance(double dt_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto_advance_s_ = dt_s;
+}
+
+double ScopedFakeClock::now_s() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_s_;
+}
+
+double ScopedFakeClock::read() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double t = now_s_;
+  now_s_ += auto_advance_s_;
+  return t;
+}
+
+ScopedFakeClock* ScopedFakeClock::active() {
+  return g_fake_clock.load(std::memory_order_acquire);
+}
+
+}  // namespace arrow::util

@@ -1,0 +1,56 @@
+// Monotonic time for deadline math, with an injectable fake clock.
+//
+// Every deadline-related clock read in the repository goes through
+// mono_now_s() — a single seam, so chaos drills and determinism tests can
+// freeze time, jump it forward, or charge a fixed virtual cost per read
+// (which turns "the simplex checks its deadline every N pivots" into a
+// deterministic pivot-count budget instead of a wall-clock race).
+//
+// The observability wall clocks (phase timings, span durations) deliberately
+// do NOT use this seam: they measure what really happened, fake clock or not.
+#pragma once
+
+#include <mutex>
+
+namespace arrow::util {
+
+// Seconds on a monotonic clock. Reads the active ScopedFakeClock when one is
+// installed, std::chrono::steady_clock otherwise.
+double mono_now_s();
+
+// Blocks the calling thread for `seconds` of *real* time (never the fake
+// clock: a backoff sleep under a frozen clock must still return).
+void sleep_s(double seconds);
+
+// Process-global fake clock. While alive, mono_now_s() on EVERY thread
+// returns this clock's time — a drill that jumps the clock mid-run affects
+// deadline checks wherever they happen. Nesting restores the previous clock
+// on destruction. All methods are thread-safe.
+class ScopedFakeClock {
+ public:
+  explicit ScopedFakeClock(double start_s = 0.0);
+  ~ScopedFakeClock();
+  ScopedFakeClock(const ScopedFakeClock&) = delete;
+  ScopedFakeClock& operator=(const ScopedFakeClock&) = delete;
+
+  void set(double t_s);
+  void advance(double dt_s);
+  // Each mono_now_s() read returns the current time, then advances it by
+  // dt_s — a deterministic "every clock check costs this much" model.
+  void set_auto_advance(double dt_s);
+  double now_s() const;
+
+  // The clock mono_now_s() consults (nullptr when real time is in effect).
+  static ScopedFakeClock* active();
+
+ private:
+  friend double mono_now_s();
+  double read();  // now, applying auto-advance
+
+  mutable std::mutex mu_;
+  double now_s_ = 0.0;
+  double auto_advance_s_ = 0.0;
+  ScopedFakeClock* previous_;
+};
+
+}  // namespace arrow::util

@@ -1,0 +1,100 @@
+// Deadline tokens and retry backoff for latency-budgeted control loops.
+//
+// A Deadline is a value: an absolute expiry on the util::clock.h monotonic
+// timeline (so fake clocks and clock-jump drills apply). Default-constructed
+// deadlines are unset and never expire; combining with earlier() lets a
+// caller impose "the rung's share of the budget, but never past the
+// period's overall deadline".
+//
+// Backoff produces capped, jittered, exponentially growing retry delays.
+// It is seeded: given the same seed it emits the same delay sequence, so a
+// controller run that retries under faults stays bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace arrow::util {
+
+class Deadline {
+ public:
+  // Unset: never expires, remaining() is +infinity.
+  Deadline() = default;
+
+  // Expires `seconds` from now (<= 0 means already expired).
+  static Deadline after(double seconds) { return at(mono_now_s() + seconds); }
+  // Expires at the absolute clock reading `t_s`.
+  static Deadline at(double t_s) {
+    Deadline d;
+    d.expiry_s_ = t_s;
+    return d;
+  }
+
+  bool is_set() const {
+    return expiry_s_ != std::numeric_limits<double>::infinity();
+  }
+  double expiry_s() const { return expiry_s_; }
+  bool expired() const { return is_set() && mono_now_s() >= expiry_s_; }
+  // Seconds until expiry (may be negative once past it; +inf when unset).
+  double remaining_s() const {
+    return is_set() ? expiry_s_ - mono_now_s()
+                    : std::numeric_limits<double>::infinity();
+  }
+
+  static Deadline earlier(const Deadline& a, const Deadline& b) {
+    return a.expiry_s_ <= b.expiry_s_ ? a : b;
+  }
+
+ private:
+  double expiry_s_ = std::numeric_limits<double>::infinity();
+};
+
+struct BackoffParams {
+  double base_s = 0.002;   // first retry delay; <= 0 disables sleeping
+  double max_s = 0.050;    // cap on any single delay
+  double multiplier = 2.0; // growth factor per retry
+  double jitter = 0.5;     // each delay is scaled by uniform[1-jitter, 1]
+};
+
+class Backoff {
+ public:
+  Backoff(const BackoffParams& params, std::uint64_t seed)
+      : params_(params), rng_(seed), next_s_(params.base_s) {}
+
+  // The next delay: current * jitter, then the schedule advances current =
+  // min(current * multiplier, max). Deterministic per (params, seed).
+  double next_s() {
+    ++attempts_;
+    const double d = next_s_;
+    next_s_ = d * params_.multiplier < params_.max_s ? d * params_.multiplier
+                                                     : params_.max_s;
+    const double scale = 1.0 - params_.jitter * rng_.uniform();
+    return d > 0.0 ? d * scale : 0.0;
+  }
+
+  // Sleeps for min(next_s(), deadline.remaining_s()) of real time. Returns
+  // the seconds slept (0 when the deadline has already passed). The jitter
+  // draw happens whether or not any sleeping does, so the delay sequence is
+  // a pure function of the retry count.
+  double sleep(const Deadline& deadline = {}) {
+    double d = next_s();
+    const double remaining = deadline.remaining_s();
+    if (remaining <= 0.0) return 0.0;
+    if (d > remaining) d = remaining;
+    sleep_s(d);
+    return d;
+  }
+
+  int attempts() const { return attempts_; }
+
+ private:
+  BackoffParams params_;
+  Rng rng_;
+  double next_s_ = 0.0;
+  int attempts_ = 0;
+};
+
+}  // namespace arrow::util

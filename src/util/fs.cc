@@ -1,0 +1,91 @@
+#include "util/fs.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#define ARROW_GETPID _getpid
+#else
+#include <unistd.h>
+#define ARROW_GETPID getpid
+#endif
+
+namespace arrow::util {
+
+namespace {
+thread_local const FsFaults* t_fs_faults = nullptr;
+
+// Writes the (possibly capped) buffer to `tmp`; true only if every byte the
+// caller asked for made it out and flushed.
+bool write_bytes(const std::string& tmp, const char* data, std::size_t size,
+                 std::size_t cap) {
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const std::size_t n = cap < size ? cap : size;
+  out.write(data, static_cast<std::streamsize>(n));
+  out.flush();
+  return out.good() && n == size;
+}
+}  // namespace
+
+ScopedFsFaults::ScopedFsFaults(const FsFaults& faults)
+    : faults_(faults), previous_(t_fs_faults) {
+  t_fs_faults = &faults_;
+}
+
+ScopedFsFaults::~ScopedFsFaults() { t_fs_faults = previous_; }
+
+const FsFaults* ScopedFsFaults::active() { return t_fs_faults; }
+
+bool write_file_atomic(const std::string& path, const void* data,
+                       std::size_t size) {
+  const FsFaults* faults = t_fs_faults;
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(ARROW_GETPID()));
+
+  if (faults != nullptr && faults->fail_open) return false;
+
+  std::size_t cap = size;
+  if (faults != nullptr && faults->write_cap_bytes >= 0 &&
+      static_cast<std::size_t>(faults->write_cap_bytes) < size) {
+    cap = static_cast<std::size_t>(faults->write_cap_bytes);
+  }
+
+  const bool wrote =
+      write_bytes(tmp, static_cast<const char*>(data), size, cap);
+
+  if (faults != nullptr && faults->torn_write) {
+    // Crash simulation: whatever landed in the temp file (typically capped)
+    // is promoted under the real name, and the write still reports failure —
+    // the reader's checksum is the only defense.
+    std::rename(tmp.c_str(), path.c_str());
+    return false;
+  }
+
+  if (!wrote) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (faults != nullptr && faults->fail_rename) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return buf.str();
+}
+
+}  // namespace arrow::util

@@ -1,0 +1,63 @@
+// Crash-consistent file writes with injectable fault hooks.
+//
+// write_file_atomic() is the single write discipline for every persistent
+// artifact that must survive a crash (solver::BasisStore, ctrl::StateJournal):
+// the bytes go to a pid-suffixed temp file in the target directory and land
+// under the real name via rename(2), so a reader only ever sees the old file
+// or the complete new one — never a torn intermediate.
+//
+// ScopedFsFaults is the chaos seam: while one is in scope on a thread, its
+// fault flags apply to that thread's write_file_atomic() calls. Drills use it
+// to simulate a failed open, ENOSPC / short writes, a failed rename, and the
+// nastiest case — a torn write that lands under the real name (a filesystem
+// that reordered data and metadata around a crash). Callers must treat a
+// false return as "the old file is still the truth"; loaders must detect the
+// torn case by checksum.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace arrow::util {
+
+struct FsFaults {
+  bool fail_open = false;       // temp file cannot be created
+  // >= 0: only this many bytes reach the temp file before the write fails
+  // (ENOSPC / short write). The temp file is removed; the target untouched.
+  long long write_cap_bytes = -1;
+  bool fail_rename = false;     // temp written fully, rename fails
+  // Torn write: write_cap_bytes bytes (the whole buffer when < 0 — then this
+  // flag alone is a no-op) land under the REAL name via rename, and the call
+  // still reports failure. Simulates a crash that left a truncated file.
+  bool torn_write = false;
+};
+
+// Thread-local scoped fault injection for write_file_atomic.
+class ScopedFsFaults {
+ public:
+  explicit ScopedFsFaults(const FsFaults& faults);
+  ~ScopedFsFaults();
+  ScopedFsFaults(const ScopedFsFaults&) = delete;
+  ScopedFsFaults& operator=(const ScopedFsFaults&) = delete;
+
+  static const FsFaults* active();
+
+ private:
+  FsFaults faults_;
+  const FsFaults* previous_;
+};
+
+// Writes `size` bytes to `path` via temp file + atomic rename. On any
+// failure the previous contents of `path` are preserved (except under an
+// injected torn_write, which is the crash case loaders must detect).
+bool write_file_atomic(const std::string& path, const void* data,
+                       std::size_t size);
+inline bool write_file_atomic(const std::string& path,
+                              const std::string& bytes) {
+  return write_file_atomic(path, bytes.data(), bytes.size());
+}
+
+// Whole file as bytes; nullopt when missing or unreadable.
+std::optional<std::string> read_file(const std::string& path);
+
+}  // namespace arrow::util

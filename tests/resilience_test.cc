@@ -50,6 +50,7 @@ TEST(ToString, LpStatusCoversEveryValue) {
   EXPECT_STREQ(to_string(LpStatus::kUnbounded), "unbounded");
   EXPECT_STREQ(to_string(LpStatus::kIterationLimit), "iteration-limit");
   EXPECT_STREQ(to_string(LpStatus::kNumericalError), "numerical-error");
+  EXPECT_STREQ(to_string(LpStatus::kTimedOut), "timed-out");
 }
 
 TEST(ToString, SolveStatusCoversEveryValue) {
@@ -57,7 +58,8 @@ TEST(ToString, SolveStatusCoversEveryValue) {
   for (SolveStatus s :
        {SolveStatus::kOptimal, SolveStatus::kInfeasible,
         SolveStatus::kUnbounded, SolveStatus::kIterationLimit,
-        SolveStatus::kNodeLimit, SolveStatus::kNumericalError}) {
+        SolveStatus::kNodeLimit, SolveStatus::kNumericalError,
+        SolveStatus::kTimedOut}) {
     EXPECT_STRNE(to_string(s), "unknown");
     EXPECT_GT(std::string(to_string(s)).size(), 0u);
   }
