@@ -1,0 +1,303 @@
+// Solver raw-speed report: pivots/sec, pricing work, presolve reductions,
+// and warm-start savings on an LP corpus captured from a real solve_arrow
+// run — plus a measured microkernel check that the branchless (SIMD-
+// friendly) inner-loop formulation is not slower than the branchy scalar
+// one it replaced.
+//
+// Gates (nonzero exit on violation):
+//   * every pricing mode reaches the same optimum on every corpus LP;
+//   * incremental pricing examines no more candidates than the Dantzig
+//     full-recomputation oracle in aggregate (candidates/pivot is the
+//     pricing-work proxy — if maintaining reduced costs prices MORE than
+//     recomputing them, the mirror is pure overhead);
+//   * warm-starting from the optimal basis takes no more pivots than cold;
+//   * the branchless ratio-test kernel is within 10% of the branchy one
+//     (full size only — wall-clock gates flake on an oversubscribed box).
+//
+// Environment knobs: ARROW_BENCH_FAST=1 shrinks to the B4 topology for
+// CI-speed runs (bench-smoke). Results land in BENCH_simplex.json
+// (bench_json.h).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "solver/lp.h"
+#include "te/arrow.h"
+#include "te/basic.h"
+#include "topo/builders.h"
+#include "traffic/traffic.h"
+#include "util/parallel.h"
+
+using namespace arrow;
+using solver::Lp;
+using solver::LpSolution;
+using solver::LpStatus;
+using solver::Pricing;
+using solver::SimplexOptions;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] == '1';
+}
+
+double now_s() {
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+// --- microkernel: branchless vs branchy ratio test -------------------------
+//
+// The simplex ratio test scans the pivot column for the tightest bound on
+// the step length. The branchy form takes a data-dependent branch per
+// entry; the branchless form (what simplex.cc uses) folds the eligibility
+// test into arithmetic selects the compiler can vectorize.
+
+double ratio_branchy(const std::vector<double>& col,
+                     const std::vector<double>& room, double tol) {
+  double best = 1e300;
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    if (col[i] > tol) {
+      const double r = room[i] / col[i];
+      if (r < best) best = r;
+    }
+  }
+  return best;
+}
+
+double ratio_branchless(const std::vector<double>& col,
+                        const std::vector<double>& room, double tol) {
+  double best = 1e300;
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    const double eligible = col[i] > tol ? 1.0 : 0.0;
+    const double r = room[i] / (col[i] + (1.0 - eligible));  // safe divisor
+    const double cand = eligible * r + (1.0 - eligible) * 1e300;
+    best = cand < best ? cand : best;
+  }
+  return best;
+}
+
+template <typename Fn>
+double time_kernel(Fn fn, const std::vector<double>& col,
+                   const std::vector<double>& room, int reps,
+                   double* checksum) {
+  // Warm-up pass keeps the first-touch cost out of both timings; best of
+  // three trials keeps scheduler noise (ctest -j on a loaded box) from
+  // flaking the 10% gate.
+  *checksum += fn(col, room, 1e-8);
+  double best = 1e300;
+  for (int trial = 0; trial < 3; ++trial) {
+    const double t0 = now_s();
+    double acc = 0.0;
+    for (int r = 0; r < reps; ++r) acc += fn(col, room, 1e-8);
+    const double dt = now_s() - t0;
+    *checksum += acc;
+    if (dt < best) best = dt;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  const bool fast_mode = env_flag("ARROW_BENCH_FAST");
+  const topo::Network net = fast_mode ? topo::build_b4() : topo::build_ibm();
+  util::Rng rng(404);
+  traffic::TrafficParams tp;
+  tp.num_matrices = 1;
+  const auto ms = traffic::generate_traffic(net, tp, rng);
+  scenario::ScenarioParams sp;
+  sp.probability_cutoff = fast_mode ? 0.002 : 0.001;
+  auto scen = scenario::generate_scenarios(net, sp, rng);
+  const auto scenarios = scenario::remove_disconnecting(net, scen.scenarios);
+  te::TunnelParams tun;
+  tun.tunnels_per_flow = fast_mode ? 4 : 6;
+  te::TeInput input(net, ms[0], scenarios, tun);
+  input.scale_demands(te::max_satisfiable_scale(input) * 0.9);
+  te::ArrowParams params;
+  params.tickets.num_tickets = fast_mode ? 3 : 6;
+  const auto prepared = te::prepare_arrow(input, params, rng);
+
+  bench::BenchJson out("simplex");
+  out.set("topology", net.name);
+  out.set("scenarios", static_cast<long long>(scenarios.size()));
+  out.set("threads", 1);  // solves are single-threaded by design
+  out.set("hardware_concurrency",
+          static_cast<long long>(std::thread::hardware_concurrency()));
+
+  bool ok = true;
+
+  // --- corpus capture ------------------------------------------------------
+  std::vector<Lp> corpus;
+  {
+    solver::ScopedSolveObserver capture(
+        [&](const Lp& lp, LpSolution& sol) {
+          (void)sol;
+          if (corpus.size() < 12) corpus.push_back(lp);
+        });
+    const auto sol = te::solve_arrow(input, prepared, params);
+    if (!sol.optimal) {
+      std::fprintf(stderr, "FAIL: corpus solve_arrow did not reach optimal\n");
+      ok = false;
+    }
+  }
+  out.set("corpus_lps", static_cast<long long>(corpus.size()));
+  long long corpus_rows = 0, corpus_cols = 0;
+  for (const Lp& lp : corpus) {
+    corpus_rows += lp.a.rows;
+    corpus_cols += lp.a.cols;
+  }
+  out.set("corpus_rows", corpus_rows);
+  out.set("corpus_cols", corpus_cols);
+  std::printf("corpus: %zu LPs from solve_arrow on %s (%lld rows, %lld cols "
+              "total)\n", corpus.size(), net.name.c_str(), corpus_rows,
+              corpus_cols);
+
+  // --- pivots/sec and per-mode pricing work --------------------------------
+  struct ModeStats {
+    long long pivots = 0;
+    long long candidates = 0;
+    double seconds = 0.0;
+    double objective_sum = 0.0;
+  };
+  const std::pair<const char*, Pricing> modes[] = {
+      {"dantzig", Pricing::kDantzig},
+      {"devex", Pricing::kDevex},
+      {"incremental", Pricing::kIncremental},
+      {"partial", Pricing::kPartial},
+  };
+  ModeStats stats[4];
+  for (int m = 0; m < 4; ++m) {
+    for (const Lp& lp : corpus) {
+      SimplexOptions opt;
+      opt.pricing = modes[m].second;
+      const LpSolution sol = solver::solve_lp(lp, opt);
+      if (sol.status != LpStatus::kOptimal) {
+        std::fprintf(stderr, "FAIL: pricing mode %s did not reach optimal\n",
+                     modes[m].first);
+        ok = false;
+        continue;
+      }
+      stats[m].pivots += sol.iterations;
+      stats[m].candidates += sol.pricing_candidates;
+      stats[m].seconds += sol.phase1_seconds + sol.phase2_seconds;
+      stats[m].objective_sum += sol.objective;
+    }
+    const ModeStats& s = stats[m];
+    const double pps = s.seconds > 0.0 ? s.pivots / s.seconds : 0.0;
+    const double cpp =
+        s.pivots > 0 ? static_cast<double>(s.candidates) / s.pivots : 0.0;
+    const std::string k = modes[m].first;
+    out.set(k + "_pivots", s.pivots);
+    out.set(k + "_pivots_per_sec", pps);
+    out.set(k + "_candidates_per_pivot", cpp);
+    std::printf("%-11s %6lld pivots, %9.0f pivots/sec, %8.1f candidates/"
+                "pivot\n", modes[m].first, s.pivots, pps, cpp);
+  }
+  // All modes must agree on the summed optimum (same tolerance discipline
+  // as tests/pricing_test.cc, scaled to the corpus).
+  for (int m = 1; m < 4; ++m) {
+    const double scale = 1.0 + std::abs(stats[0].objective_sum);
+    if (std::abs(stats[m].objective_sum - stats[0].objective_sum) >
+        1e-5 * scale) {
+      std::fprintf(stderr, "FAIL: pricing mode %s disagrees with dantzig "
+                   "(%.17g vs %.17g)\n", modes[m].first,
+                   stats[m].objective_sum, stats[0].objective_sum);
+      ok = false;
+    }
+  }
+  // Incremental pricing must do less pricing work than full recomputation —
+  // that is the point of maintaining the reduced costs on the row mirror.
+  if (stats[2].candidates > stats[0].candidates) {
+    std::fprintf(stderr, "FAIL: incremental pricing examined %lld candidates "
+                 "vs dantzig's %lld\n", stats[2].candidates,
+                 stats[0].candidates);
+    ok = false;
+  }
+  out.set("incremental_vs_dantzig_candidates",
+          stats[0].candidates > 0
+              ? static_cast<double>(stats[2].candidates) / stats[0].candidates
+              : 0.0);
+
+  // --- presolve reductions -------------------------------------------------
+  long long rows_removed = 0, cols_removed = 0;
+  for (const Lp& lp : corpus) {
+    const LpSolution sol = solver::solve_lp(lp);
+    rows_removed += sol.presolve_rows_removed;
+    cols_removed += sol.presolve_cols_removed;
+  }
+  const double row_pct =
+      corpus_rows > 0 ? 100.0 * rows_removed / corpus_rows : 0.0;
+  const double col_pct =
+      corpus_cols > 0 ? 100.0 * cols_removed / corpus_cols : 0.0;
+  out.set("presolve_rows_removed", rows_removed);
+  out.set("presolve_cols_removed", cols_removed);
+  out.set("presolve_row_reduction_pct", row_pct);
+  out.set("presolve_col_reduction_pct", col_pct);
+  std::printf("presolve: removed %lld/%lld rows (%.1f%%), %lld/%lld cols "
+              "(%.1f%%)\n", rows_removed, corpus_rows, row_pct, cols_removed,
+              corpus_cols, col_pct);
+
+  // --- cold vs warm --------------------------------------------------------
+  long long cold_pivots = 0, warm_pivots = 0;
+  for (const Lp& lp : corpus) {
+    const LpSolution cold = solver::solve_lp(lp);
+    if (cold.status != LpStatus::kOptimal) continue;
+    const LpSolution warm = solver::solve_lp(lp, {}, &cold.basis);
+    cold_pivots += cold.iterations;
+    warm_pivots += warm.iterations;
+  }
+  out.set("cold_pivots", cold_pivots);
+  out.set("warm_pivots_from_optimal_basis", warm_pivots);
+  std::printf("warm start: %lld pivots cold, %lld re-solving from the "
+              "optimal basis\n", cold_pivots, warm_pivots);
+  if (warm_pivots > cold_pivots) {
+    std::fprintf(stderr, "FAIL: warm start from the optimal basis took MORE "
+                 "pivots than cold (%lld vs %lld)\n", warm_pivots,
+                 cold_pivots);
+    ok = false;
+  }
+
+  // --- SIMD microkernel gate -----------------------------------------------
+  const std::size_t n = fast_mode ? 1 << 14 : 1 << 16;
+  const int reps = fast_mode ? 200 : 400;
+  std::vector<double> col(n), room(n);
+  util::Rng krng(99);
+  for (std::size_t i = 0; i < n; ++i) {
+    col[i] = krng.uniform() * 2.0 - 0.5;   // ~25% ineligible entries
+    room[i] = krng.uniform() * 10.0;
+  }
+  double checksum = 0.0;
+  const double branchy_s =
+      time_kernel(ratio_branchy, col, room, reps, &checksum);
+  const double branchless_s =
+      time_kernel(ratio_branchless, col, room, reps, &checksum);
+  out.set("ratio_kernel_branchy_ms", branchy_s * 1e3);
+  out.set("ratio_kernel_branchless_ms", branchless_s * 1e3);
+  const double ratio = branchy_s > 0.0 ? branchless_s / branchy_s : 0.0;
+  out.set("ratio_kernel_branchless_over_branchy", ratio);
+  std::printf("ratio-test kernel: branchy %.2f ms, branchless %.2f ms "
+              "(%.2fx, checksum %.3g)\n", branchy_s * 1e3,
+              branchless_s * 1e3, ratio, checksum);
+  // Timing gate engages only at full size (same convention as the build
+  // benches): under bench-smoke's ctest -j the box is oversubscribed and
+  // wall-clock microbenchmarks flake.
+  if (!fast_mode && branchless_s > branchy_s * 1.10) {
+    std::fprintf(stderr, "FAIL: branchless ratio-test kernel is >10%% slower "
+                 "than the branchy one (%.2f ms vs %.2f ms)\n",
+                 branchless_s * 1e3, branchy_s * 1e3);
+    ok = false;
+  }
+
+  out.set("status", std::string(ok ? "ok" : "fail"));
+  out.write();
+  return ok ? 0 : 1;
+}

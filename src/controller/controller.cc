@@ -162,6 +162,11 @@ struct LadderOutcome {
   Rung rung = Rung::kPrimary;
   double seconds = 0.0;     // wall clock across all attempts this period
   long long iterations = 0;  // simplex pivots across all attempts
+  // Solver-internals totals across all attempts (presolve reductions and
+  // columns priced), same accounting discipline as `iterations`.
+  long long presolve_rows = 0;
+  long long presolve_cols = 0;
+  long long pricing_candidates = 0;
   int timeouts = 0;          // LP solves that returned kTimedOut
   int backoff_retries = 0;   // backoff sleeps taken between rungs
 };
@@ -223,6 +228,9 @@ LadderOutcome solve_with_ladder(const ControllerConfig& config,
     out.sol = solve_primary(config, input, prepared, cache, pool);
     lp_seconds += out.sol.solve_seconds;
     out.iterations += out.sol.simplex_iterations;
+    out.presolve_rows += out.sol.presolve_rows_removed;
+    out.presolve_cols += out.sol.presolve_cols_removed;
+    out.pricing_candidates += out.sol.pricing_candidates;
     if (out.sol.optimal) {
       out.seconds = elapsed(lp_seconds);
       out.timeouts = run_guard.timeouts();
@@ -247,6 +255,9 @@ LadderOutcome solve_with_ladder(const ControllerConfig& config,
     out.sol = solve_primary(config, input, prepared, cache, inline_pool);
     lp_seconds += out.sol.solve_seconds;
     out.iterations += out.sol.simplex_iterations;
+    out.presolve_rows += out.sol.presolve_rows_removed;
+    out.presolve_cols += out.sol.presolve_cols_removed;
+    out.pricing_candidates += out.sol.pricing_candidates;
     if (out.sol.optimal) {
       out.seconds = elapsed(lp_seconds);
       out.timeouts = run_guard.timeouts();
@@ -263,6 +274,9 @@ LadderOutcome solve_with_ladder(const ControllerConfig& config,
     out.sol = te::solve_ffc(input, te::FfcParams{1, 0});
     lp_seconds += out.sol.solve_seconds;
     out.iterations += out.sol.simplex_iterations;
+    out.presolve_rows += out.sol.presolve_rows_removed;
+    out.presolve_cols += out.sol.presolve_cols_removed;
+    out.pricing_candidates += out.sol.pricing_candidates;
     out.rung = Rung::kFfcFallback;
     if (out.sol.optimal) {
       out.seconds = elapsed(lp_seconds);
@@ -492,7 +506,7 @@ ControllerReport run_controller(const topo::Network& net,
   // across the matrices (demands differ, topology does not), so one cache
   // serves every matrix's ladder — including its retry rungs.
   std::optional<te::RestorabilityCache> rcache;
-  if (restores && config.arrow.fast_build) {
+  if (restores) {
     rcache.emplace(inputs.front(), prepared, pool);
   }
   std::vector<te::TeSolution> solutions;
@@ -549,6 +563,9 @@ ControllerReport run_controller(const topo::Network& net,
     report.solve_seconds_by_matrix.push_back(out.seconds);
     report.simplex_iterations_by_matrix.push_back(out.iterations);
     report.te_simplex_iterations += out.iterations;
+    report.te_presolve_rows_removed += out.presolve_rows;
+    report.te_presolve_cols_removed += out.presolve_cols;
+    report.te_pricing_candidates += out.pricing_candidates;
     obs::Registry::global()
         .counter("arrow_ctrl_rung_" + rung_metric_name(out.rung) + "_total")
         .add();
@@ -853,6 +870,9 @@ ControllerReport run_controller(const topo::Network& net,
     rr.journal_writes = report.journal_writes;
     rr.journal_write_errors = report.journal_write_errors;
     rr.simplex_iterations = report.te_simplex_iterations;
+    rr.presolve_rows_removed = report.te_presolve_rows_removed;
+    rr.presolve_cols_removed = report.te_presolve_cols_removed;
+    rr.pricing_candidates = report.te_pricing_candidates;
     rr.warm_start_hits = report.warm_start_hits;
     rr.warm_start_stores = report.warm_start_stores;
     rr.basis_seeded = report.basis_seeded;

@@ -183,6 +183,11 @@ struct ControllerReport {
   // of what the solver returned, which the RunReport copies verbatim.
   std::vector<long long> simplex_iterations_by_matrix;
   long long te_simplex_iterations = 0;
+  // Solver-internals totals across every ladder attempt in the horizon:
+  // presolve reductions applied and columns examined by pricing.
+  long long te_presolve_rows_removed = 0;
+  long long te_presolve_cols_removed = 0;
+  long long te_pricing_candidates = 0;
   // TE periods in the horizon served by a rung below kPrimary or by a
   // solve that blew the te_budget_s deadline.
   int degraded_periods = 0;

@@ -52,7 +52,9 @@ struct ObsConfig {
 struct RunReport {
   // v2: adds solver timeout / backoff / cancellation counts and the
   // crash-consistency journal + basis-store save-error fields.
-  static constexpr int kVersion = 2;
+  // v3: adds solver-internals telemetry (presolve reductions, pricing
+  // candidates).
+  static constexpr int kVersion = 3;
 
   std::string run_id;
   std::string scheme;
@@ -83,6 +85,11 @@ struct RunReport {
   // Solver stats, summed from the SolveResults the TE layer returned
   // (every ladder attempt counts, not just the winning rung's).
   long long simplex_iterations = 0;
+  // Presolve reductions applied to the run's LPs and the number of columns
+  // the pricing step examined, summed like simplex_iterations (v3).
+  long long presolve_rows_removed = 0;
+  long long presolve_cols_removed = 0;
+  long long pricing_candidates = 0;
   // Warm-start traffic of the run's ScopedWarmStartCache and BasisStore.
   int warm_start_hits = 0;
   int warm_start_stores = 0;

@@ -111,10 +111,8 @@ SweepResult run_sweep(const topo::Network& net,
     if (params.run_arrow || params.run_arrow_naive) {
       prepared[static_cast<std::size_t>(mi)] =
           te::prepare_arrow(input, params.arrow, rng, pool);
-      if (params.arrow.fast_build) {
-        caches[static_cast<std::size_t>(mi)].emplace(
-            input, prepared[static_cast<std::size_t>(mi)], pool);
-      }
+      caches[static_cast<std::size_t>(mi)].emplace(
+          input, prepared[static_cast<std::size_t>(mi)], pool);
     }
     inputs.push_back(std::move(input));
   }

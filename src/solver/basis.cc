@@ -24,6 +24,8 @@ bool LuBasis::factorize(int m, const std::vector<Column>& columns,
   l_cols_.assign(static_cast<std::size_t>(m), {});
   u_rows_.assign(static_cast<std::size_t>(m), {});
   etas_.clear();
+  eta_pos_.clear();
+  eta_val_.clear();
   lu_nnz_ = 0;
   eta_nnz_ = 0;
 
@@ -170,20 +172,21 @@ bool LuBasis::factorize(int m, const std::vector<Column>& columns,
 void LuBasis::apply_eta(const Eta& eta, std::vector<double>& w) const {
   const double t = w[static_cast<std::size_t>(eta.pivot_pos)];
   if (t == 0.0) return;
-  for (const auto& [p, v] : eta.entries) {
-    if (p == eta.pivot_pos) {
-      w[static_cast<std::size_t>(p)] = v * t;
-    } else {
-      w[static_cast<std::size_t>(p)] += v * t;
-    }
+  const int* pos = eta_pos_.data();
+  const double* val = eta_val_.data();
+  for (int k = eta.start; k < eta.end; ++k) {
+    w[static_cast<std::size_t>(pos[k])] += val[k] * t;
   }
+  w[static_cast<std::size_t>(eta.pivot_pos)] = eta.pivot_val * t;
 }
 
 void LuBasis::apply_eta_transposed(const Eta& eta,
                                    std::vector<double>& z) const {
-  double s = 0.0;
-  for (const auto& [p, v] : eta.entries) {
-    s += v * z[static_cast<std::size_t>(p)];
+  const int* pos = eta_pos_.data();
+  const double* val = eta_val_.data();
+  double s = eta.pivot_val * z[static_cast<std::size_t>(eta.pivot_pos)];
+  for (int k = eta.start; k < eta.end; ++k) {
+    s += val[k] * z[static_cast<std::size_t>(pos[k])];
   }
   z[static_cast<std::size_t>(eta.pivot_pos)] = s;
 }
@@ -261,16 +264,18 @@ bool LuBasis::update(int position, const std::vector<double>& w,
   Eta eta;
   eta.pivot_pos = position;
   const double inv = 1.0 / pivot_value;
+  eta.pivot_val = inv;
+  eta.start = static_cast<int>(eta_pos_.size());
   for (int p = 0; p < m_; ++p) {
     const double v = w[static_cast<std::size_t>(p)];
-    if (p == position) {
-      eta.entries.emplace_back(p, inv);
-    } else if (std::abs(v) > kDropTol) {
-      eta.entries.emplace_back(p, -v * inv);
+    if (p != position && std::abs(v) > kDropTol) {
+      eta_pos_.push_back(p);
+      eta_val_.push_back(-v * inv);
     }
   }
-  eta_nnz_ += eta.entries.size();
-  etas_.push_back(std::move(eta));
+  eta.end = static_cast<int>(eta_pos_.size());
+  eta_nnz_ += static_cast<std::size_t>(eta.end - eta.start) + 1;
+  etas_.push_back(eta);
   return true;
 }
 

@@ -37,9 +37,16 @@ class LuBasis {
   std::size_t factor_nnz() const { return lu_nnz_; }
 
  private:
+  // Update etas in structure-of-arrays form: the pivot (position, 1/value)
+  // lives in the Eta record, the off-pivot entries in the shared contiguous
+  // eta_pos_/eta_val_ pools. The apply loops are then branch-free axpy /
+  // sparse-dot kernels over plain arrays instead of walking per-eta
+  // pair-vectors with an in-loop pivot test.
   struct Eta {
     int pivot_pos = -1;
-    std::vector<std::pair<int, double>> entries;  // (position, value)
+    double pivot_val = 0.0;  // 1 / entering pivot value
+    int start = 0;           // [start, end) into eta_pos_ / eta_val_
+    int end = 0;
   };
 
   void apply_eta(const Eta& eta, std::vector<double>& w) const;
@@ -53,6 +60,8 @@ class LuBasis {
   std::vector<std::vector<std::pair<int, double>>> l_cols_;  // (row, mult)
   std::vector<std::vector<std::pair<int, double>>> u_rows_;  // (position, val)
   std::vector<Eta> etas_;
+  std::vector<int> eta_pos_;     // off-pivot positions, all etas
+  std::vector<double> eta_val_;  // matching values
   std::size_t lu_nnz_ = 0;
   std::size_t eta_nnz_ = 0;
 };

@@ -61,9 +61,21 @@ enum class LpStatus {
 const char* to_string(LpStatus s);
 
 enum class Pricing {
-  kDantzig,  // most-negative reduced cost
-  kDevex,    // approximate steepest edge (default; far fewer iterations on
-             // degenerate TE/CVaR models at ~1.6x the per-iteration cost)
+  kDantzig,      // most-negative reduced cost, fully recomputed every
+                 // iteration. The slow-but-simple cross-check oracle: no
+                 // incremental state to drift, so the other modes are tested
+                 // against it.
+  kDevex,        // approximate steepest edge with per-iteration full reduced-
+                 // cost recomputation (the pre-incremental default).
+  kIncremental,  // Devex weights + reduced costs *updated* from the pivot row
+                 // after each basis change (default). Phase 2 prices from a
+                 // maintained vector refreshed at every refactorization;
+                 // phase 1 (whose composite costs mutate each pivot) prices
+                 // via the row-major mirror, skipping zero-dual rows.
+  kPartial,      // kIncremental plus a candidate list: only columns that were
+                 // improving at the last full refresh are scanned for the
+                 // entering choice, with periodic full refreshes to bound
+                 // drift (see SimplexOptions::partial_* below).
 };
 
 struct SimplexOptions {
@@ -73,11 +85,26 @@ struct SimplexOptions {
   int refactor_interval = 64;   // eta updates between refactorizations
   int bland_threshold = 100;    // degenerate steps before Bland's rule
   int max_iterations = 0;       // 0 = automatic (scales with problem size)
-  Pricing pricing = Pricing::kDevex;
+  Pricing pricing = Pricing::kIncremental;
+  // Run the presolve reductions (fixed columns, empty/singleton rows, implied
+  // bound tightening) before the simplex and postsolve the answer back to
+  // full space. The returned x/dual/reduced_cost/basis are always full-space,
+  // so warm-start chaining and the BasisStore are unaffected.
+  bool presolve = true;
+  // kPartial: cap on the candidate list kept at each full refresh
+  // (0 = automatic: max(64, n/8)), and how many pivots the list may serve
+  // before the next full refresh rebuilds it.
+  int partial_candidates = 0;
+  int partial_refresh_interval = 32;
   // Wall-clock bound on this solve (util::mono_now_s timeline; unset = none).
   // Combined with any ambient ScopedSolveDeadline: the earlier expiry wins.
   util::Deadline deadline;
   int deadline_check_interval = 64;  // pivots between deadline checks
+  // Test-only: a warm-started solve reports kNumericalError after phase 1
+  // and charges one synthetic second to each phase, so the warm-retry
+  // accounting (iterations AND seconds must sum across the failed warm
+  // attempt and the cold retry) is observable deterministically.
+  bool fail_warm_start_for_test = false;
 };
 
 // Snapshot of a simplex basis: one status per computational-form column
@@ -116,6 +143,13 @@ struct LpSolution {
   double phase1_seconds = 0.0;        // wall clock in feasibility restoration
   double phase2_seconds = 0.0;        // wall clock in optimality iterations
   bool warm_started = false;          // solved from a caller/cache basis
+  // Presolve reductions applied to this solve (0 when presolve is off).
+  int presolve_rows_removed = 0;
+  int presolve_cols_removed = 0;
+  // Reduced-cost evaluations performed while pricing (every column whose d
+  // was computed or updated counts once). The pricing-work proxy: full
+  // recomputation pays ~n per pivot, incremental pays ~|pivot row| per pivot.
+  long long pricing_candidates = 0;
 };
 
 // warm_start: optional starting basis. Ignored when its shape does not match

@@ -198,6 +198,9 @@ SolveResult Model::solve(const Basis* warm_start) {
   res.phase2_seconds = sol.phase2_seconds;
   res.basis = sol.basis;
   res.warm_started = sol.warm_started;
+  res.presolve_rows_removed = sol.presolve_rows_removed;
+  res.presolve_cols_removed = sol.presolve_cols_removed;
+  res.pricing_candidates = sol.pricing_candidates;
   switch (sol.status) {
     case LpStatus::kOptimal: res.status = SolveStatus::kOptimal; break;
     case LpStatus::kInfeasible: res.status = SolveStatus::kInfeasible; break;
@@ -279,6 +282,9 @@ SolveResult Model::solve_mip() {
     const LpSolution sol = solve_lp(lp, simplex_options_);
     res.simplex_iterations += sol.iterations;
     res.refactorizations += sol.refactorizations;
+    res.presolve_rows_removed += sol.presolve_rows_removed;
+    res.presolve_cols_removed += sol.presolve_cols_removed;
+    res.pricing_candidates += sol.pricing_candidates;
     if (sol.status == LpStatus::kInfeasible) continue;
     if (sol.status == LpStatus::kUnbounded) {
       if (res.bb_nodes == 1) root_unbounded = true;

@@ -47,6 +47,11 @@ struct SolveResult {
   // Feed it back into a later solve() of a same-shaped model to warm-start.
   Basis basis;
   bool warm_started = false;  // this solve started from a supplied basis
+  // Presolve reductions and pricing work (see LpSolution; summed over MIP
+  // nodes).
+  int presolve_rows_removed = 0;
+  int presolve_cols_removed = 0;
+  long long pricing_candidates = 0;
   bool optimal() const { return status == SolveStatus::kOptimal; }
 };
 

@@ -1,26 +1,45 @@
 // Bounded-variable revised primal simplex on the computational-form LP.
 //
 // Structure:
+//  * optional presolve (presolve.h) shrinks the LP before the simplex sees
+//    it; the postsolve lifts x/duals/reduced costs/basis back to full space;
 //  * initial basis = the all-slack basis (the Model always appends one slack
 //    column per row, so the basis matrix starts as the identity);
 //  * phase 1 minimizes the sum of primal infeasibilities of the basic
 //    variables (Maros-style composite objective, re-derived every iteration);
 //  * phase 2 minimizes the true cost; both phases share pricing, FTRAN and
 //    the two-pass (Harris-lite) ratio test;
+//  * pricing runs off a row-major mirror of A built once per solve. Full
+//    passes (Dantzig/Devex, phase 1, and incremental refreshes) accumulate
+//    d = c - A'y row by row, skipping rows with y == 0 — bit-identical to
+//    the per-column CSC dot because column entries arrive in the same
+//    ascending-row order. The default kIncremental mode *updates* phase-2
+//    reduced costs from the pivot row after each basis change
+//    (d_j -= theta_d * alpha_j with alpha = rho'A, rho = B^{-T}e_p) and
+//    folds the Devex weight update into the same sparse pass, replacing the
+//    old O(n*nnz) per-pivot sweep; kPartial adds a candidate list with
+//    periodic full refreshes. Every claimed optimum from maintained reduced
+//    costs is confirmed against a fresh full pass before returning.
 //  * the basis inverse is a Markowitz-ordered sparse LU (LuBasis) with
 //    product-form updates, refreshed every `refactor_interval` pivots or
-//    when the eta file grows dense;
+//    when the eta file grows dense; each refresh also refreshes the
+//    maintained reduced costs, bounding incremental drift;
+//  * the ratio-test passes and the step update run over contiguous
+//    per-position arrays (xb_, lb_basic_, ub_basic_, w) with branchless
+//    inner loops so the compiler can auto-vectorize them;
 //  * after `bland_threshold` consecutive degenerate pivots the pivot rule
 //    switches to Bland's rule until progress resumes.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "solver/lp.h"
 #include "solver/basis.h"
+#include "solver/presolve.h"
 #include "util/check.h"
 
 namespace arrow::solver {
@@ -76,6 +95,7 @@ class Simplex {
     n_ = lp.a.cols;
     max_iter_ = opt.max_iterations > 0 ? opt.max_iterations
                                        : 20000 + 100 * (m_ + n_);
+    if (m_ > 0) build_row_mirror();
   }
 
   bool warm_started() const { return warm_started_; }
@@ -98,6 +118,14 @@ class Simplex {
         sol.status = LpStatus::kNumericalError;
         return sol;
       }
+    }
+    if (opt_.fail_warm_start_for_test && warm_started_) {
+      // Deterministic failure injection: charge one synthetic second to each
+      // phase so the warm-retry accounting (seconds must sum across the
+      // failed warm attempt and the cold retry) is observable in tests.
+      phase1_seconds_ = 1.0;
+      phase2_seconds_ = 1.0;
+      return extract(LpStatus::kNumericalError);
     }
     // Phase wall clocks are observability only: nothing downstream of the
     // timings feeds back into pivot decisions.
@@ -149,6 +177,33 @@ class Simplex {
     return sol;
   }
 
+  // Row-major mirror of the full constraint matrix (structural + slack
+  // columns), built once per solve. Costs one extra (int + double) per
+  // nonzero plus m+1 offsets; buys sparse-row pricing everywhere below.
+  void build_row_mirror() {
+    row_start_.assign(static_cast<std::size_t>(m_) + 1, 0);
+    const int nnz = lp_.a.nnz();
+    for (int k = 0; k < nnz; ++k) {
+      ++row_start_[static_cast<std::size_t>(lp_.a.row_index[k]) + 1];
+    }
+    for (int i = 0; i < m_; ++i) {
+      row_start_[static_cast<std::size_t>(i) + 1] +=
+          row_start_[static_cast<std::size_t>(i)];
+    }
+    row_col_.resize(static_cast<std::size_t>(nnz));
+    row_val_.resize(static_cast<std::size_t>(nnz));
+    std::vector<int> fill(row_start_.begin(), row_start_.end() - 1);
+    for (int j = 0; j < n_; ++j) {
+      for (int k = lp_.a.col_start[j]; k < lp_.a.col_start[j + 1]; ++k) {
+        const int i = lp_.a.row_index[k];
+        row_col_[static_cast<std::size_t>(fill[i])] = j;
+        row_val_[static_cast<std::size_t>(fill[i])] =
+            lp_.a.value[static_cast<std::size_t>(k)];
+        ++fill[i];
+      }
+    }
+  }
+
   // Rebuilds vstat_/basis_ from a caller-supplied basis. Statuses are
   // sanitized against the current bounds (a variable cannot sit at an
   // infinite bound), so a basis taken from the same-shaped LP with different
@@ -184,7 +239,9 @@ class Simplex {
           break;
       }
     }
-    return static_cast<int>(basis_.size()) == m_;
+    if (static_cast<int>(basis_.size()) != m_) return false;
+    sync_basic_bounds();
+    return true;
   }
 
   void init_basis() {
@@ -206,6 +263,23 @@ class Simplex {
       const int slack = n_ - m_ + i;
       basis_[static_cast<std::size_t>(i)] = slack;
       vstat_[static_cast<std::size_t>(slack)] = VStat::kBasic;
+    }
+    sync_basic_bounds();
+  }
+
+  // Contiguous per-position copies of the basic variables' bounds. The ratio
+  // tests and the composite phase-1 cost walk these instead of chasing
+  // basis_[p] -> lp_.lower[j] indirections, which keeps their inner loops
+  // over plain dense arrays.
+  void sync_basic_bounds() {
+    lb_basic_.resize(static_cast<std::size_t>(m_));
+    ub_basic_.resize(static_cast<std::size_t>(m_));
+    for (int p = 0; p < m_; ++p) {
+      const int j = basis_[static_cast<std::size_t>(p)];
+      lb_basic_[static_cast<std::size_t>(p)] =
+          lp_.lower[static_cast<std::size_t>(j)];
+      ub_basic_[static_cast<std::size_t>(p)] =
+          lp_.upper[static_cast<std::size_t>(j)];
     }
   }
 
@@ -254,10 +328,9 @@ class Simplex {
   double total_infeasibility() const {
     double s = 0.0;
     for (int p = 0; p < m_; ++p) {
-      const int j = basis_[static_cast<std::size_t>(p)];
       const double v = xb_[static_cast<std::size_t>(p)];
-      s += std::max(0.0, lp_.lower[static_cast<std::size_t>(j)] - v);
-      s += std::max(0.0, v - lp_.upper[static_cast<std::size_t>(j)]);
+      s += std::max(0.0, lb_basic_[static_cast<std::size_t>(p)] - v);
+      s += std::max(0.0, v - ub_basic_[static_cast<std::size_t>(p)]);
     }
     return s;
   }
@@ -266,20 +339,151 @@ class Simplex {
     return opt_.feas_tol * (1.0 + static_cast<double>(m_));
   }
 
-  // Phase-aware cost of column j (phase-1 structural costs are zero; the
-  // infeasibility objective lives entirely on the basic variables).
-  double phase_cost(int phase, int j) const {
-    return phase == 1 ? 0.0 : lp_.cost[static_cast<std::size_t>(j)];
+  // Full pricing pass: y = B^{-T} c_B for the phase-aware basic costs, then
+  // d = c - A'y accumulated through the row mirror. Each column's terms
+  // arrive in ascending-row order — the same floating-point sequence as the
+  // per-column CSC dot product — so skipping rows with y_i == 0 (whose
+  // contribution is an exact +-0) is the only difference, and it cannot
+  // change any pricing comparison.
+  void full_price(int phase) {
+    for (int p = 0; p < m_; ++p) {
+      double c;
+      if (phase == 1) {
+        const double v = xb_[static_cast<std::size_t>(p)];
+        if (v < lb_basic_[static_cast<std::size_t>(p)] - opt_.feas_tol) {
+          c = -1.0;
+        } else if (v > ub_basic_[static_cast<std::size_t>(p)] + opt_.feas_tol) {
+          c = 1.0;
+        } else {
+          c = 0.0;
+        }
+      } else {
+        c = lp_.cost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(p)])];
+      }
+      y_[static_cast<std::size_t>(p)] = c;
+    }
+    inv_.btran(y_);
+    if (phase == 1) {
+      std::fill(d_.begin(), d_.end(), 0.0);
+    } else {
+      std::copy(lp_.cost.begin(), lp_.cost.end(), d_.begin());
+    }
+    for (int i = 0; i < m_; ++i) {
+      const double yi = y_[static_cast<std::size_t>(i)];
+      if (yi == 0.0) continue;
+      const int end = row_start_[static_cast<std::size_t>(i) + 1];
+      for (int k = row_start_[static_cast<std::size_t>(i)]; k < end; ++k) {
+        d_[static_cast<std::size_t>(row_col_[static_cast<std::size_t>(k)])] -=
+            yi * row_val_[static_cast<std::size_t>(k)];
+      }
+    }
+    pricing_candidates_ += n_;
+  }
+
+  // Entering-column choice from the current d_. Scans the partial candidate
+  // list when `use_list`, the full column range otherwise. Dantzig scores by
+  // |d|; every other mode by the Devex ratio d^2 / w_j. Bland's rule takes
+  // the lowest improving index.
+  int select_entering(int phase, bool bland, bool use_list, int* dir_out) {
+    (void)phase;
+    const bool devex_score = opt_.pricing != Pricing::kDantzig;
+    int entering = -1;
+    int dir = 0;
+    double best_score = 0.0;
+    auto consider = [&](int j) -> bool {
+      const VStat st = vstat_[static_cast<std::size_t>(j)];
+      if (st == VStat::kBasic) return false;
+      const double d = d_[static_cast<std::size_t>(j)];
+      int cand_dir = 0;
+      if ((st == VStat::kAtLower || st == VStat::kFree) && d < -opt_.opt_tol) {
+        cand_dir = +1;
+      } else if ((st == VStat::kAtUpper || st == VStat::kFree) &&
+                 d > opt_.opt_tol) {
+        cand_dir = -1;
+      }
+      if (cand_dir == 0) return false;
+      if (bland) {
+        entering = j;
+        dir = cand_dir;
+        return true;  // lowest improving index
+      }
+      const double score = devex_score
+                               ? d * d / devex_w_[static_cast<std::size_t>(j)]
+                               : std::abs(d);
+      if (score > best_score) {
+        best_score = score;
+        entering = j;
+        dir = cand_dir;
+      }
+      return false;
+    };
+    if (use_list) {
+      for (int j : cand_) {
+        if (consider(j)) break;
+      }
+    } else {
+      for (int j = 0; j < n_; ++j) {
+        if (consider(j)) break;
+      }
+    }
+    *dir_out = dir;
+    return entering;
+  }
+
+  // kPartial: keep the best improving columns from the last full refresh.
+  // Deterministic: sorted by (score desc, index asc), capped at
+  // partial_candidates (0 = max(64, n/8)).
+  void rebuild_candidates() {
+    const bool devex_score = opt_.pricing != Pricing::kDantzig;
+    scratch_cand_.clear();
+    for (int j = 0; j < n_; ++j) {
+      const VStat st = vstat_[static_cast<std::size_t>(j)];
+      if (st == VStat::kBasic) continue;
+      const double d = d_[static_cast<std::size_t>(j)];
+      const bool improving =
+          ((st == VStat::kAtLower || st == VStat::kFree) &&
+           d < -opt_.opt_tol) ||
+          ((st == VStat::kAtUpper || st == VStat::kFree) && d > opt_.opt_tol);
+      if (!improving) continue;
+      const double score = devex_score
+                               ? d * d / devex_w_[static_cast<std::size_t>(j)]
+                               : std::abs(d);
+      scratch_cand_.emplace_back(score, j);
+    }
+    std::sort(scratch_cand_.begin(), scratch_cand_.end(),
+              [](const std::pair<double, int>& a,
+                 const std::pair<double, int>& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    const std::size_t cap = static_cast<std::size_t>(
+        opt_.partial_candidates > 0 ? opt_.partial_candidates
+                                    : std::max(64, n_ / 8));
+    if (scratch_cand_.size() > cap) scratch_cand_.resize(cap);
+    cand_.clear();
+    for (const auto& sc : scratch_cand_) cand_.push_back(sc.second);
   }
 
   LpStatus iterate(int phase) {
     int degenerate_streak = 0;
-    std::vector<double> y(static_cast<std::size_t>(m_));
     std::vector<double> w(static_cast<std::size_t>(m_));
     std::vector<double> rho(static_cast<std::size_t>(m_));
     int stall_refactors = 0;
-    const bool devex = opt_.pricing == Pricing::kDevex;
+    const bool devex_score = opt_.pricing != Pricing::kDantzig;
+    // Incremental reduced costs only work in phase 2: the phase-1 composite
+    // costs mutate with every pivot, so phase 1 always full-prices (cheaply,
+    // through the row mirror — the phase-1 dual vector is typically sparse).
+    const bool inc_mode = phase == 2 &&
+                          (opt_.pricing == Pricing::kIncremental ||
+                           opt_.pricing == Pricing::kPartial);
+    const bool partial = phase == 2 && opt_.pricing == Pricing::kPartial;
     devex_w_.assign(static_cast<std::size_t>(n_), 1.0);
+    y_.assign(static_cast<std::size_t>(m_), 0.0);
+    d_.assign(static_cast<std::size_t>(n_), 0.0);
+    alpha_work_.assign(static_cast<std::size_t>(n_), 0.0);
+    touched_mark_.assign(static_cast<std::size_t>(n_), 0);
+    bool dual_fresh = false;    // inc_mode: d_ valid for the current basis
+    int pivots_since_refresh = 0;
     // Deadline checks happen at the loop head, every deadline_check_interval
     // passes (plus once on entry). The clock is only read when a deadline is
     // actually set, so unbudgeted solves never touch the clock seam and stay
@@ -298,63 +502,46 @@ class Simplex {
            inv_.work_nnz() > 2 * inv_.factor_nnz() +
                                 40u * static_cast<std::size_t>(m_) + 1000u)) {
         if (!refactorize()) return LpStatus::kNumericalError;
+        dual_fresh = false;  // refresh bounds incremental drift
       }
       if (phase == 1 && total_infeasibility() <= feas_total_tol()) {
         return LpStatus::kOptimal;  // feasible; caller moves to phase 2
       }
 
-      // BTRAN: dual vector for the phase-aware basic costs.
-      for (int p = 0; p < m_; ++p) {
-        const int j = basis_[static_cast<std::size_t>(p)];
-        double c = phase_cost(phase, j);
-        if (phase == 1) {
-          const double v = xb_[static_cast<std::size_t>(p)];
-          if (v < lp_.lower[static_cast<std::size_t>(j)] - opt_.feas_tol) {
-            c = -1.0;
-          } else if (v > lp_.upper[static_cast<std::size_t>(j)] + opt_.feas_tol) {
-            c = 1.0;
-          } else {
-            c = 0.0;
-          }
-        }
-        y[static_cast<std::size_t>(p)] = c;
-      }
-      inv_.btran(y);
-
-      // Pricing: pick the entering column. Dantzig scores by |d|; Devex by
-      // d^2 / w_j with reference weights updated after each pivot.
       const bool bland = degenerate_streak > opt_.bland_threshold;
-      int entering = -1;
+
+      // Pricing. Non-incremental modes recompute every reduced cost;
+      // incremental mode refreshes on basis-refactorization, on the partial
+      // schedule, and whenever Bland's rule needs exact values everywhere.
+      bool refreshed = false;
+      if (!inc_mode) {
+        full_price(phase);
+        refreshed = true;
+      } else if (!dual_fresh ||
+                 (partial &&
+                  (bland ||
+                   pivots_since_refresh >= opt_.partial_refresh_interval))) {
+        full_price(phase);
+        dual_fresh = true;
+        pivots_since_refresh = 0;
+        if (partial) rebuild_candidates();
+        refreshed = true;
+      }
+
+      const bool use_list = partial && !bland;
       int dir = 0;
-      double best_score = 0.0;
-      for (int j = 0; j < n_; ++j) {
-        const VStat st = vstat_[static_cast<std::size_t>(j)];
-        if (st == VStat::kBasic) continue;
-        double d = phase_cost(phase, j);
-        for (int k = lp_.a.col_start[j]; k < lp_.a.col_start[j + 1]; ++k) {
-          d -= y[static_cast<std::size_t>(lp_.a.row_index[k])] *
-               lp_.a.value[static_cast<std::size_t>(k)];
+      int entering = select_entering(phase, bland, use_list, &dir);
+      if (entering < 0 && inc_mode) {
+        // Maintained (or truncated-list) reduced costs claim optimality:
+        // confirm against an exact full pass before believing them.
+        if (!refreshed) {
+          full_price(phase);
+          dual_fresh = true;
+          pivots_since_refresh = 0;
+          if (partial) rebuild_candidates();
         }
-        int cand_dir = 0;
-        if ((st == VStat::kAtLower || st == VStat::kFree) && d < -opt_.opt_tol) {
-          cand_dir = +1;
-        } else if ((st == VStat::kAtUpper || st == VStat::kFree) &&
-                   d > opt_.opt_tol) {
-          cand_dir = -1;
-        }
-        if (cand_dir == 0) continue;
-        if (bland) {
-          entering = j;
-          dir = cand_dir;
-          break;  // lowest improving index
-        }
-        const double score =
-            devex ? d * d / devex_w_[static_cast<std::size_t>(j)]
-                  : std::abs(d);
-        if (score > best_score) {
-          best_score = score;
-          entering = j;
-          dir = cand_dir;
+        if (!refreshed || use_list) {
+          entering = select_entering(phase, bland, /*use_list=*/false, &dir);
         }
       }
       if (entering < 0) {
@@ -386,40 +573,56 @@ class Simplex {
         if (std::isfinite(lo) && std::isfinite(hi)) flip_limit = hi - lo;
       }
 
+      const double negdir = -static_cast<double>(dir);
+
       // Pass 1: tightest breakpoint.
       double min_ratio = kNone;
-      for (int p = 0; p < m_; ++p) {
-        const double alpha = -static_cast<double>(dir) *
-                             w[static_cast<std::size_t>(p)];
-        if (std::abs(alpha) < opt_.pivot_tol) continue;
-        const int j = basis_[static_cast<std::size_t>(p)];
-        const double v = xb_[static_cast<std::size_t>(p)];
-        const double lo = lp_.lower[static_cast<std::size_t>(j)];
-        const double hi = lp_.upper[static_cast<std::size_t>(j)];
-        double target;
-        if (alpha > 0.0) {
-          // Value increasing: a below-lower infeasible variable first reaches
-          // its lower bound; otherwise it blocks at its upper bound.
-          if (phase == 1 && v < lo - opt_.feas_tol) {
-            target = lo;
-          } else if (std::isfinite(hi)) {
-            target = hi;
-          } else {
-            continue;
-          }
-          if (phase == 1 && v > hi + opt_.feas_tol) continue;  // worsening leg
-        } else {
-          if (phase == 1 && v > hi + opt_.feas_tol) {
-            target = hi;
-          } else if (std::isfinite(lo)) {
-            target = lo;
-          } else {
-            continue;
-          }
-          if (phase == 1 && v < lo - opt_.feas_tol) continue;
+      if (phase == 2) {
+        // Branchless over the contiguous position arrays: an infinite target
+        // or a sub-tolerance pivot yields ratio = +inf, which never tightens
+        // the minimum — identical selection to the guarded loop.
+        for (int p = 0; p < m_; ++p) {
+          const double alpha = negdir * w[static_cast<std::size_t>(p)];
+          const double target = alpha > 0.0
+                                    ? ub_basic_[static_cast<std::size_t>(p)]
+                                    : lb_basic_[static_cast<std::size_t>(p)];
+          const double r = (target - xb_[static_cast<std::size_t>(p)]) / alpha;
+          const double ratio =
+              std::abs(alpha) < opt_.pivot_tol ? kInf : (r > 0.0 ? r : 0.0);
+          min_ratio = ratio < min_ratio ? ratio : min_ratio;
         }
-        const double ratio = std::max(0.0, (target - v) / alpha);
-        if (ratio < min_ratio) min_ratio = ratio;
+      } else {
+        for (int p = 0; p < m_; ++p) {
+          const double alpha = negdir * w[static_cast<std::size_t>(p)];
+          if (std::abs(alpha) < opt_.pivot_tol) continue;
+          const double v = xb_[static_cast<std::size_t>(p)];
+          const double lo = lb_basic_[static_cast<std::size_t>(p)];
+          const double hi = ub_basic_[static_cast<std::size_t>(p)];
+          double target;
+          if (alpha > 0.0) {
+            // Value increasing: a below-lower infeasible variable first
+            // reaches its lower bound; otherwise it blocks at its upper.
+            if (v < lo - opt_.feas_tol) {
+              target = lo;
+            } else if (std::isfinite(hi)) {
+              target = hi;
+            } else {
+              continue;
+            }
+            if (v > hi + opt_.feas_tol) continue;  // worsening leg
+          } else {
+            if (v > hi + opt_.feas_tol) {
+              target = hi;
+            } else if (std::isfinite(lo)) {
+              target = lo;
+            } else {
+              continue;
+            }
+            if (v < lo - opt_.feas_tol) continue;
+          }
+          const double ratio = std::max(0.0, (target - v) / alpha);
+          if (ratio < min_ratio) min_ratio = ratio;
+        }
       }
 
       // Pass 2: among near-minimal breakpoints pick the largest pivot (or
@@ -428,13 +631,11 @@ class Simplex {
         const double cutoff = min_ratio + opt_.feas_tol;
         double best_pivot = 0.0;
         for (int p = 0; p < m_; ++p) {
-          const double alpha = -static_cast<double>(dir) *
-                               w[static_cast<std::size_t>(p)];
+          const double alpha = negdir * w[static_cast<std::size_t>(p)];
           if (std::abs(alpha) < opt_.pivot_tol) continue;
-          const int j = basis_[static_cast<std::size_t>(p)];
           const double v = xb_[static_cast<std::size_t>(p)];
-          const double lo = lp_.lower[static_cast<std::size_t>(j)];
-          const double hi = lp_.upper[static_cast<std::size_t>(j)];
+          const double lo = lb_basic_[static_cast<std::size_t>(p)];
+          const double hi = ub_basic_[static_cast<std::size_t>(p)];
           double target;
           if (alpha > 0.0) {
             if (phase == 1 && v < lo - opt_.feas_tol) {
@@ -458,7 +659,9 @@ class Simplex {
           const double ratio = std::max(0.0, (target - v) / alpha);
           if (ratio > cutoff) continue;
           if (bland) {
-            if (leave_pos < 0 || j < basis_[static_cast<std::size_t>(leave_pos)]) {
+            if (leave_pos < 0 ||
+                basis_[static_cast<std::size_t>(p)] <
+                    basis_[static_cast<std::size_t>(leave_pos)]) {
               leave_pos = p;
               leave_target = target;
               limit = ratio;
@@ -480,6 +683,7 @@ class Simplex {
         // one is numerical trouble. Refactor once and retry, then give up.
         if (++stall_refactors > 3) return LpStatus::kNumericalError;
         if (!refactorize()) return LpStatus::kNumericalError;
+        dual_fresh = false;
         continue;
       }
       stall_refactors = 0;
@@ -487,17 +691,19 @@ class Simplex {
       if (phase == 1) ++phase1_iterations_;
       degenerate_streak = step < 1e-10 ? degenerate_streak + 1 : 0;
 
-      // Apply the step to the basic values.
-      for (int p = 0; p < m_; ++p) {
-        const double alpha = -static_cast<double>(dir) *
-                             w[static_cast<std::size_t>(p)];
-        if (alpha != 0.0) {
-          xb_[static_cast<std::size_t>(p)] += alpha * step;
+      // Apply the step to the basic values. Branchless axpy: positions with
+      // w == 0 add an exact +-0 and stay put.
+      {
+        const double scale = negdir * step;
+        for (int p = 0; p < m_; ++p) {
+          xb_[static_cast<std::size_t>(p)] +=
+              w[static_cast<std::size_t>(p)] * scale;
         }
       }
 
       if (flip_first) {
-        // Entering variable travels bound-to-bound; basis unchanged.
+        // Entering variable travels bound-to-bound; basis, duals and reduced
+        // costs are all unchanged.
         vstat_[static_cast<std::size_t>(entering)] =
             dir > 0 ? VStat::kAtUpper : VStat::kAtLower;
         continue;
@@ -510,57 +716,100 @@ class Simplex {
               ? 0.0
               : nonbasic_value(entering);
 
-      // Devex reference-weight update needs the pivot row of B^{-1}N under
-      // the *outgoing* basis: rho = B^{-T} e_p, alpha_j = rho . A_j.
+      // One sparse pivot-row pass (rho = B^{-T} e_p under the *outgoing*
+      // basis, alpha_j = rho . A_j through the row mirror) serves both the
+      // incremental reduced-cost update d_j -= theta_d * alpha_j and the
+      // Devex reference-weight update — the latter previously cost a full
+      // O(n * nnz) column sweep per pivot.
+      const bool weights = devex_score && !bland;
+      const bool need_alpha = (inc_mode && dual_fresh) || weights;
       bool devex_reset = false;
-      if (devex && !bland) {
+      if (need_alpha) {
         std::fill(rho.begin(), rho.end(), 0.0);
         rho[static_cast<std::size_t>(leave_pos)] = 1.0;
         inv_.btran(rho);
         const double alpha_q = w[static_cast<std::size_t>(leave_pos)];
         const double wq = devex_w_[static_cast<std::size_t>(entering)];
         const double inv_aq2 = 1.0 / (alpha_q * alpha_q);
-        for (int j = 0; j < n_; ++j) {
+        const bool update_d = inc_mode && dual_fresh;
+        const double theta_d =
+            update_d ? d_[static_cast<std::size_t>(entering)] / alpha_q : 0.0;
+        touched_.clear();
+        for (int i = 0; i < m_; ++i) {
+          const double ri = rho[static_cast<std::size_t>(i)];
+          if (ri == 0.0) continue;
+          const int end = row_start_[static_cast<std::size_t>(i) + 1];
+          for (int k = row_start_[static_cast<std::size_t>(i)]; k < end; ++k) {
+            const int j = row_col_[static_cast<std::size_t>(k)];
+            if (!touched_mark_[static_cast<std::size_t>(j)]) {
+              touched_mark_[static_cast<std::size_t>(j)] = 1;
+              touched_.push_back(j);
+            }
+            alpha_work_[static_cast<std::size_t>(j)] +=
+                ri * row_val_[static_cast<std::size_t>(k)];
+          }
+        }
+        for (int j : touched_) {
+          const double alpha_j = alpha_work_[static_cast<std::size_t>(j)];
+          alpha_work_[static_cast<std::size_t>(j)] = 0.0;
+          touched_mark_[static_cast<std::size_t>(j)] = 0;
+          if (alpha_j == 0.0) continue;
           if (vstat_[static_cast<std::size_t>(j)] == VStat::kBasic ||
               j == entering) {
             continue;
           }
-          double alpha_j = 0.0;
-          for (int k = lp_.a.col_start[j]; k < lp_.a.col_start[j + 1]; ++k) {
-            alpha_j += rho[static_cast<std::size_t>(lp_.a.row_index[k])] *
-                       lp_.a.value[static_cast<std::size_t>(k)];
+          if (update_d) {
+            d_[static_cast<std::size_t>(j)] -= theta_d * alpha_j;
+            ++pricing_candidates_;
           }
-          if (alpha_j == 0.0) continue;
-          const double cand = alpha_j * alpha_j * inv_aq2 * wq;
-          if (cand > devex_w_[static_cast<std::size_t>(j)]) {
-            devex_w_[static_cast<std::size_t>(j)] = cand;
-            if (cand > 1e10) devex_reset = true;
+          if (weights) {
+            const double cand = alpha_j * alpha_j * inv_aq2 * wq;
+            if (cand > devex_w_[static_cast<std::size_t>(j)]) {
+              devex_w_[static_cast<std::size_t>(j)] = cand;
+              if (cand > 1e10) devex_reset = true;
+            }
           }
         }
-        devex_w_[static_cast<std::size_t>(leaving)] =
-            std::max(wq * inv_aq2, 1.0);
+        if (weights) {
+          devex_w_[static_cast<std::size_t>(leaving)] =
+              std::max(wq * inv_aq2, 1.0);
+        }
+        if (update_d) {
+          // alpha_leaving = rho . B e_p = 1 exactly, so d_leaving = -theta_d.
+          d_[static_cast<std::size_t>(leaving)] = -theta_d;
+          d_[static_cast<std::size_t>(entering)] = 0.0;
+          ++pricing_candidates_;
+        }
       }
 
       if (!inv_.update(leave_pos, w, opt_.pivot_tol)) {
         // Stale factorization made the pivot look acceptable when it is not;
-        // rebuild and retry the whole iteration.
+        // rebuild and retry the whole iteration. (The refresh also discards
+        // the incremental d updates applied above for a pivot that never
+        // happened.)
+        const double scale = negdir * step;
         for (int p = 0; p < m_; ++p) {
-          const double alpha = -static_cast<double>(dir) *
-                               w[static_cast<std::size_t>(p)];
-          if (alpha != 0.0) xb_[static_cast<std::size_t>(p)] -= alpha * step;
+          xb_[static_cast<std::size_t>(p)] -=
+              w[static_cast<std::size_t>(p)] * scale;
         }
         if (++stall_refactors > 3) return LpStatus::kNumericalError;
         if (!refactorize()) return LpStatus::kNumericalError;
+        dual_fresh = false;
         continue;
       }
       basis_[static_cast<std::size_t>(leave_pos)] = entering;
       vstat_[static_cast<std::size_t>(entering)] = VStat::kBasic;
       xb_[static_cast<std::size_t>(leave_pos)] =
           entering_start + static_cast<double>(dir) * step;
+      lb_basic_[static_cast<std::size_t>(leave_pos)] =
+          lp_.lower[static_cast<std::size_t>(entering)];
+      ub_basic_[static_cast<std::size_t>(leave_pos)] =
+          lp_.upper[static_cast<std::size_t>(entering)];
       const double leave_lo = lp_.lower[static_cast<std::size_t>(leaving)];
       vstat_[static_cast<std::size_t>(leaving)] =
           std::abs(leave_target - leave_lo) <= opt_.feas_tol ? VStat::kAtLower
                                                              : VStat::kAtUpper;
+      if (inc_mode) ++pivots_since_refresh;
       if (devex_reset) {
         // Reference framework degraded: restart the weights.
         devex_w_.assign(static_cast<std::size_t>(n_), 1.0);
@@ -577,6 +826,7 @@ class Simplex {
     sol.phase1_seconds = phase1_seconds_;
     sol.phase2_seconds = phase2_seconds_;
     sol.warm_started = warm_started_;
+    sol.pricing_candidates = pricing_candidates_;
     sol.x.assign(static_cast<std::size_t>(n_), 0.0);
     sol.basis.status.resize(static_cast<std::size_t>(n_));
     for (int j = 0; j < n_; ++j) {
@@ -638,12 +888,25 @@ class Simplex {
   int iterations_ = 0;
   int phase1_iterations_ = 0;
   int refactorizations_ = 0;
+  long long pricing_candidates_ = 0;
   double phase1_seconds_ = 0.0;
   double phase2_seconds_ = 0.0;
   std::vector<int> basis_;
   std::vector<VStat> vstat_;
   std::vector<double> xb_;
+  std::vector<double> lb_basic_;   // bounds of basic variables by position
+  std::vector<double> ub_basic_;
   std::vector<double> devex_w_;
+  std::vector<double> y_;          // dual work vector for pricing
+  std::vector<double> d_;          // reduced costs (maintained in inc mode)
+  std::vector<double> alpha_work_; // pivot-row scatter workspace (zeroed)
+  std::vector<char> touched_mark_;
+  std::vector<int> touched_;
+  std::vector<int> cand_;          // kPartial candidate list
+  std::vector<std::pair<double, int>> scratch_cand_;
+  std::vector<int> row_start_;     // row-major mirror of lp_.a
+  std::vector<int> row_col_;
+  std::vector<double> row_val_;
   LuBasis inv_;
 };
 
@@ -651,6 +914,37 @@ thread_local const SimplexOptions* active_simplex_override = nullptr;
 thread_local SolveObserver* active_solve_observer = nullptr;
 thread_local ScopedWarmStartCache* active_warm_cache = nullptr;
 thread_local ScopedSolveDeadline* active_solve_deadline = nullptr;
+
+// Runs the simplex with the standard warm-retry contract: a warm-started
+// solve that ends in numerical error is retried cold from the all-slack
+// basis, and the failed attempt's iterations, refactorizations AND wall
+// clock are summed into the final stats (the cold retry used to overwrite
+// the seconds, under-reporting warm failures).
+LpSolution run_simplex(const Lp& lp, const SimplexOptions& opt,
+                       const Basis* warm) {
+  Simplex s(lp, opt, warm);
+  LpSolution sol = s.run();
+  if (s.warm_started() && sol.status == LpStatus::kNumericalError) {
+    static obs::Counter& warm_retries =
+        obs::Registry::global().counter("arrow_solver_warm_retries_total");
+    warm_retries.add();
+    const int warm_iterations = sol.iterations;
+    const int warm_phase1_iterations = sol.phase1_iterations;
+    const int warm_refactorizations = sol.refactorizations;
+    const long long warm_candidates = sol.pricing_candidates;
+    const double warm_phase1_seconds = sol.phase1_seconds;
+    const double warm_phase2_seconds = sol.phase2_seconds;
+    Simplex cold(lp, opt);
+    sol = cold.run();
+    sol.iterations += warm_iterations;
+    sol.phase1_iterations += warm_phase1_iterations;
+    sol.refactorizations += warm_refactorizations;
+    sol.pricing_candidates += warm_candidates;
+    sol.phase1_seconds += warm_phase1_seconds;
+    sol.phase2_seconds += warm_phase2_seconds;
+  }
+  return sol;
+}
 
 }  // namespace
 
@@ -751,21 +1045,51 @@ LpSolution solve_lp(const Lp& lp, const SimplexOptions& options,
   }
   OBS_SPAN("lp_solve");
   const auto solve_t0 = std::chrono::steady_clock::now();
-  Simplex s(lp, opt, warm);
-  LpSolution sol = s.run();
-  if (s.warm_started() && sol.status == LpStatus::kNumericalError) {
-    // The warm basis led the solve astray; the all-slack start is the
-    // correctness baseline, so pay for a cold solve before reporting failure.
-    static obs::Counter& warm_retries =
-        obs::Registry::global().counter("arrow_solver_warm_retries_total");
-    warm_retries.add();
-    const int warm_iterations = sol.iterations;
-    const int warm_refactorizations = sol.refactorizations;
-    Simplex cold(lp, opt);
-    sol = cold.run();
-    sol.iterations += warm_iterations;
-    sol.refactorizations += warm_refactorizations;
+
+  LpSolution sol;
+  bool solved = false;
+  if (opt.presolve && lp.a.rows > 0) {
+    Presolved pre = presolve_lp(lp, opt);
+    if (pre.status == Presolved::Status::kInfeasible) {
+      sol.status = LpStatus::kInfeasible;
+      sol.x.assign(static_cast<std::size_t>(lp.a.cols), 0.0);
+      // Structurally valid all-slack basis, matching the shape contract of a
+      // simplex-detected infeasibility.
+      sol.basis.status.assign(static_cast<std::size_t>(lp.a.cols),
+                              BasisStatus::kNonbasicLower);
+      for (int i = 0; i < lp.a.rows; ++i) {
+        sol.basis.status[static_cast<std::size_t>(lp.a.cols - lp.a.rows + i)] =
+            BasisStatus::kBasic;
+      }
+      sol.presolve_rows_removed = pre.rows_removed;
+      sol.presolve_cols_removed = pre.cols_removed;
+      solved = true;
+    } else if (!pre.is_identity()) {
+      // Map the full-space warm basis down to the reduced space; a basis
+      // whose basic count no longer matches is rejected by the simplex and
+      // the solve falls back to cold, exactly as in full space.
+      Basis reduced_warm;
+      const Basis* rw = nullptr;
+      if (warm != nullptr &&
+          static_cast<int>(warm->status.size()) == lp.a.cols) {
+        reduced_warm.status.reserve(pre.col_map.size());
+        for (int oc : pre.col_map) {
+          reduced_warm.status.push_back(
+              warm->status[static_cast<std::size_t>(oc)]);
+        }
+        rw = &reduced_warm;
+      }
+      LpSolution reduced_sol = run_simplex(pre.reduced, opt, rw);
+      sol = postsolve_solution(lp, pre, reduced_sol, opt);
+      sol.presolve_rows_removed = pre.rows_removed;
+      sol.presolve_cols_removed = pre.cols_removed;
+      solved = true;
+    }
   }
+  if (!solved) {
+    sol = run_simplex(lp, opt, warm);
+  }
+
   if (cache != nullptr &&
       (sol.status == LpStatus::kOptimal ||
        sol.status == LpStatus::kTimedOut) &&
@@ -797,6 +1121,12 @@ LpSolution solve_lp(const Lp& lp, const SimplexOptions& options,
         reg.counter("arrow_solver_warm_starts_total");
     static obs::Counter& cold_starts =
         reg.counter("arrow_solver_cold_starts_total");
+    static obs::Counter& presolve_rows =
+        reg.counter("arrow_solver_presolve_rows_removed_total");
+    static obs::Counter& presolve_cols =
+        reg.counter("arrow_solver_presolve_cols_removed_total");
+    static obs::Counter& pricing_cands =
+        reg.counter("arrow_solver_pricing_candidates");
     static obs::Histogram& solve_seconds =
         reg.histogram("arrow_solver_solve_seconds");
     static obs::Histogram& phase1_seconds =
@@ -808,6 +1138,9 @@ LpSolution solve_lp(const Lp& lp, const SimplexOptions& options,
     p1_iters.add(static_cast<std::uint64_t>(sol.phase1_iterations));
     refactors.add(static_cast<std::uint64_t>(sol.refactorizations));
     (sol.warm_started ? warm_starts : cold_starts).add();
+    presolve_rows.add(static_cast<std::uint64_t>(sol.presolve_rows_removed));
+    presolve_cols.add(static_cast<std::uint64_t>(sol.presolve_cols_removed));
+    pricing_cands.add(static_cast<std::uint64_t>(sol.pricing_candidates));
     solve_seconds.observe(std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - solve_t0)
                               .count());

@@ -21,10 +21,10 @@ struct BaseVars {
 };
 
 // Constraints (1)-(3) / (7)-(9): flow cover, healthy capacity, demand caps.
-// `fast` walks the link->tunnel incidence index instead of probing all F x T
-// tunnels per link; both paths visit tunnels in (flow, ti) order and
-// add_constr canonicalizes terms, so the built rows are identical.
-BaseVars add_base(solver::Model& model, const TeInput& input, bool fast) {
+// Link loads walk the link->tunnel incidence index; it visits tunnels in
+// (flow, ti) order and add_constr canonicalizes terms, so the rows match a
+// dense F x T probe exactly.
+BaseVars add_base(solver::Model& model, const TeInput& input) {
   const int F = input.num_flows();
   BaseVars vars;
   vars.b.resize(static_cast<std::size_t>(F));
@@ -48,21 +48,10 @@ BaseVars add_base(solver::Model& model, const TeInput& input, bool fast) {
   }
   for (const auto& link : input.net().ip_links) {
     solver::LinExpr load;
-    if (fast) {
-      for (const auto& lt : input.tunnels_on_link(link.id)) {
-        load.add_term(
-            vars.a[static_cast<std::size_t>(lt.flow)][static_cast<std::size_t>(lt.ti)],
-            1.0);
-      }
-    } else {
-      for (int f = 0; f < F; ++f) {
-        for (std::size_t ti = 0;
-             ti < vars.a[static_cast<std::size_t>(f)].size(); ++ti) {
-          if (input.tunnel_uses_link(f, static_cast<int>(ti), link.id)) {
-            load.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
-          }
-        }
-      }
+    for (const auto& lt : input.tunnels_on_link(link.id)) {
+      load.add_term(
+          vars.a[static_cast<std::size_t>(lt.flow)][static_cast<std::size_t>(lt.ti)],
+          1.0);
     }
     if (!load.terms().empty()) {
       model.add_constr(load, solver::Sense::kLe, link.capacity_gbps());
@@ -80,6 +69,9 @@ TeSolution extract_solution(solver::Model& model, const TeInput& input,
   sol.objective = res.objective;
   sol.solve_seconds = seconds;
   sol.simplex_iterations = res.simplex_iterations;
+  sol.presolve_rows_removed = res.presolve_rows_removed;
+  sol.presolve_cols_removed = res.presolve_cols_removed;
+  sol.pricing_candidates = res.pricing_candidates;
   if (!sol.optimal) return sol;
   const int F = input.num_flows();
   sol.admitted.resize(static_cast<std::size_t>(F));
@@ -121,97 +113,45 @@ struct Phase2Model {
 };
 
 // Builds the Phase II LP (Table 3) against a chosen ticket per scenario
-// (z = -1 selects the naive RWA ticket). `fast` selects the parallel path:
-// per-scenario cover (10) and restored-capacity (11) expressions are
-// generated on `pool` into per-q slots — flags from `cache` when one is
-// shared, recomputed inside the body otherwise (restorable_flags is pure) —
-// then appended serially in fixed q order. Same protocol as build_phase1:
-// row order and contents match the serial dense build exactly, so the model
-// is bit-identical at any thread count.
+// (z = -1 selects the naive RWA ticket). Per-scenario cover (10) and
+// restored-capacity (11) expressions are generated on `pool` into per-q
+// slots — flags from `cache` when one is shared, recomputed inside the body
+// otherwise (restorable_flags is pure) — then appended serially in fixed q
+// order. Same protocol as build_phase1: each body writes only its own slot,
+// so row order and contents are bit-identical at any thread count.
 void build_phase2(const TeInput& input, const ArrowPrepared& prepared,
                   const std::vector<ticket::LotteryTicket>& naive,
-                  const std::vector<int>& winners, bool fast,
+                  const std::vector<int>& winners,
                   const RestorabilityCache* cache, util::ThreadPool& pool,
                   Phase2Model* out) {
   OBS_SPAN("phase2_build");
   const int Q = input.num_scenarios();
   solver::Model& model = out->model;
   model.set_maximize();
-  out->vars = add_base(model, input, fast);
+  out->vars = add_base(model, input);
   const BaseVars& vars = out->vars;
 
-  if (fast) {
-    struct ScenarioRows {
-      std::vector<solver::LinExpr> cover;      // per affected flow of q
-      std::vector<solver::LinExpr> link_load;  // per failed link of q
-    };
-    std::vector<ScenarioRows> rows(static_cast<std::size_t>(Q));
-    pool.parallel_for(0, Q, [&](int q) {
-      const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
-      std::vector<char> fresh;
-      if (cache == nullptr) {
-        fresh = restorable_flags(
-            input, q, tickets,
-            ticket_or_naive(prepared, naive, q,
-                            winners[static_cast<std::size_t>(q)]));
-      }
-      const std::vector<char>& restorable =
-          cache != nullptr
-              ? cache->flags(q, winners[static_cast<std::size_t>(q)])
-              : fresh;
-      ScenarioRows& r = rows[static_cast<std::size_t>(q)];
-      r.cover.reserve(input.affected_flows(q).size());
-      for (int f : input.affected_flows(q)) {
-        solver::LinExpr expr;
-        const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
-        for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
-          const int flat = input.tunnel_index(f, static_cast<int>(ti));
-          if (input.tunnel_alive(f, static_cast<int>(ti), q) ||
-              restorable[static_cast<std::size_t>(flat)]) {
-            expr.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
-          }
-        }
-        expr -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
-        r.cover.push_back(std::move(expr));
-      }
-      r.link_load.resize(tickets.failed_links.size());
-      for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
-        for (const auto& lt : input.tunnels_on_link(tickets.failed_links[li])) {
-          if (restorable[static_cast<std::size_t>(lt.flat)]) {
-            r.link_load[li].add_term(
-                vars.a[static_cast<std::size_t>(lt.flow)]
-                      [static_cast<std::size_t>(lt.ti)],
-                1.0);
-          }
-        }
-      }
-    });
-    for (int q = 0; q < Q; ++q) {
-      const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
-      const auto& ticket = ticket_or_naive(
-          prepared, naive, q, winners[static_cast<std::size_t>(q)]);
-      ScenarioRows& r = rows[static_cast<std::size_t>(q)];
-      for (auto& expr : r.cover) {
-        model.add_constr(expr, solver::Sense::kGe, 0.0);
-      }
-      for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
-        if (!r.link_load[li].terms().empty()) {
-          model.add_constr(r.link_load[li], solver::Sense::kLe,
-                           ticket.gbps[li]);
-        }
-      }
-    }
-    return;
-  }
-
-  // Legacy serial build: dense F x T scans, flags recomputed per scenario.
-  for (int q = 0; q < Q; ++q) {
+  struct ScenarioRows {
+    std::vector<solver::LinExpr> cover;      // per affected flow of q
+    std::vector<solver::LinExpr> link_load;  // per failed link of q
+  };
+  std::vector<ScenarioRows> rows(static_cast<std::size_t>(Q));
+  pool.parallel_for(0, Q, [&](int q) {
     const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
-    const auto& ticket = ticket_or_naive(prepared, naive, q,
-                                         winners[static_cast<std::size_t>(q)]);
-    const std::vector<char> restorable =
-        restorable_flags(input, q, tickets, ticket);
+    std::vector<char> fresh;
+    if (cache == nullptr) {
+      fresh = restorable_flags(
+          input, q, tickets,
+          ticket_or_naive(prepared, naive, q,
+                          winners[static_cast<std::size_t>(q)]));
+    }
+    const std::vector<char>& restorable =
+        cache != nullptr
+            ? cache->flags(q, winners[static_cast<std::size_t>(q)])
+            : fresh;
+    ScenarioRows& r = rows[static_cast<std::size_t>(q)];
     // (10): residual + restorable tunnels cover b_f.
+    r.cover.reserve(input.affected_flows(q).size());
     for (int f : input.affected_flows(q)) {
       solver::LinExpr expr;
       const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
@@ -223,24 +163,33 @@ void build_phase2(const TeInput& input, const ArrowPrepared& prepared,
         }
       }
       expr -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
-      model.add_constr(expr, solver::Sense::kGe, 0.0);
+      r.cover.push_back(std::move(expr));
     }
     // (11): restorable tunnels fit within restored capacity r*.
+    r.link_load.resize(tickets.failed_links.size());
     for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
-      const topo::IpLinkId e = tickets.failed_links[li];
-      solver::LinExpr load;
-      for (int f = 0; f < input.num_flows(); ++f) {
-        const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
-        for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
-          const int flat = input.tunnel_index(f, static_cast<int>(ti));
-          if (restorable[static_cast<std::size_t>(flat)] &&
-              input.tunnel_uses_link(f, static_cast<int>(ti), e)) {
-            load.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
-          }
+      for (const auto& lt : input.tunnels_on_link(tickets.failed_links[li])) {
+        if (restorable[static_cast<std::size_t>(lt.flat)]) {
+          r.link_load[li].add_term(
+              vars.a[static_cast<std::size_t>(lt.flow)]
+                    [static_cast<std::size_t>(lt.ti)],
+              1.0);
         }
       }
-      if (!load.terms().empty()) {
-        model.add_constr(load, solver::Sense::kLe, ticket.gbps[li]);
+    }
+  });
+  for (int q = 0; q < Q; ++q) {
+    const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+    const auto& ticket = ticket_or_naive(
+        prepared, naive, q, winners[static_cast<std::size_t>(q)]);
+    ScenarioRows& r = rows[static_cast<std::size_t>(q)];
+    for (auto& expr : r.cover) {
+      model.add_constr(expr, solver::Sense::kGe, 0.0);
+    }
+    for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+      if (!r.link_load[li].terms().empty()) {
+        model.add_constr(r.link_load[li], solver::Sense::kLe,
+                         ticket.gbps[li]);
       }
     }
   }
@@ -250,11 +199,11 @@ void build_phase2(const TeInput& input, const ArrowPrepared& prepared,
 TeSolution phase2(const TeInput& input, const ArrowPrepared& prepared,
                   const std::vector<ticket::LotteryTicket>& naive,
                   const std::vector<int>& winners, const char* scheme,
-                  double extra_seconds, bool fast,
+                  double extra_seconds,
                   const RestorabilityCache* cache, util::ThreadPool& pool) {
   const int Q = input.num_scenarios();
   Phase2Model p2;
-  build_phase2(input, prepared, naive, winners, fast, cache, pool, &p2);
+  build_phase2(input, prepared, naive, winners, cache, pool, &p2);
   solver::Model& model = p2.model;
   BaseVars& vars = p2.vars;
 
@@ -288,116 +237,41 @@ struct Phase1Model {
   std::vector<std::vector<SlackGroup>> slack;  // [q][z]
 };
 
-// Builds the Phase I LP (Table 2). A non-null `cache` selects the fast path:
-// union restorability flags come from the cache and the per-scenario cover +
-// link-load expressions are generated in parallel on `pool` into per-q
-// slots, then appended serially in fixed q order — variable order, row order
-// and row contents are identical to the serial legacy build (flags are a
-// pure function of the inputs and add_constr canonicalizes terms), so the
-// model is bit-identical at any thread count and with the cache on or off.
+// Builds the Phase I LP (Table 2). Union restorability flags come from
+// `cache` (required) and the per-scenario cover + link-load expressions are
+// generated in parallel on `pool` into per-q slots, then appended serially
+// in fixed q order — the flags are a pure function of the inputs and each
+// body writes only its own slot, so variable order, row order and row
+// contents are bit-identical at any thread count.
 void build_phase1(const TeInput& input, const ArrowPrepared& prepared,
                   const std::vector<ticket::LotteryTicket>& naive,
                   const ArrowParams& params, util::ThreadPool& pool,
                   const RestorabilityCache* cache, Phase1Model* out) {
   OBS_SPAN("phase1_build");
+  ARROW_CHECK(cache != nullptr, "build_phase1 requires a restorability cache");
   const int Q = input.num_scenarios();
   solver::Model& model = out->model;
   model.set_maximize();
-  out->vars = add_base(model, input, cache != nullptr);
+  out->vars = add_base(model, input);
   const BaseVars& vars = out->vars;
   out->slack.assign(static_cast<std::size_t>(Q), {});
 
-  if (cache != nullptr) {
-    struct ScenarioRows {
-      std::vector<solver::LinExpr> cover;      // per affected flow of q
-      std::vector<solver::LinExpr> link_load;  // per failed link of q
-    };
-    std::vector<ScenarioRows> rows(static_cast<std::size_t>(Q));
-    pool.parallel_for(0, Q, [&](int q) {
-      const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
-      const auto& restorable_any = cache->union_flags(q);
-      ScenarioRows& r = rows[static_cast<std::size_t>(q)];
-      // (4): residual + restorable (under the best candidate) tunnels cover
-      // b_f. See the legacy branch below for why the union is correct.
-      r.cover.reserve(input.affected_flows(q).size());
-      for (int f : input.affected_flows(q)) {
-        solver::LinExpr expr;
-        const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
-        for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
-          const int flat = input.tunnel_index(f, static_cast<int>(ti));
-          if (input.tunnel_alive(f, static_cast<int>(ti), q) ||
-              restorable_any[static_cast<std::size_t>(flat)]) {
-            expr.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
-          }
-        }
-        expr -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
-        r.cover.push_back(std::move(expr));
-      }
-      r.link_load.resize(tickets.failed_links.size());
-      for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
-        for (const auto& lt : input.tunnels_on_link(tickets.failed_links[li])) {
-          if (restorable_any[static_cast<std::size_t>(lt.flat)]) {
-            r.link_load[li].add_term(
-                vars.a[static_cast<std::size_t>(lt.flow)]
-                      [static_cast<std::size_t>(lt.ti)],
-                1.0);
-          }
-        }
-      }
-    });
-    // Serial append in q order: slack variables and rows land in exactly the
-    // positions the all-serial build gives them.
-    for (int q = 0; q < Q; ++q) {
-      const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
-      const int Z = std::max<int>(1, static_cast<int>(tickets.tickets.size()));
-      out->slack[static_cast<std::size_t>(q)].resize(static_cast<std::size_t>(Z));
-      for (const auto& expr : rows[static_cast<std::size_t>(q)].cover) {
-        model.add_constr(expr, solver::Sense::kGe, 0.0);
-      }
-      for (int z = 0; z < Z; ++z) {
-        const auto& ticket = ticket_or_naive(
-            prepared, naive, q, tickets.tickets.empty() ? -1 : z);
-        auto& group =
-            out->slack[static_cast<std::size_t>(q)][static_cast<std::size_t>(z)];
-        for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
-          const double r = ticket.gbps[li];
-          const auto dp = model.add_var(0.0, solver::kInf, -params.slack_penalty);
-          const auto dm = model.add_var(0.0, solver::kInf, 0.0);
-          group.dp.push_back(dp);
-          group.dm.push_back(dm);
-          solver::LinExpr row = rows[static_cast<std::size_t>(q)].link_load[li];
-          row.add_term(dp, -1.0);
-          row.add_term(dm, 1.0);
-          model.add_constr(row, solver::Sense::kLe, r);
-        }
-      }
-    }
-    return;
-  }
-
-  // Legacy serial build: dense F x T scans, flags recomputed per (q, z).
-  for (int q = 0; q < Q; ++q) {
+  struct ScenarioRows {
+    std::vector<solver::LinExpr> cover;      // per affected flow of q
+    std::vector<solver::LinExpr> link_load;  // per failed link of q
+  };
+  std::vector<ScenarioRows> rows(static_cast<std::size_t>(Q));
+  pool.parallel_for(0, Q, [&](int q) {
     const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
-    const int Z = std::max<int>(1, static_cast<int>(tickets.tickets.size()));
-    out->slack[static_cast<std::size_t>(q)].resize(static_cast<std::size_t>(Z));
-
-    // Restorability union across tickets. Constraint (4) uses the union:
-    // Phase I plans against the restoration the *winning* ticket will
-    // provide, and the per-ticket slack rows (5) measure how far each
-    // candidate is from supporting that plan. (A per-ticket hard (4) would
-    // make throughput fall as |Z| grows, contradicting Fig. 14.)
-    std::vector<char> restorable_any(
-        static_cast<std::size_t>(input.total_tunnels()), 0);
-    for (int z = 0; z < Z; ++z) {
-      const auto& ticket = ticket_or_naive(
-          prepared, naive, q, tickets.tickets.empty() ? -1 : z);
-      const auto flags = restorable_flags(input, q, tickets, ticket);
-      for (std::size_t i = 0; i < restorable_any.size(); ++i) {
-        restorable_any[i] |= flags[i];
-      }
-    }
-
-    // (4): residual + restorable (under the best candidate) tunnels cover b_f.
+    const auto& restorable_any = cache->union_flags(q);
+    ScenarioRows& r = rows[static_cast<std::size_t>(q)];
+    // (4): residual + restorable (under the best candidate) tunnels cover
+    // b_f. Constraint (4) uses the union across tickets: Phase I plans
+    // against the restoration the *winning* ticket will provide, and the
+    // per-ticket slack rows (5) measure how far each candidate is from
+    // supporting that plan. (A per-ticket hard (4) would make throughput
+    // fall as |Z| grows, contradicting Fig. 14.)
+    r.cover.reserve(input.affected_flows(q).size());
     for (int f : input.affected_flows(q)) {
       solver::LinExpr expr;
       const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
@@ -409,34 +283,39 @@ void build_phase1(const TeInput& input, const ArrowPrepared& prepared,
         }
       }
       expr -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
-      model.add_constr(expr, solver::Sense::kGe, 0.0);
+      r.cover.push_back(std::move(expr));
     }
-
     // Shared load expressions: allocation of union-restorable tunnels
     // crossing each failed link. Under a candidate ticket z, whatever part
     // of this load exceeds r_e^{z,q} must spill into the slack Delta.
-    std::vector<solver::LinExpr> link_load(tickets.failed_links.size());
+    r.link_load.resize(tickets.failed_links.size());
     for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
-      const topo::IpLinkId e = tickets.failed_links[li];
-      for (int f = 0; f < input.num_flows(); ++f) {
-        const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
-        for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
-          const int flat = input.tunnel_index(f, static_cast<int>(ti));
-          if (restorable_any[static_cast<std::size_t>(flat)] &&
-              input.tunnel_uses_link(f, static_cast<int>(ti), e)) {
-            link_load[li].add_term(vars.a[static_cast<std::size_t>(f)][ti],
-                                   1.0);
-          }
+      for (const auto& lt : input.tunnels_on_link(tickets.failed_links[li])) {
+        if (restorable_any[static_cast<std::size_t>(lt.flat)]) {
+          r.link_load[li].add_term(
+              vars.a[static_cast<std::size_t>(lt.flow)]
+                    [static_cast<std::size_t>(lt.ti)],
+              1.0);
         }
       }
     }
-
-    // (5) with slacks per candidate ticket. The ReLU penalty on dp makes the
-    // LP set dp = max(0, load - r) exactly, so after the solve dp measures
-    // each ticket's unsupported allocation. The M^{z,q} = alpha * sum_e r
-    // budget of constraint (6) is enforced during winner post-processing
-    // (a hard per-ticket budget row would let one bad candidate render the
-    // whole Phase I infeasible under the shared allocation).
+  });
+  // Serial append in q order: slack variables and rows land in exactly the
+  // positions an all-serial build gives them.
+  //
+  // (5) with slacks per candidate ticket. The ReLU penalty on dp makes the
+  // LP set dp = max(0, load - r) exactly, so after the solve dp measures
+  // each ticket's unsupported allocation. The M^{z,q} = alpha * sum_e r
+  // budget of constraint (6) is enforced during winner post-processing
+  // (a hard per-ticket budget row would let one bad candidate render the
+  // whole Phase I infeasible under the shared allocation).
+  for (int q = 0; q < Q; ++q) {
+    const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+    const int Z = std::max<int>(1, static_cast<int>(tickets.tickets.size()));
+    out->slack[static_cast<std::size_t>(q)].resize(static_cast<std::size_t>(Z));
+    for (const auto& expr : rows[static_cast<std::size_t>(q)].cover) {
+      model.add_constr(expr, solver::Sense::kGe, 0.0);
+    }
     for (int z = 0; z < Z; ++z) {
       const auto& ticket = ticket_or_naive(
           prepared, naive, q, tickets.tickets.empty() ? -1 : z);
@@ -448,7 +327,7 @@ void build_phase1(const TeInput& input, const ArrowPrepared& prepared,
         const auto dm = model.add_var(0.0, solver::kInf, 0.0);
         group.dp.push_back(dp);
         group.dm.push_back(dm);
-        solver::LinExpr row = link_load[li];
+        solver::LinExpr row = rows[static_cast<std::size_t>(q)].link_load[li];
         row.add_term(dp, -1.0);
         row.add_term(dm, 1.0);
         model.add_constr(row, solver::Sense::kLe, r);
@@ -463,125 +342,48 @@ struct IlpModel {
   std::vector<std::vector<solver::VarId>> select;  // [q][z]
 };
 
-// Builds the exact selection ILP (Table 9). `fast` selects the parallel
-// path: the per-(q, z) cover (31) and restored-capacity (32) expressions —
-// minus their big-M selector terms, which reference variables that do not
-// exist yet — are generated on `pool` into per-q slots, then appended
-// serially in fixed (q, z) order with the binary selectors created in that
-// same order. Selector var ids, row order and row contents therefore match
-// the serial dense build exactly (add_constr canonicalizes term order, so
-// appending the big-M term last changes nothing), and the model is
-// bit-identical at any thread count.
+// Builds the exact selection ILP (Table 9). The per-(q, z) cover (31) and
+// restored-capacity (32) expressions — minus their big-M selector terms,
+// which reference variables that do not exist yet — are generated on `pool`
+// into per-q slots, then appended serially in fixed (q, z) order with the
+// binary selectors created in that same order. Selector var ids, row order
+// and row contents are therefore deterministic (add_constr canonicalizes
+// term order, so appending the big-M term last changes nothing), and the
+// model is bit-identical at any thread count.
 void build_ilp(const TeInput& input, const ArrowPrepared& prepared,
-               const std::vector<ticket::LotteryTicket>& naive, bool fast,
+               const std::vector<ticket::LotteryTicket>& naive,
                const RestorabilityCache* cache, util::ThreadPool& pool,
                IlpModel* out) {
   const int Q = input.num_scenarios();
   solver::Model& model = out->model;
   model.set_maximize();
-  out->vars = add_base(model, input, fast);
+  out->vars = add_base(model, input);
   const BaseVars& vars = out->vars;
   out->select.assign(static_cast<std::size_t>(Q), {});
 
-  if (fast) {
-    struct TicketRows {
-      std::vector<solver::LinExpr> cover;  // per affected flow, sans -M x
-      std::vector<solver::LinExpr> load;   // per failed link, sans +M x
-    };
-    std::vector<std::vector<TicketRows>> rows(static_cast<std::size_t>(Q));
-    pool.parallel_for(0, Q, [&](int q) {
-      const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
-      const int Z = std::max<int>(1, static_cast<int>(tickets.tickets.size()));
-      auto& per_z = rows[static_cast<std::size_t>(q)];
-      per_z.resize(static_cast<std::size_t>(Z));
-      for (int z = 0; z < Z; ++z) {
-        const int zi = tickets.tickets.empty() ? -1 : z;
-        std::vector<char> fresh;
-        if (cache == nullptr) {
-          fresh = restorable_flags(input, q, tickets,
-                                   ticket_or_naive(prepared, naive, q, zi));
-        }
-        const std::vector<char>& restorable =
-            cache != nullptr ? cache->flags(q, zi) : fresh;
-        TicketRows& r = per_z[static_cast<std::size_t>(z)];
-        r.cover.reserve(input.affected_flows(q).size());
-        for (int f : input.affected_flows(q)) {
-          solver::LinExpr expr;
-          const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
-          for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
-            const int flat = input.tunnel_index(f, static_cast<int>(ti));
-            if (input.tunnel_alive(f, static_cast<int>(ti), q) ||
-                restorable[static_cast<std::size_t>(flat)]) {
-              expr.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
-            }
-          }
-          expr -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
-          r.cover.push_back(std::move(expr));
-        }
-        r.load.resize(tickets.failed_links.size());
-        for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
-          for (const auto& lt :
-               input.tunnels_on_link(tickets.failed_links[li])) {
-            if (restorable[static_cast<std::size_t>(lt.flat)]) {
-              r.load[li].add_term(vars.a[static_cast<std::size_t>(lt.flow)]
-                                        [static_cast<std::size_t>(lt.ti)],
-                                  1.0);
-            }
-          }
-        }
-      }
-    });
-    for (int q = 0; q < Q; ++q) {
-      const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
-      const int Z = std::max<int>(1, static_cast<int>(tickets.tickets.size()));
-      solver::LinExpr one;
-      for (int z = 0; z < Z; ++z) {
-        const auto x = model.add_binary(0.0);
-        out->select[static_cast<std::size_t>(q)].push_back(x);
-        one.add_term(x, 1.0);
-        const int zi = tickets.tickets.empty() ? -1 : z;
-        const auto& ticket = ticket_or_naive(prepared, naive, q, zi);
-        TicketRows& r =
-            rows[static_cast<std::size_t>(q)][static_cast<std::size_t>(z)];
-        std::size_t ci = 0;
-        for (int f : input.affected_flows(q)) {
-          const double big_m =
-              input.flows()[static_cast<std::size_t>(f)].demand_gbps;
-          solver::LinExpr expr = std::move(r.cover[ci++]);
-          expr.add_term(x, -big_m);
-          model.add_constr(expr, solver::Sense::kGe, -big_m);
-        }
-        for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
-          const topo::IpLinkId e = tickets.failed_links[li];
-          const double big_m =
-              input.net().ip_links[static_cast<std::size_t>(e)].capacity_gbps();
-          solver::LinExpr load = std::move(r.load[li]);
-          load.add_term(x, big_m);
-          model.add_constr(load, solver::Sense::kLe, ticket.gbps[li] + big_m);
-        }
-      }
-      model.add_constr(one, solver::Sense::kEq, 1.0);  // (33)
-    }
-    return;
-  }
-
-  // Legacy serial build: dense F x T scans, flags recomputed per (q, z).
-  for (int q = 0; q < Q; ++q) {
+  struct TicketRows {
+    std::vector<solver::LinExpr> cover;  // per affected flow, sans -M x
+    std::vector<solver::LinExpr> load;   // per failed link, sans +M x
+  };
+  std::vector<std::vector<TicketRows>> rows(static_cast<std::size_t>(Q));
+  pool.parallel_for(0, Q, [&](int q) {
     const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
     const int Z = std::max<int>(1, static_cast<int>(tickets.tickets.size()));
-    solver::LinExpr one;
+    auto& per_z = rows[static_cast<std::size_t>(q)];
+    per_z.resize(static_cast<std::size_t>(Z));
     for (int z = 0; z < Z; ++z) {
-      const auto x = model.add_binary(0.0);
-      out->select[static_cast<std::size_t>(q)].push_back(x);
-      one.add_term(x, 1.0);
       const int zi = tickets.tickets.empty() ? -1 : z;
-      const auto& ticket = ticket_or_naive(prepared, naive, q, zi);
-      const std::vector<char> restorable =
-          restorable_flags(input, q, tickets, ticket);
+      std::vector<char> fresh;
+      if (cache == nullptr) {
+        fresh = restorable_flags(input, q, tickets,
+                                 ticket_or_naive(prepared, naive, q, zi));
+      }
+      const std::vector<char>& restorable =
+          cache != nullptr ? cache->flags(q, zi) : fresh;
+      TicketRows& r = per_z[static_cast<std::size_t>(z)];
       // (31): cover constraint relaxed unless ticket z is selected.
+      r.cover.reserve(input.affected_flows(q).size());
       for (int f : input.affected_flows(q)) {
-        const double big_m =
-            input.flows()[static_cast<std::size_t>(f)].demand_gbps;
         solver::LinExpr expr;
         const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
         for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
@@ -592,25 +394,47 @@ void build_ilp(const TeInput& input, const ArrowPrepared& prepared,
           }
         }
         expr -= solver::LinExpr(vars.b[static_cast<std::size_t>(f)]);
+        r.cover.push_back(std::move(expr));
+      }
+      // (32): restored-capacity constraint relaxed unless selected.
+      r.load.resize(tickets.failed_links.size());
+      for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
+        for (const auto& lt :
+             input.tunnels_on_link(tickets.failed_links[li])) {
+          if (restorable[static_cast<std::size_t>(lt.flat)]) {
+            r.load[li].add_term(vars.a[static_cast<std::size_t>(lt.flow)]
+                                      [static_cast<std::size_t>(lt.ti)],
+                                1.0);
+          }
+        }
+      }
+    }
+  });
+  for (int q = 0; q < Q; ++q) {
+    const auto& tickets = prepared.tickets[static_cast<std::size_t>(q)];
+    const int Z = std::max<int>(1, static_cast<int>(tickets.tickets.size()));
+    solver::LinExpr one;
+    for (int z = 0; z < Z; ++z) {
+      const auto x = model.add_binary(0.0);
+      out->select[static_cast<std::size_t>(q)].push_back(x);
+      one.add_term(x, 1.0);
+      const int zi = tickets.tickets.empty() ? -1 : z;
+      const auto& ticket = ticket_or_naive(prepared, naive, q, zi);
+      TicketRows& r =
+          rows[static_cast<std::size_t>(q)][static_cast<std::size_t>(z)];
+      std::size_t ci = 0;
+      for (int f : input.affected_flows(q)) {
+        const double big_m =
+            input.flows()[static_cast<std::size_t>(f)].demand_gbps;
+        solver::LinExpr expr = std::move(r.cover[ci++]);
         expr.add_term(x, -big_m);
         model.add_constr(expr, solver::Sense::kGe, -big_m);
       }
-      // (32): restored-capacity constraint relaxed unless selected.
       for (std::size_t li = 0; li < tickets.failed_links.size(); ++li) {
         const topo::IpLinkId e = tickets.failed_links[li];
         const double big_m =
             input.net().ip_links[static_cast<std::size_t>(e)].capacity_gbps();
-        solver::LinExpr load;
-        for (int f = 0; f < input.num_flows(); ++f) {
-          const auto& tunnels = input.tunnels()[static_cast<std::size_t>(f)];
-          for (std::size_t ti = 0; ti < tunnels.size(); ++ti) {
-            const int flat = input.tunnel_index(f, static_cast<int>(ti));
-            if (restorable[static_cast<std::size_t>(flat)] &&
-                input.tunnel_uses_link(f, static_cast<int>(ti), e)) {
-              load.add_term(vars.a[static_cast<std::size_t>(f)][ti], 1.0);
-            }
-          }
-        }
+        solver::LinExpr load = std::move(r.load[li]);
         load.add_term(x, big_m);
         model.add_constr(load, solver::Sense::kLe, ticket.gbps[li] + big_m);
       }
@@ -782,11 +606,10 @@ Phase1BuildStats build_phase1_model(const TeInput& input,
   const auto t0 = Clock::now();
   const auto naive = make_naive_tickets(prepared);
   std::optional<RestorabilityCache> local;
-  if (params.fast_build && cache == nullptr) {
+  if (cache == nullptr) {
     local.emplace(input, prepared, pool);
     cache = &*local;
   }
-  if (!params.fast_build) cache = nullptr;
   Phase1Model p1;
   build_phase1(input, prepared, naive, params, pool, cache, &p1);
   Phase1BuildStats stats;
@@ -809,11 +632,10 @@ TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
   // Build a private cache when the caller did not share one. The cache (and
   // the index) never change the model — only how fast it is assembled.
   std::optional<RestorabilityCache> local;
-  if (params.fast_build && cache == nullptr) {
+  if (cache == nullptr) {
     local.emplace(input, prepared, pool);
     cache = &*local;
   }
-  if (!params.fast_build) cache = nullptr;
 
   // ---- Phase I (Table 2) --------------------------------------------------
   Phase1Model p1;
@@ -831,6 +653,9 @@ TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
     sol.scheme = "ARROW";
     sol.solve_seconds = phase1_seconds;
     sol.simplex_iterations = res.simplex_iterations;
+    sol.presolve_rows_removed = res.presolve_rows_removed;
+    sol.presolve_cols_removed = res.presolve_cols_removed;
+    sol.pricing_candidates = res.pricing_candidates;
     return sol;
   }
 
@@ -880,8 +705,11 @@ TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
 
   // ---- Phase II -----------------------------------------------------------
   TeSolution sol = phase2(input, prepared, naive, winners, "ARROW",
-                          phase1_seconds, params.fast_build, cache, pool);
+                          phase1_seconds, cache, pool);
   sol.simplex_iterations += res.simplex_iterations;  // include Phase I's share
+  sol.presolve_rows_removed += res.presolve_rows_removed;
+  sol.presolve_cols_removed += res.presolve_cols_removed;
+  sol.pricing_candidates += res.pricing_candidates;
   return sol;
 }
 
@@ -892,12 +720,13 @@ TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
 
 TeSolution solve_arrow_naive(const TeInput& input,
                              const ArrowPrepared& prepared,
-                             const ArrowParams& params, util::ThreadPool& pool,
+                             const ArrowParams& /*params*/,
+                             util::ThreadPool& pool,
                              const RestorabilityCache* cache) {
   const auto naive = make_naive_tickets(prepared);
   std::vector<int> winners(static_cast<std::size_t>(input.num_scenarios()), -1);
-  return phase2(input, prepared, naive, winners, "ARROW-Naive", 0.0,
-                params.fast_build, params.fast_build ? cache : nullptr, pool);
+  return phase2(input, prepared, naive, winners, "ARROW-Naive", 0.0, cache,
+                pool);
 }
 
 TeSolution solve_arrow_naive(const TeInput& input,
@@ -915,8 +744,8 @@ TeSolution solve_arrow_with_winners(const TeInput& input,
   ARROW_CHECK(static_cast<int>(winners.size()) == input.num_scenarios(),
               "winner count mismatch");
   const auto naive = make_naive_tickets(prepared);
-  return phase2(input, prepared, naive, winners, "ARROW-Fixed", 0.0,
-                /*fast=*/true, cache, pool);
+  return phase2(input, prepared, naive, winners, "ARROW-Fixed", 0.0, cache,
+                pool);
 }
 
 TeSolution solve_arrow_with_winners(const TeInput& input,
@@ -928,19 +757,18 @@ TeSolution solve_arrow_with_winners(const TeInput& input,
 }
 
 TeSolution solve_arrow_ilp(const TeInput& input, const ArrowPrepared& prepared,
-                           const ArrowParams& params, util::ThreadPool& pool,
+                           const ArrowParams& /*params*/,
+                           util::ThreadPool& pool,
                            const RestorabilityCache* cache) {
   const int Q = input.num_scenarios();
   const auto naive = make_naive_tickets(prepared);
-  const bool fast = params.fast_build;
   std::optional<RestorabilityCache> local;
-  if (fast && cache == nullptr) {
+  if (cache == nullptr) {
     local.emplace(input, prepared, pool);
     cache = &*local;
   }
-  if (!fast) cache = nullptr;
   IlpModel ilp;
-  build_ilp(input, prepared, naive, fast, cache, pool, &ilp);
+  build_ilp(input, prepared, naive, cache, pool, &ilp);
   solver::Model& model = ilp.model;
   BaseVars& vars = ilp.vars;
   std::vector<std::vector<solver::VarId>>& select = ilp.select;
@@ -983,7 +811,7 @@ TeSolution solve_arrow_ilp(const TeInput& input, const ArrowPrepared& prepared,
 ModelBuildStats build_phase2_model(const TeInput& input,
                                    const ArrowPrepared& prepared,
                                    const std::vector<int>& winners,
-                                   const ArrowParams& params,
+                                   const ArrowParams& /*params*/,
                                    util::ThreadPool& pool,
                                    const RestorabilityCache* cache) {
   ARROW_CHECK(static_cast<int>(winners.size()) == input.num_scenarios(),
@@ -991,14 +819,12 @@ ModelBuildStats build_phase2_model(const TeInput& input,
   const auto t0 = Clock::now();
   const auto naive = make_naive_tickets(prepared);
   std::optional<RestorabilityCache> local;
-  if (params.fast_build && cache == nullptr) {
+  if (cache == nullptr) {
     local.emplace(input, prepared, pool);
     cache = &*local;
   }
-  if (!params.fast_build) cache = nullptr;
   Phase2Model p2;
-  build_phase2(input, prepared, naive, winners, params.fast_build, cache, pool,
-               &p2);
+  build_phase2(input, prepared, naive, winners, cache, pool, &p2);
   ModelBuildStats stats;
   stats.build_seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();
@@ -1010,20 +836,19 @@ ModelBuildStats build_phase2_model(const TeInput& input,
 
 ModelBuildStats build_arrow_ilp_model(const TeInput& input,
                                       const ArrowPrepared& prepared,
-                                      const ArrowParams& params,
+                                      const ArrowParams& /*params*/,
                                       util::ThreadPool& pool,
                                       const RestorabilityCache* cache) {
   OBS_SPAN("ilp_build");
   const auto t0 = Clock::now();
   const auto naive = make_naive_tickets(prepared);
   std::optional<RestorabilityCache> local;
-  if (params.fast_build && cache == nullptr) {
+  if (cache == nullptr) {
     local.emplace(input, prepared, pool);
     cache = &*local;
   }
-  if (!params.fast_build) cache = nullptr;
   IlpModel ilp;
-  build_ilp(input, prepared, naive, params.fast_build, cache, pool, &ilp);
+  build_ilp(input, prepared, naive, cache, pool, &ilp);
   ModelBuildStats stats;
   stats.build_seconds =
       std::chrono::duration<double>(Clock::now() - t0).count();

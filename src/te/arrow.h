@@ -32,15 +32,6 @@ struct ArrowParams {
   // adding the floor plan is a strict improvement (ARROW then never does
   // worse than ARROW-Naive). Disable for paper-faithful Fig. 14 runs.
   bool include_naive_candidate = true;
-  // Use the link->tunnel incidence index, the shared RestorabilityCache and
-  // the parallel Phase I / Phase II / ILP row generators when building
-  // models. `false` keeps
-  // the original dense F x T scans with per-call-site flag recomputation —
-  // the models (and therefore the solutions) are identical either way
-  // (Model::add_constr canonicalizes term order and the flags are a pure
-  // function of the inputs); only the build time differs. Kept as a switch
-  // so bench_phase1_build can measure the refactor against the legacy path.
-  bool fast_build = true;
 };
 
 // Offline artifacts, reusable across TE runs while the IP/optical mapping is
@@ -125,10 +116,10 @@ class RestorabilityCache {
   std::vector<ticket::LotteryTicket> naive_tickets_;
 };
 
-// Phase I + winner post-processing + Phase II. When `cache` is null and
-// params.fast_build is set, a RestorabilityCache is built internally on
-// `pool`; pass one explicitly to share it with other solves over the same
-// (input, prepared) pair (e.g. the controller's ladder retries).
+// Phase I + winner post-processing + Phase II. When `cache` is null a
+// RestorabilityCache is built internally on `pool`; pass one explicitly to
+// share it with other solves over the same (input, prepared) pair (e.g. the
+// controller's ladder retries).
 TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
                        const ArrowParams& params);
 TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
@@ -136,9 +127,9 @@ TeSolution solve_arrow(const TeInput& input, const ArrowPrepared& prepared,
                        const RestorabilityCache* cache = nullptr);
 
 // Phase II only, with the RWA-derived restoration plan as the sole ticket.
-// The pool overload fans the per-scenario row generation out (fast_build);
-// pass an inline ThreadPool(1) when calling from a pool worker (see
-// sim::run_sweep) — the pool-less overload uses util::global_pool().
+// The pool overload fans the per-scenario row generation out; pass an inline
+// ThreadPool(1) when calling from a pool worker (see sim::run_sweep) — the
+// pool-less overload uses util::global_pool().
 TeSolution solve_arrow_naive(const TeInput& input,
                              const ArrowPrepared& prepared,
                              const ArrowParams& params, util::ThreadPool& pool,
@@ -162,9 +153,9 @@ TeSolution solve_arrow_with_winners(const TeInput& input,
 
 // Exact ticket selection via binary ILP (Table 9); exponential — small
 // instances only. Used to validate the two-phase LP in tests/ablations.
-// Constraint rows (31)-(32) are generated per scenario on `pool` under
-// fast_build, with the binary selectors and the serial append keeping the
-// model bit-identical to the legacy dense build.
+// Constraint rows (31)-(32) are generated per scenario on `pool`, with the
+// binary selectors and the serial append keeping the model bit-identical at
+// any thread count.
 TeSolution solve_arrow_ilp(const TeInput& input, const ArrowPrepared& prepared,
                            const ArrowParams& params, util::ThreadPool& pool,
                            const RestorabilityCache* cache = nullptr);
@@ -173,13 +164,13 @@ TeSolution solve_arrow_ilp(const TeInput& input, const ArrowPrepared& prepared,
                            const RestorabilityCache* cache = nullptr);
 
 // Build cost + fingerprint of a model assembled but not solved — the hook
-// the bench_phase*_build binaries use to time the incidence-index + parallel
-// row-generation path against the legacy dense scan. The fingerprint hashes
-// every variable and row of the built model, so two builds that claim to be
-// equivalent can be checked for bit-identity without solving. When
-// params.fast_build is set and `cache` is null, the RestorabilityCache is
-// built internally on `pool` and its construction counts toward
-// build_seconds (the cost an unshared solve pays).
+// the bench_phase*_build binaries use to time model assembly without paying
+// for a solve. The fingerprint hashes every variable and row of the built
+// model, so two builds that claim to be equivalent (different thread counts,
+// shared vs private cache) can be checked for bit-identity without solving.
+// When `cache` is null the RestorabilityCache is built internally on `pool`
+// and its construction counts toward build_seconds (the cost an unshared
+// solve pays).
 struct ModelBuildStats {
   double build_seconds = 0.0;
   int vars = 0;

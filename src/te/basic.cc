@@ -61,6 +61,9 @@ TeSolution solve_max_throughput(const TeInput& input) {
   sol.objective = res.objective;
   sol.solve_seconds = seconds_since(t0);
   sol.simplex_iterations = res.simplex_iterations;
+  sol.presolve_rows_removed = res.presolve_rows_removed;
+  sol.presolve_cols_removed = res.presolve_cols_removed;
+  sol.pricing_candidates = res.pricing_candidates;
   if (!sol.optimal) return sol;
   sol.admitted.resize(static_cast<std::size_t>(F));
   sol.alloc.resize(static_cast<std::size_t>(F));

@@ -116,6 +116,9 @@ TeSolution solve_ffc(const TeInput& input, const FfcParams& params) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   sol.simplex_iterations = res.simplex_iterations;
+  sol.presolve_rows_removed = res.presolve_rows_removed;
+  sol.presolve_cols_removed = res.presolve_cols_removed;
+  sol.pricing_candidates = res.pricing_candidates;
   if (!sol.optimal) return sol;
   sol.admitted.resize(static_cast<std::size_t>(F));
   sol.alloc.resize(static_cast<std::size_t>(F));

@@ -20,6 +20,13 @@ struct TeSolution {
   int simplex_iterations = 0;
   int bb_nodes_hint = 0;        // branch-and-bound nodes (ILP schemes only)
 
+  // Solver-internals telemetry (summed across phases for ARROW): presolve
+  // reductions applied to the LP(s) behind this solution and the number of
+  // columns the pricing step actually examined.
+  int presolve_rows_removed = 0;
+  int presolve_cols_removed = 0;
+  long long pricing_candidates = 0;
+
   std::vector<double> admitted;              // b_f per flow (if modelled)
   std::vector<std::vector<double>> alloc;    // a_{f,t} Gbps per flow, tunnel
 

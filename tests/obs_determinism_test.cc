@@ -149,6 +149,10 @@ TEST(ObsDeterminism, RunReportCopiesControllerAccountingExactly) {
   // accounting, which sums the iterations every solve *returned*.
   EXPECT_GT(report.te_simplex_iterations, 0);
   EXPECT_EQ(rr.simplex_iterations, report.te_simplex_iterations);
+  EXPECT_EQ(rr.presolve_rows_removed, report.te_presolve_rows_removed);
+  EXPECT_EQ(rr.presolve_cols_removed, report.te_presolve_cols_removed);
+  EXPECT_EQ(rr.pricing_candidates, report.te_pricing_candidates);
+  EXPECT_GT(report.te_pricing_candidates, 0);
   EXPECT_EQ(report.te_simplex_iterations,
             std::accumulate(report.simplex_iterations_by_matrix.begin(),
                             report.simplex_iterations_by_matrix.end(), 0LL));

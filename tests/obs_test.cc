@@ -248,6 +248,9 @@ obs::RunReport sample_report() {
   r.degraded_periods = 2;
   r.deadline_overruns = 1;
   r.simplex_iterations = 12345;
+  r.presolve_rows_removed = 321;
+  r.presolve_cols_removed = 654;
+  r.pricing_candidates = 98765;
   r.warm_start_hits = 6;
   r.warm_start_stores = 9;
   r.basis_seeded = 2;
@@ -285,6 +288,9 @@ TEST(RunReport, JsonRoundTripPreservesEveryField) {
   EXPECT_EQ(out.degraded_periods, in.degraded_periods);
   EXPECT_EQ(out.deadline_overruns, in.deadline_overruns);
   EXPECT_EQ(out.simplex_iterations, in.simplex_iterations);
+  EXPECT_EQ(out.presolve_rows_removed, in.presolve_rows_removed);
+  EXPECT_EQ(out.presolve_cols_removed, in.presolve_cols_removed);
+  EXPECT_EQ(out.pricing_candidates, in.pricing_candidates);
   EXPECT_EQ(out.warm_start_hits, in.warm_start_hits);
   EXPECT_EQ(out.warm_start_stores, in.warm_start_stores);
   EXPECT_EQ(out.basis_seeded, in.basis_seeded);

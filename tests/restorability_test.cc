@@ -1,9 +1,10 @@
-// Tests for the shared RestorabilityCache and the fast model-build path
-// (link->tunnel incidence index + parallel Phase I row generation): the
-// cache must agree flag-for-flag with fresh restorable_flags computations,
-// and the fast and legacy builds must produce bit-identical models — and
+// Tests for the shared RestorabilityCache and the model-build path
+// (link->tunnel incidence index + parallel Phase I/II/ILP row generation):
+// the cache must agree flag-for-flag with fresh restorable_flags
+// computations, and the builds must produce bit-identical models — and
 // therefore bit-identical TE solutions — at any thread count, with the
-// cache shared or rebuilt locally.
+// cache shared or rebuilt locally. The single-thread private-cache build is
+// the baseline every other configuration is compared against.
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -114,12 +115,10 @@ TEST_F(RestorabilityFixture, CacheIsThreadCountInvariant) {
   }
 }
 
-TEST_F(RestorabilityFixture, FastAndLegacyPhase1ModelsAreBitIdentical) {
-  ArrowParams legacy = params_;
-  legacy.fast_build = false;
+TEST_F(RestorabilityFixture, Phase1ModelIsBuildConfigurationInvariant) {
   util::ThreadPool p1(1), p2(2), p8(8);
   const Phase1BuildStats base = build_phase1_model(*input_, prepared_,
-                                                   legacy, p1);
+                                                   params_, p1);
   ASSERT_GT(base.vars, 0);
   ASSERT_GT(base.rows, 0);
   ASSERT_NE(base.model_fingerprint, 0u);
@@ -128,17 +127,17 @@ TEST_F(RestorabilityFixture, FastAndLegacyPhase1ModelsAreBitIdentical) {
   for (util::ThreadPool* pool : {&p1, &p2, &p8}) {
     for (const RestorabilityCache* cache :
          {static_cast<const RestorabilityCache*>(nullptr), &shared}) {
-      const Phase1BuildStats fast =
+      const Phase1BuildStats stats =
           build_phase1_model(*input_, prepared_, params_, *pool, cache);
-      EXPECT_EQ(fast.vars, base.vars);
-      EXPECT_EQ(fast.rows, base.rows);
-      EXPECT_EQ(fast.model_fingerprint, base.model_fingerprint)
+      EXPECT_EQ(stats.vars, base.vars);
+      EXPECT_EQ(stats.rows, base.rows);
+      EXPECT_EQ(stats.model_fingerprint, base.model_fingerprint)
           << "threads=" << pool->threads() << " shared_cache=" << (cache != nullptr);
     }
   }
 }
 
-TEST_F(RestorabilityFixture, FastAndLegacyPhase2ModelsAreBitIdentical) {
+TEST_F(RestorabilityFixture, Phase2ModelIsBuildConfigurationInvariant) {
   // Mixed winner vector: naive RWA plan everywhere, the first real candidate
   // for even scenarios that have one — covers both flag paths of the cache.
   std::vector<int> winners(
@@ -149,11 +148,9 @@ TEST_F(RestorabilityFixture, FastAndLegacyPhase2ModelsAreBitIdentical) {
     }
   }
 
-  ArrowParams legacy = params_;
-  legacy.fast_build = false;
   util::ThreadPool p1(1), p2(2), p8(8);
   const ModelBuildStats base =
-      build_phase2_model(*input_, prepared_, winners, legacy, p1);
+      build_phase2_model(*input_, prepared_, winners, params_, p1);
   ASSERT_GT(base.vars, 0);
   ASSERT_GT(base.rows, 0);
   ASSERT_NE(base.model_fingerprint, 0u);
@@ -162,12 +159,12 @@ TEST_F(RestorabilityFixture, FastAndLegacyPhase2ModelsAreBitIdentical) {
   for (util::ThreadPool* pool : {&p1, &p2, &p8}) {
     for (const RestorabilityCache* cache :
          {static_cast<const RestorabilityCache*>(nullptr), &shared}) {
-      const ModelBuildStats fast =
+      const ModelBuildStats stats =
           build_phase2_model(*input_, prepared_, winners, params_, *pool,
                              cache);
-      EXPECT_EQ(fast.vars, base.vars);
-      EXPECT_EQ(fast.rows, base.rows);
-      EXPECT_EQ(fast.model_fingerprint, base.model_fingerprint)
+      EXPECT_EQ(stats.vars, base.vars);
+      EXPECT_EQ(stats.rows, base.rows);
+      EXPECT_EQ(stats.model_fingerprint, base.model_fingerprint)
           << "threads=" << pool->threads()
           << " shared_cache=" << (cache != nullptr);
     }
@@ -180,32 +177,32 @@ TEST_F(RestorabilityFixture, FastAndLegacyPhase2ModelsAreBitIdentical) {
       std::logic_error);
 }
 
-TEST_F(RestorabilityFixture, SolveArrowIdenticalFastVsLegacy) {
-  ArrowParams legacy = params_;
-  legacy.fast_build = false;
-  const TeSolution before = solve_arrow(*input_, prepared_, legacy);
+TEST_F(RestorabilityFixture, SolveArrowIsBuildConfigurationInvariant) {
+  util::ThreadPool p1(1), p8(8);
+  const TeSolution before = solve_arrow(*input_, prepared_, params_, p1);
   ASSERT_TRUE(before.optimal);
 
-  util::ThreadPool p1(1), p8(8);
   const RestorabilityCache shared(*input_, prepared_, p8);
-  expect_identical(before, solve_arrow(*input_, prepared_, params_, p1));
+  expect_identical(before, solve_arrow(*input_, prepared_, params_));
   expect_identical(before, solve_arrow(*input_, prepared_, params_, p8));
   expect_identical(before,
                    solve_arrow(*input_, prepared_, params_, p8, &shared));
 }
 
-TEST_F(RestorabilityFixture, SolveArrowNaiveIdenticalFastVsLegacy) {
-  ArrowParams legacy = params_;
-  legacy.fast_build = false;
-  const TeSolution before = solve_arrow_naive(*input_, prepared_, legacy);
+TEST_F(RestorabilityFixture, SolveArrowNaiveIsBuildConfigurationInvariant) {
+  util::ThreadPool p1(1), p8(8);
+  const TeSolution before =
+      solve_arrow_naive(*input_, prepared_, params_, p1);
   ASSERT_TRUE(before.optimal);
   const RestorabilityCache shared(*input_, prepared_);
   expect_identical(before, solve_arrow_naive(*input_, prepared_, params_));
   expect_identical(before,
+                   solve_arrow_naive(*input_, prepared_, params_, p8));
+  expect_identical(before,
                    solve_arrow_naive(*input_, prepared_, params_, &shared));
 }
 
-TEST(RestorabilitySmall, SolveArrowIlpIdenticalFastVsLegacy) {
+TEST(RestorabilitySmall, SolveArrowIlpIsBuildConfigurationInvariant) {
   // Tiny instance so the binary ILP (Table 9) finishes (same setup as
   // te_test's ArrowSmall).
   const topo::Network net = topo::build_testbed();
@@ -226,19 +223,20 @@ TEST(RestorabilitySmall, SolveArrowIlpIdenticalFastVsLegacy) {
   ap.tickets.num_tickets = 4;
   const auto prepared = prepare_arrow(input, ap, rng);
 
-  ArrowParams legacy = ap;
-  legacy.fast_build = false;
-  const TeSolution before = solve_arrow_ilp(input, prepared, legacy);
+  util::ThreadPool p1(1), p8(8);
+  const TeSolution before = solve_arrow_ilp(input, prepared, ap, p1);
   ASSERT_TRUE(before.optimal);
   const RestorabilityCache shared(input, prepared);
   expect_identical(before, solve_arrow_ilp(input, prepared, ap));
+  expect_identical(before, solve_arrow_ilp(input, prepared, ap, p8));
   expect_identical(before, solve_arrow_ilp(input, prepared, ap, &shared));
 }
 
-TEST(RestorabilitySmall, FastAndLegacyIlpModelsAreBitIdentical) {
+TEST(RestorabilitySmall, IlpModelIsBuildConfigurationInvariant) {
   // Same tiny instance as above; the fingerprint check needs no ILP solve,
   // only the built model, so the binary selectors and big-M rows of the
-  // parallel generator are compared against the legacy dense build exactly.
+  // parallel generator are compared across thread counts and cache sharing
+  // exactly.
   const topo::Network net = topo::build_testbed();
   util::Rng rng(4);
   traffic::TrafficParams tp;
@@ -257,11 +255,8 @@ TEST(RestorabilitySmall, FastAndLegacyIlpModelsAreBitIdentical) {
   ap.tickets.num_tickets = 4;
   const auto prepared = prepare_arrow(input, ap, rng);
 
-  ArrowParams legacy = ap;
-  legacy.fast_build = false;
   util::ThreadPool p1(1), p2(2), p8(8);
-  const ModelBuildStats base =
-      build_arrow_ilp_model(input, prepared, legacy, p1);
+  const ModelBuildStats base = build_arrow_ilp_model(input, prepared, ap, p1);
   ASSERT_GT(base.vars, 0);
   ASSERT_GT(base.rows, 0);
   ASSERT_NE(base.model_fingerprint, 0u);
@@ -270,11 +265,11 @@ TEST(RestorabilitySmall, FastAndLegacyIlpModelsAreBitIdentical) {
   for (util::ThreadPool* pool : {&p1, &p2, &p8}) {
     for (const RestorabilityCache* cache :
          {static_cast<const RestorabilityCache*>(nullptr), &shared}) {
-      const ModelBuildStats fast =
+      const ModelBuildStats stats =
           build_arrow_ilp_model(input, prepared, ap, *pool, cache);
-      EXPECT_EQ(fast.vars, base.vars);
-      EXPECT_EQ(fast.rows, base.rows);
-      EXPECT_EQ(fast.model_fingerprint, base.model_fingerprint)
+      EXPECT_EQ(stats.vars, base.vars);
+      EXPECT_EQ(stats.rows, base.rows);
+      EXPECT_EQ(stats.model_fingerprint, base.model_fingerprint)
           << "threads=" << pool->threads()
           << " shared_cache=" << (cache != nullptr);
     }
