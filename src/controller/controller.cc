@@ -167,6 +167,11 @@ struct LadderOutcome {
   long long presolve_rows = 0;
   long long presolve_cols = 0;
   long long pricing_candidates = 0;
+  // Phase I decomposition totals across all attempts (zero when the
+  // monolithic path — or a non-ARROW scheme — ran).
+  long long decomposition_rounds = 0;
+  long long decomposition_sub_solves = 0;
+  long long decomposition_cuts = 0;
   int timeouts = 0;          // LP solves that returned kTimedOut
   int backoff_retries = 0;   // backoff sleeps taken between rungs
 };
@@ -231,6 +236,9 @@ LadderOutcome solve_with_ladder(const ControllerConfig& config,
     out.presolve_rows += out.sol.presolve_rows_removed;
     out.presolve_cols += out.sol.presolve_cols_removed;
     out.pricing_candidates += out.sol.pricing_candidates;
+    out.decomposition_rounds += out.sol.decomposition_rounds;
+    out.decomposition_sub_solves += out.sol.decomposition_sub_solves;
+    out.decomposition_cuts += out.sol.decomposition_cuts;
     if (out.sol.optimal) {
       out.seconds = elapsed(lp_seconds);
       out.timeouts = run_guard.timeouts();
@@ -258,6 +266,9 @@ LadderOutcome solve_with_ladder(const ControllerConfig& config,
     out.presolve_rows += out.sol.presolve_rows_removed;
     out.presolve_cols += out.sol.presolve_cols_removed;
     out.pricing_candidates += out.sol.pricing_candidates;
+    out.decomposition_rounds += out.sol.decomposition_rounds;
+    out.decomposition_sub_solves += out.sol.decomposition_sub_solves;
+    out.decomposition_cuts += out.sol.decomposition_cuts;
     if (out.sol.optimal) {
       out.seconds = elapsed(lp_seconds);
       out.timeouts = run_guard.timeouts();
@@ -277,6 +288,9 @@ LadderOutcome solve_with_ladder(const ControllerConfig& config,
     out.presolve_rows += out.sol.presolve_rows_removed;
     out.presolve_cols += out.sol.presolve_cols_removed;
     out.pricing_candidates += out.sol.pricing_candidates;
+    out.decomposition_rounds += out.sol.decomposition_rounds;
+    out.decomposition_sub_solves += out.sol.decomposition_sub_solves;
+    out.decomposition_cuts += out.sol.decomposition_cuts;
     out.rung = Rung::kFfcFallback;
     if (out.sol.optimal) {
       out.seconds = elapsed(lp_seconds);
@@ -566,6 +580,9 @@ ControllerReport run_controller(const topo::Network& net,
     report.te_presolve_rows_removed += out.presolve_rows;
     report.te_presolve_cols_removed += out.presolve_cols;
     report.te_pricing_candidates += out.pricing_candidates;
+    report.te_decomposition_rounds += out.decomposition_rounds;
+    report.te_decomposition_sub_solves += out.decomposition_sub_solves;
+    report.te_decomposition_cuts += out.decomposition_cuts;
     obs::Registry::global()
         .counter("arrow_ctrl_rung_" + rung_metric_name(out.rung) + "_total")
         .add();
@@ -873,6 +890,9 @@ ControllerReport run_controller(const topo::Network& net,
     rr.presolve_rows_removed = report.te_presolve_rows_removed;
     rr.presolve_cols_removed = report.te_presolve_cols_removed;
     rr.pricing_candidates = report.te_pricing_candidates;
+    rr.decomposition_rounds = report.te_decomposition_rounds;
+    rr.decomposition_sub_solves = report.te_decomposition_sub_solves;
+    rr.decomposition_cuts = report.te_decomposition_cuts;
     rr.warm_start_hits = report.warm_start_hits;
     rr.warm_start_stores = report.warm_start_stores;
     rr.basis_seeded = report.basis_seeded;

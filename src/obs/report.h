@@ -54,7 +54,9 @@ struct RunReport {
   // crash-consistency journal + basis-store save-error fields.
   // v3: adds solver-internals telemetry (presolve reductions, pricing
   // candidates).
-  static constexpr int kVersion = 3;
+  // v4: adds Phase I decomposition counters (master rounds, sub-LP solves,
+  // lazily generated rows).
+  static constexpr int kVersion = 4;
 
   std::string run_id;
   std::string scheme;
@@ -90,6 +92,11 @@ struct RunReport {
   long long presolve_rows_removed = 0;
   long long presolve_cols_removed = 0;
   long long pricing_candidates = 0;
+  // Phase I decomposition totals across every ladder attempt (v4; zero when
+  // ArrowParams::decomposition is off or the scheme never runs Phase I).
+  long long decomposition_rounds = 0;
+  long long decomposition_sub_solves = 0;
+  long long decomposition_cuts = 0;
   // Warm-start traffic of the run's ScopedWarmStartCache and BasisStore.
   int warm_start_hits = 0;
   int warm_start_stores = 0;

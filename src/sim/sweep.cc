@@ -148,7 +148,10 @@ SweepResult run_sweep(const topo::Network& net,
     const auto& mcache = caches[static_cast<std::size_t>(job.mi)];
     const te::RestorabilityCache* rcache = mcache ? &*mcache : nullptr;
     // Model builds inside a chain stay on this worker thread (see
-    // solve_scheme); the chains themselves are the parallelism.
+    // solve_scheme); the chains themselves are the parallelism. With the
+    // Phase I decomposition enabled this also runs its per-scenario sub-LPs
+    // inline, which keeps the chain's ambient hooks (warm-start cache, fault
+    // observers, deadlines) visible to every sub-LP solve.
     util::ThreadPool chain_pool(1);
     std::optional<solver::ScopedWarmStartCache> cache;
     if (params.warm_start) cache.emplace();
