@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/json.h"
+
 namespace arrow::bench {
 
 class BenchJson {
@@ -22,14 +24,14 @@ class BenchJson {
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
 
   void set(const std::string& key, double value) {
-    char buf[64];
-    // %.17g round-trips doubles; JSON has no Inf/NaN, emit null instead.
+    // to_chars round-trips doubles independent of LC_NUMERIC ("%.17g"
+    // printed comma decimals under e.g. de_DE); JSON has no Inf/NaN, emit
+    // null instead.
     if (value != value || value > 1.7e308 || value < -1.7e308) {
-      std::snprintf(buf, sizeof(buf), "null");
+      entries_.emplace_back(key, "null");
     } else {
-      std::snprintf(buf, sizeof(buf), "%.17g", value);
+      entries_.emplace_back(key, obs::format_double(value));
     }
-    entries_.emplace_back(key, std::string(buf));
   }
   void set(const std::string& key, long long value) {
     entries_.emplace_back(key, std::to_string(value));

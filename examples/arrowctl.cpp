@@ -18,6 +18,16 @@
 //       crash-consistent (and recovers a previous run's last-good plan);
 //       SIGTERM/SIGINT drain gracefully — the journal and final RunReport
 //       are flushed before exit.
+//   arrowctl serve (--socket <path> | --port <n>) [--topo <net.topo>]
+//                  [--scheme <name>] [--budget <s>] [--journal <dir>]
+//                  [--basis <dir>] [--obs <dir>]
+//       resident controller daemon: newline-delimited JSON requests
+//       (topology updates, traffic ticks, fiber cuts/repairs, queries) on a
+//       Unix or loopback TCP socket, plus "GET /metrics" and "GET /report"
+//       HTTP scrapes on the same socket. Protocol and SLO counters are
+//       documented in docs/serving.md. SIGTERM/SIGINT drain: the journal is
+//       closed, the shared basis store saved, and (with --obs) the final
+//       RunReport written before exit.
 //
 // File formats are documented in src/topo/io.h.
 #include <csignal>
@@ -30,6 +40,9 @@
 
 #include "controller/controller.h"
 #include "obs/metrics.h"
+#include "serve/engine.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "obs/trace.h"
 #include "optical/latency.h"
 #include "optical/restoration.h"
@@ -55,7 +68,11 @@ int usage() {
       "       arrowctl te <net.topo> <traffic.tm> [scale] [--obs <dir>]\n"
       "       arrowctl run <net.topo> <traffic.tm> [--journal <dir>]\n"
       "                    [--budget <s>] [--horizon <s>]\n"
-      "                    [--cuts-per-day <n>] [--obs <dir>]\n",
+      "                    [--cuts-per-day <n>] [--obs <dir>]\n"
+      "       arrowctl serve (--socket <path> | --port <n>)\n"
+      "                    [--topo <net.topo>] [--scheme <name>]\n"
+      "                    [--budget <s>] [--journal <dir>] [--basis <dir>]\n"
+      "                    [--obs <dir>]\n",
       stderr);
   return 2;
 }
@@ -302,6 +319,91 @@ int cmd_run(int argc, char** argv) {
   return 0;
 }
 
+int cmd_serve(int argc, char** argv) {
+  serve::EngineConfig config;
+  std::string socket_path;
+  std::string topo_path;
+  int port = -1;
+  for (int i = 2; i < argc; ++i) {
+    const auto want_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "arrowctl serve: %s needs a value\n", flag);
+        return false;
+      }
+      return true;
+    };
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      if (!want_value("--socket")) return usage();
+      socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      if (!want_value("--port")) return usage();
+      port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--topo") == 0) {
+      if (!want_value("--topo")) return usage();
+      topo_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--scheme") == 0) {
+      if (!want_value("--scheme")) return usage();
+      if (!serve::scheme_from_string(argv[++i], &config.ctrl.scheme)) {
+        std::fprintf(stderr, "arrowctl serve: unknown scheme %s\n", argv[i]);
+        return usage();
+      }
+    } else if (std::strcmp(argv[i], "--budget") == 0) {
+      if (!want_value("--budget")) return usage();
+      config.ctrl.te_budget_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--journal") == 0) {
+      if (!want_value("--journal")) return usage();
+      config.ctrl.journal_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--basis") == 0) {
+      if (!want_value("--basis")) return usage();
+      config.ctrl.basis_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--obs") == 0) {
+      if (!want_value("--obs")) return usage();
+      config.ctrl.obs.enabled = true;
+      config.ctrl.obs.dir = argv[++i];
+      config.ctrl.obs.run_id = "serve";
+    } else {
+      return usage();
+    }
+  }
+  if (socket_path.empty() && port < 0) return usage();
+
+  serve::TickEngine engine(config);
+  if (!topo_path.empty()) {
+    const auto res = engine.set_topology(topo::load_network_file(topo_path));
+    if (!res.ok) {
+      std::fprintf(stderr, "arrowctl serve: %s\n", res.error.c_str());
+      return 1;
+    }
+    std::printf("loaded %s (%d sites, %d fibers, %d scenarios)\n",
+                topo_path.c_str(), res.sites, res.fibers, res.scenarios);
+  }
+
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+
+  serve::ServerConfig sc;
+  sc.unix_path = socket_path;
+  sc.tcp_port = port;
+  sc.stop_check = [] { return g_stop_requested != 0; };
+  serve::Server server(engine, sc);
+  if (!server.start()) {
+    std::fprintf(stderr, "arrowctl serve: %s\n", server.error().c_str());
+    return 1;
+  }
+  if (socket_path.empty()) {
+    std::printf("listening on 127.0.0.1:%d (budget %.0f ms)\n", server.port(),
+                1000.0 * config.ctrl.te_budget_s);
+  } else {
+    std::printf("listening on %s (budget %.0f ms)\n", socket_path.c_str(),
+                1000.0 * config.ctrl.te_budget_s);
+  }
+  std::fflush(stdout);
+  server.run();
+  std::printf("drained: %d ticks, %d cuts, p99 tick %.1f ms\n", engine.ticks(),
+              engine.active_cuts(), 1000.0 * engine.tick_p99_s());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -313,6 +415,7 @@ int main(int argc, char** argv) {
     if (cmd == "latency") return cmd_latency(argc, argv);
     if (cmd == "te") return cmd_te(argc, argv);
     if (cmd == "run") return cmd_run(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "arrowctl: %s\n", e.what());
     return 1;

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "controller/journal.h"
+#include "controller/ladder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "optical/event_sim.h"
@@ -17,8 +18,6 @@
 #include "solver/lp.h"
 #include "te/basic.h"
 #include "topo/network.h"
-#include "te/ffc.h"
-#include "te/teavar.h"
 #include "ticket/ticket.h"
 #include "util/check.h"
 #include "util/clock.h"
@@ -85,232 +84,6 @@ struct RuntimeState {
   // Open restoration windows (for transient-loss accounting).
   int restorations_in_flight = 0;
 };
-
-// Solver settings for the ladder's second rung: Dantzig pricing takes a
-// different pivot trajectory than the default Devex (sidesteps cycling /
-// stalling failures), the raised iteration cap outlasts kIterationLimit
-// faults, and the low Bland threshold engages the anti-cycling rule early.
-solver::SimplexOptions relaxed_simplex_options() {
-  solver::SimplexOptions opt;
-  opt.pricing = solver::Pricing::kDantzig;
-  opt.max_iterations = 500000;
-  opt.bland_threshold = 25;
-  return opt;
-}
-
-// One attempt at the configured scheme (the old inline switch, minus the
-// fatal check — failure is now the ladder's problem, not the caller's).
-// `cache` (nullable) carries this matrix's precomputed restorability flags,
-// shared across every ladder attempt — a primary failure plus relaxed retry
-// used to recompute all Q x Z flag sets from scratch on each rung.
-te::TeSolution solve_primary(const ControllerConfig& config,
-                             const te::TeInput& input,
-                             const te::ArrowPrepared& prepared,
-                             const te::RestorabilityCache* cache,
-                             util::ThreadPool& pool) {
-  switch (config.scheme) {
-    case Scheme::kArrow:
-      return te::solve_arrow(input, prepared, config.arrow, pool, cache);
-    case Scheme::kArrowNaive:
-      return te::solve_arrow_naive(input, prepared, config.arrow, pool, cache);
-    case Scheme::kFfc1:
-      return te::solve_ffc(input, te::FfcParams{1, 0});
-    case Scheme::kTeaVar:
-      return te::solve_teavar(input, te::TeaVarParams{});
-    case Scheme::kEcmp:
-      return te::solve_ecmp(input);
-  }
-  return te::solve_ecmp(input);
-}
-
-// Projects the last successfully solved TeSolution onto the current traffic
-// matrix: allocations are kept (they respected link capacities when solved
-// and capacities have not grown), but each flow's total is clamped to its
-// new demand so the carried-forward plan never over-admits. Surviving-
-// capacity projection happens downstream in sim::state_delivery, which
-// rehashes allocations on dead tunnels onto the survivors.
-te::TeSolution carry_forward(const te::TeSolution& last_good,
-                             const te::TeInput& input) {
-  te::TeSolution sol = last_good;
-  sol.scheme = "CarryForward(" + last_good.scheme + ")";
-  sol.optimal = true;  // feasible by construction, not an optimum
-  sol.solve_seconds = 0.0;
-  sol.simplex_iterations = 0;
-  // Project the last-good solution onto the current matrix by carrying the
-  // per-flow *splitting ratios* forward and letting admission follow demand
-  // (what the installed router config does between TE runs: split weights
-  // stay, traffic volume changes). Oversubscription this may cause on a
-  // shifted matrix is resolved by the delivery model's per-link scaling.
-  const auto& flows = input.flows();
-  for (std::size_t f = 0; f < sol.alloc.size() && f < flows.size(); ++f) {
-    const double demand = flows[f].demand_gbps;
-    double total = 0.0;
-    for (double a : sol.alloc[f]) total += a;
-    if (total > 1e-9) {
-      const double scale = demand / total;
-      for (double& a : sol.alloc[f]) a *= scale;
-      if (f < sol.admitted.size()) sol.admitted[f] = demand;
-    } else if (f < sol.admitted.size()) {
-      sol.admitted[f] = 0.0;
-    }
-  }
-  return sol;
-}
-
-struct LadderOutcome {
-  te::TeSolution sol;
-  Rung rung = Rung::kPrimary;
-  double seconds = 0.0;     // wall clock across all attempts this period
-  long long iterations = 0;  // simplex pivots across all attempts
-  // Solver-internals totals across all attempts (presolve reductions and
-  // columns priced), same accounting discipline as `iterations`.
-  long long presolve_rows = 0;
-  long long presolve_cols = 0;
-  long long pricing_candidates = 0;
-  // Phase I decomposition totals across all attempts (zero when the
-  // monolithic path — or a non-ARROW scheme — ran).
-  long long decomposition_rounds = 0;
-  long long decomposition_sub_solves = 0;
-  long long decomposition_cuts = 0;
-  int timeouts = 0;          // LP solves that returned kTimedOut
-  int backoff_retries = 0;   // backoff sleeps taken between rungs
-};
-
-// Rung name with the metric-safe spelling (dashes are not legal in
-// Prometheus metric names).
-std::string rung_metric_name(Rung r) {
-  std::string name = to_string(r);
-  for (char& c : name) {
-    if (c == '-') c = '_';
-  }
-  return name;
-}
-
-// Shares of the period budget the LP rungs may spend. The primary attempt
-// gets half, the relaxed retry 30%, FFC whatever is left — so even when
-// every LP rung burns its full share, the closed-form bottom rungs still
-// land a plan inside the period's deadline.
-constexpr double kPrimaryBudgetShare = 0.5;
-constexpr double kRelaxedBudgetShare = 0.3;
-
-// Walks the degradation ladder until some rung yields a usable solution.
-// kEcmp is closed-form (no LP anywhere in solve_ecmp), so the ladder cannot
-// come back empty no matter what the solver or a fault injector does.
-//
-// `deadline` is this period's whole budget; each LP rung additionally runs
-// under its share of it (ScopedSolveDeadline nests, earliest expiry wins).
-// A rung whose solve times out — or whose turn comes after the period
-// deadline already passed — degrades to the next rung. `backoff` (nullable)
-// spaces the retry rungs with capped jittered delays, never sleeping past
-// the deadline.
-LadderOutcome solve_with_ladder(const ControllerConfig& config,
-                                const te::TeInput& input,
-                                const te::ArrowPrepared& prepared,
-                                const te::TeSolution* last_good,
-                                const te::RestorabilityCache* cache,
-                                util::ThreadPool& pool,
-                                const util::Deadline& deadline,
-                                util::Backoff* backoff) {
-  LadderOutcome out;
-  solver::ScopedSolveDeadline run_guard(deadline);
-  const bool budgeted = deadline.is_set();
-  const double t0 = budgeted ? util::mono_now_s() : 0.0;
-  const double budget = deadline.remaining_s();  // +inf when unset
-  // Wall clock (not the sum of per-solve timings): backoff sleeps and
-  // model-build time count against the period too. Falls back to the solver
-  // timings when unbudgeted, avoiding clock reads on the default path.
-  const auto elapsed = [&](double lp_seconds) {
-    return budgeted ? util::mono_now_s() - t0 : lp_seconds;
-  };
-  double lp_seconds = 0.0;
-
-  if (!deadline.expired()) {
-    util::Deadline rung_deadline;
-    if (budgeted) {
-      rung_deadline = util::Deadline::after(budget * kPrimaryBudgetShare);
-    }
-    solver::ScopedSolveDeadline guard(rung_deadline);
-    out.sol = solve_primary(config, input, prepared, cache, pool);
-    lp_seconds += out.sol.solve_seconds;
-    out.iterations += out.sol.simplex_iterations;
-    out.presolve_rows += out.sol.presolve_rows_removed;
-    out.presolve_cols += out.sol.presolve_cols_removed;
-    out.pricing_candidates += out.sol.pricing_candidates;
-    out.decomposition_rounds += out.sol.decomposition_rounds;
-    out.decomposition_sub_solves += out.sol.decomposition_sub_solves;
-    out.decomposition_cuts += out.sol.decomposition_cuts;
-    if (out.sol.optimal) {
-      out.seconds = elapsed(lp_seconds);
-      out.timeouts = run_guard.timeouts();
-      return out;
-    }
-  }
-
-  out.rung = Rung::kRelaxedRetry;
-  if (!deadline.expired()) {
-    if (backoff != nullptr && backoff->sleep(deadline) > 0.0) {
-      ++out.backoff_retries;
-    }
-    util::Deadline rung_deadline;
-    if (budgeted) {
-      rung_deadline = util::Deadline::after(budget * kRelaxedBudgetShare);
-    }
-    solver::ScopedSolveDeadline guard(rung_deadline);
-    solver::ScopedSimplexOverride relax(relaxed_simplex_options());
-    // The override is thread-local: the retry must not fan model builds
-    // onto pool workers that would escape it.
-    util::ThreadPool inline_pool(1);
-    out.sol = solve_primary(config, input, prepared, cache, inline_pool);
-    lp_seconds += out.sol.solve_seconds;
-    out.iterations += out.sol.simplex_iterations;
-    out.presolve_rows += out.sol.presolve_rows_removed;
-    out.presolve_cols += out.sol.presolve_cols_removed;
-    out.pricing_candidates += out.sol.pricing_candidates;
-    out.decomposition_rounds += out.sol.decomposition_rounds;
-    out.decomposition_sub_solves += out.sol.decomposition_sub_solves;
-    out.decomposition_cuts += out.sol.decomposition_cuts;
-    if (out.sol.optimal) {
-      out.seconds = elapsed(lp_seconds);
-      out.timeouts = run_guard.timeouts();
-      return out;
-    }
-  }
-
-  // FFC runs under the remainder of the period budget (run_guard alone).
-  if (config.scheme != Scheme::kFfc1 &&  // pointless to retry the same LP
-      !deadline.expired()) {
-    if (backoff != nullptr && backoff->sleep(deadline) > 0.0) {
-      ++out.backoff_retries;
-    }
-    out.sol = te::solve_ffc(input, te::FfcParams{1, 0});
-    lp_seconds += out.sol.solve_seconds;
-    out.iterations += out.sol.simplex_iterations;
-    out.presolve_rows += out.sol.presolve_rows_removed;
-    out.presolve_cols += out.sol.presolve_cols_removed;
-    out.pricing_candidates += out.sol.pricing_candidates;
-    out.decomposition_rounds += out.sol.decomposition_rounds;
-    out.decomposition_sub_solves += out.sol.decomposition_sub_solves;
-    out.decomposition_cuts += out.sol.decomposition_cuts;
-    out.rung = Rung::kFfcFallback;
-    if (out.sol.optimal) {
-      out.seconds = elapsed(lp_seconds);
-      out.timeouts = run_guard.timeouts();
-      return out;
-    }
-  }
-
-  out.timeouts = run_guard.timeouts();
-  if (last_good != nullptr) {
-    out.sol = carry_forward(*last_good, input);
-    out.rung = Rung::kCarryForward;
-    out.seconds = elapsed(lp_seconds);
-    return out;
-  }
-  out.sol = te::solve_ecmp(input);
-  out.rung = Rung::kEcmp;
-  out.seconds = elapsed(lp_seconds);
-  return out;
-}
 
 }  // namespace
 

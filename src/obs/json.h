@@ -53,4 +53,21 @@ struct JsonValue {
 bool json_parse(const std::string& text, JsonValue* out,
                 std::string* error = nullptr);
 
+// Compact single-line serialization (no trailing newline). Strings pass
+// UTF-8 bytes through verbatim and escape only what JSON requires (quotes,
+// backslash, control characters), so json_parse(json_emit(v)) round-trips
+// non-ASCII text byte-for-byte. Numbers use std::to_chars: shortest
+// round-trippable form, independent of LC_NUMERIC.
+std::string json_emit(const JsonValue& value);
+
+// The string-literal piece of json_emit: `s` with JSON escaping applied,
+// without the surrounding quotes.
+std::string json_escape(const std::string& s);
+
+// Number formatting shared by every JSON/Prometheus writer in this
+// subsystem: shortest round-trippable decimal form via std::to_chars,
+// locale-independent (snprintf "%.17g" obeyed LC_NUMERIC and printed a
+// comma decimal separator under e.g. de_DE).
+std::string format_double(double v);
+
 }  // namespace arrow::obs

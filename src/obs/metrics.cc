@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/json.h"
+
 namespace arrow::obs {
 
 unsigned shard_slot() {
@@ -100,13 +102,10 @@ MetricsSnapshot Registry::snapshot() const {
 
 namespace {
 
-// Shortest round-trippable representation; %.17g is exact for doubles and
-// prints integers without an exponent for the common cases.
-std::string fmt_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
+// Shortest round-trippable representation, independent of LC_NUMERIC —
+// snprintf("%.17g") printed "1,5" under a comma-decimal locale, corrupting
+// both the Prometheus and JSON exports.
+std::string fmt_double(double v) { return format_double(v); }
 
 }  // namespace
 

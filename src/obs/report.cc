@@ -33,27 +33,12 @@ ObsConfig ObsConfig::resolved() const {
 
 namespace {
 
-std::string fmt_double(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
+// Both shared with the JSON value model: format_double is std::to_chars
+// (locale-independent — "%.17g" obeyed LC_NUMERIC), and json_escape covers
+// every control character, so a surprising string cannot corrupt the file.
+std::string fmt_double(double v) { return format_double(v); }
 
-// Span names and scheme/run ids are ASCII without quotes in practice, but
-// escape anyway so a surprising string cannot corrupt the file.
-std::string escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out.push_back(c);
-    }
-  }
-  return out;
-}
+std::string escape(const std::string& s) { return json_escape(s); }
 
 }  // namespace
 

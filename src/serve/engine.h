@@ -1,0 +1,174 @@
+// The daemon's control loop core: run_controller's per-period machinery
+// re-cut for a resident process.
+//
+// run_controller owns a whole simulated horizon — it gets every traffic
+// matrix and failure up front and replays them against an event queue. A
+// daemon gets them one socket message at a time, so TickEngine holds the
+// pieces run_controller keeps on its stack as long-lived state:
+//
+//   * the offline stage (scenarios, tunnels, ArrowPrepared restoration
+//     plans, the restorability cache) built once per topology and reused by
+//     every tick;
+//   * the degradation-ladder loop (ctrl::solve_with_ladder) run per traffic
+//     tick under the per-tick budget, with last-good carry-forward state
+//     surviving between ticks;
+//   * the crash journal: recovery happens when the first tick fixes the
+//     tunnel shape, begin_run/record_plan/end_run bracket the engine's
+//     lifetime, so a daemon restart recovers the dead process's last-good
+//     plan into the carry-forward rung;
+//   * the persistent BasisStore: seeded into a warm-start cache that lives
+//     across ticks (tick N+1 starts from tick N's optimal vertex), absorbed
+//     and saved back with BasisStore::save_shared on drain — N daemons
+//     sharing one basis_dir merge instead of clobbering.
+//
+// Not thread-safe: the server calls it from its single poll loop.
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "controller/controller.h"
+#include "controller/journal.h"
+#include "solver/basis_store.h"
+#include "solver/lp.h"
+#include "te/input.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace arrow::serve {
+
+struct EngineConfig {
+  // Scheme, tunnel/ticket/scenario parameters, per-tick budget
+  // (ctrl.te_budget_s — the daemon default is 50 ms, not the simulator's
+  // 5 minutes), journal_dir, basis_dir/basis_store, retry_backoff,
+  // demand_scale, latency model, and obs all mean exactly what they mean
+  // for run_controller. horizon_s/te_interval_s/cancel are unused — the
+  // socket is the clock.
+  ctrl::ControllerConfig ctrl;
+  std::uint64_t seed = 42;  // scenario sampling + restoration replay rng
+
+  EngineConfig() { ctrl.te_budget_s = 0.05; }
+};
+
+class TickEngine {
+ public:
+  explicit TickEngine(EngineConfig config);
+  ~TickEngine();  // drains if the caller has not
+
+  struct TopologyResult {
+    bool ok = false;
+    std::string error;
+    int sites = 0;
+    int fibers = 0;
+    int scenarios = 0;
+  };
+  // Installs (or replaces) the network. Scenario sampling happens here;
+  // tunnels, restoration plans, calibration and journal recovery are
+  // deferred to the first tick, which fixes the flow/tunnel shape. Replacing
+  // a topology drains the previous run (journal end_run, basis save) first.
+  TopologyResult set_topology(topo::Network net);
+
+  struct TickResult {
+    bool ok = false;
+    std::string error;
+    int tick = 0;                  // 1-based tick sequence number
+    ctrl::Rung rung = ctrl::Rung::kPrimary;
+    double seconds = 0.0;          // wall clock of this tick's ladder
+    bool deadline_overrun = false;
+    // This tick landed on a worse (higher) rung than the previous tick —
+    // the daemon's degradation alert.
+    bool rung_regression = false;
+    bool journal_recovered = false;  // first tick only: prior plan adopted
+  };
+  TickResult tick(const traffic::TrafficMatrix& tm);
+
+  struct CutResult {
+    bool ok = false;
+    std::string error;
+    bool planned = false;        // an exact precomputed plan existed
+    double restored_gbps = 0.0;
+    double latency_s = 0.0;      // optical convergence time of the plan
+  };
+  CutResult cut(topo::FiberId fiber);
+  // Fiber spliced: the cut's own restored capacity reverts. False when the
+  // fiber was not cut.
+  bool repair(topo::FiberId fiber);
+
+  // RunReport snapshot of everything served so far (same field meanings as
+  // run_controller's; te_runs counts ticks). Safe to call at any time.
+  obs::RunReport report() const;
+
+  // Ends the run: journal end_run, warm-start absorb, BasisStore
+  // save_shared, RunReport artifacts (when obs is enabled). Idempotent;
+  // called by the server on shutdown and by the destructor as a backstop.
+  void drain();
+
+  // --- status (the query op) ----------------------------------------------
+  bool has_topology() const { return have_topo_; }
+  int ticks() const { return ticks_; }
+  int active_cuts() const { return static_cast<int>(active_cuts_.size()); }
+  ctrl::Rung last_rung() const { return last_rung_; }
+  bool drained() const { return drained_; }
+  // p50/p99 of the per-tick ladder wall clock so far (0 before any tick).
+  double tick_p50_s() const;
+  double tick_p99_s() const;
+
+ private:
+  struct Prepared;  // offline stage + per-run state (engine.cc)
+
+  bool ensure_prepared(const traffic::TrafficMatrix& tm, std::string* error);
+  void observe_delivery();
+
+  EngineConfig config_;
+  util::Rng rng_;
+  util::ThreadPool inline_pool_;
+
+  bool have_topo_ = false;
+  topo::Network net_;
+  std::vector<scenario::Scenario> scenarios_;
+
+  std::unique_ptr<Prepared> prep_;
+
+  // --- accounting ----------------------------------------------------------
+  int ticks_ = 0;
+  ctrl::Rung last_rung_ = ctrl::Rung::kPrimary;
+  std::vector<double> tick_seconds_;
+  std::array<int, ctrl::kNumRungs> rung_counts_{};
+  int degraded_ticks_ = 0;
+  int deadline_overruns_ = 0;
+  int rung_regressions_ = 0;
+  int solver_timeouts_ = 0;
+  int backoff_retries_ = 0;
+  long long simplex_iterations_ = 0;
+  long long presolve_rows_ = 0;
+  long long presolve_cols_ = 0;
+  long long pricing_candidates_ = 0;
+  long long decomposition_rounds_ = 0;
+  long long decomposition_sub_solves_ = 0;
+  long long decomposition_cuts_ = 0;
+  int rwa_repairs_ = 0;
+  bool calibration_degraded_ = false;
+  bool journal_recovered_ = false;
+  bool journal_prior_in_flight_ = false;
+  int cuts_handled_ = 0;
+  int cuts_with_plan_ = 0;
+  int unplanned_cuts_ = 0;
+  std::vector<double> restoration_latency_s_;
+  int basis_seeded_ = 0;
+  int basis_absorbed_ = 0;
+  int basis_save_errors_ = 0;
+  double delivered_sum_ = 0.0;  // instantaneous delivery sampled per event
+  double offered_sum_ = 0.0;
+  bool drained_ = false;
+
+  std::set<topo::FiberId> active_cuts_;
+  std::map<topo::IpLinkId, double> restored_;
+  std::map<topo::FiberId, std::vector<std::pair<topo::IpLinkId, double>>>
+      restored_by_cut_;
+};
+
+}  // namespace arrow::serve

@@ -226,7 +226,23 @@ bool BasisStore::save(const std::string& path) const {
   return true;
 }
 
+bool BasisStore::save_shared(const std::string& path) {
+  // The lock serializes the whole read-merge-write cycle across processes;
+  // without it, the re-load below could race another saver's rename and the
+  // merge would still drop entries. A failed lock degrades to best-effort.
+  util::FileLock lock(path + ".lock");
+  // Memory wins: this process's absorbed bases are fresher than whatever an
+  // earlier saver left under the same key, but every key only *they* have
+  // is merged in and written back out.
+  load_internal(path, /*file_wins=*/false);
+  return save(path);
+}
+
 bool BasisStore::load(const std::string& path) {
+  return load_internal(path, /*file_wins=*/true);
+}
+
+bool BasisStore::load_internal(const std::string& path, bool file_wins) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
   std::string buf((std::istreambuf_iterator<char>(in)),
@@ -282,6 +298,7 @@ bool BasisStore::load(const std::string& path) {
 
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [key, basis] : staged) {
+    if (!file_wins && entries_.find(key) != entries_.end()) continue;
     Entry& entry = entries_[key];
     entry.basis = std::move(basis);
     touch(entry);  // key order: file entries start oldest-first

@@ -96,6 +96,20 @@ class BasisStore {
   // the arrow_basis_store_evictions_total obs counter).
   long long evictions() const;
 
+  // Shared-store save for N processes writing one basis file. save() alone
+  // is torn-proof but last-writer-wins: two processes that both loaded the
+  // same file and absorbed different runs will each write only their own
+  // view, and whichever rename lands second silently drops the other's
+  // entries. save_shared() closes that window with a util::FileLock on
+  // `path + ".lock"`: under the (blocking, exclusive) lock it re-reads the
+  // file, merges any entries this store has not seen — in-memory entries win
+  // on key collision, since they are this process's freshest bases — and
+  // then saves. Every writer's entries survive, whatever the interleaving.
+  // If the lock cannot be taken (exotic filesystem, non-POSIX build) it
+  // degrades to the unguarded merge-and-save. Returns false only when the
+  // final write fails.
+  bool save_shared(const std::string& path);
+
   // Merges the entries of a file previously written by save() into the store
   // (file entries overwrite same-key entries). Returns false — with the
   // store untouched — when the file is missing, truncated, corrupted, or a
@@ -120,6 +134,11 @@ class BasisStore {
 
   // Bumps an entry's recency. Caller holds mu_.
   void touch(Entry& entry) const { entry.last_use = ++use_tick_; }
+
+  // Shared parse-and-merge behind both load() (file wins on key collision)
+  // and save_shared() (memory wins — the file is only filled in around this
+  // process's fresher bases).
+  bool load_internal(const std::string& path, bool file_wins);
 
   mutable std::mutex mu_;
   // mutable: const reads (load-by-key, seed) still bump last_use — LRU

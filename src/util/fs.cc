@@ -8,6 +8,10 @@
 #include <process.h>
 #define ARROW_GETPID _getpid
 #else
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <sys/types.h>
 #include <unistd.h>
 #define ARROW_GETPID getpid
 #endif
@@ -17,10 +21,55 @@ namespace arrow::util {
 namespace {
 thread_local const FsFaults* t_fs_faults = nullptr;
 
-// Writes the (possibly capped) buffer to `tmp`; true only if every byte the
-// caller asked for made it out and flushed.
+#ifndef _WIN32
+
+// Writes the (possibly capped) buffer to `tmp` with POSIX I/O and fsyncs it
+// before close. Returns true only if every byte the caller asked for made it
+// out AND reached stable storage — a short write, a write error, a failed
+// fsync (real or injected) and a failed close all report false.
 bool write_bytes(const std::string& tmp, const char* data, std::size_t size,
-                 std::size_t cap) {
+                 std::size_t cap, bool inject_fsync_failure) {
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const std::size_t n = cap < size ? cap : size;
+  std::size_t off = 0;
+  bool ok = true;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      ok = false;
+      break;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  // The fsync is the durability half of the atomic-write contract: without
+  // it, rename(2) can land the new name on data the kernel never flushed,
+  // and a power loss leaves a complete-looking file full of zeros.
+  if (ok && (inject_fsync_failure || ::fsync(fd) != 0)) ok = false;
+  if (::close(fd) != 0) ok = false;
+  return ok && n == size;
+}
+
+// fsyncs the directory containing `path`, making the rename itself durable
+// (the new directory entry, not just the file's bytes). Best-effort: some
+// filesystems refuse O_DIRECTORY fsync; a failure here is reported.
+bool sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+#else  // _WIN32: no fsync discipline — crash-only (not power-loss) safety.
+
+bool write_bytes(const std::string& tmp, const char* data, std::size_t size,
+                 std::size_t cap, bool inject_fsync_failure) {
+  if (inject_fsync_failure) return false;
   std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
   if (!out) return false;
   const std::size_t n = cap < size ? cap : size;
@@ -28,6 +77,10 @@ bool write_bytes(const std::string& tmp, const char* data, std::size_t size,
   out.flush();
   return out.good() && n == size;
 }
+
+bool sync_parent_dir(const std::string&) { return true; }
+
+#endif
 }  // namespace
 
 ScopedFsFaults::ScopedFsFaults(const FsFaults& faults)
@@ -52,9 +105,11 @@ bool write_file_atomic(const std::string& path, const void* data,
       static_cast<std::size_t>(faults->write_cap_bytes) < size) {
     cap = static_cast<std::size_t>(faults->write_cap_bytes);
   }
+  const bool inject_fsync_failure =
+      faults != nullptr && faults->fail_fsync;
 
-  const bool wrote =
-      write_bytes(tmp, static_cast<const char*>(data), size, cap);
+  const bool wrote = write_bytes(tmp, static_cast<const char*>(data), size,
+                                 cap, inject_fsync_failure);
 
   if (faults != nullptr && faults->torn_write) {
     // Crash simulation: whatever landed in the temp file (typically capped)
@@ -76,8 +131,39 @@ bool write_file_atomic(const std::string& path, const void* data,
     std::remove(tmp.c_str());
     return false;
   }
-  return true;
+  // The rename landed; make it durable. A failed directory fsync is
+  // reported (the caller's error counters should see it) even though the
+  // new file is complete and valid — after a power loss either generation
+  // may be the one that survives, and both parse.
+  return sync_parent_dir(path);
 }
+
+#ifndef _WIN32
+
+FileLock::FileLock(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) return;
+  // Blocking: a saver waits its turn rather than dropping its merge. flock
+  // (not fcntl) so the lock is per-open-file-description — a close anywhere
+  // else in the process cannot release it early.
+  if (::flock(fd_, LOCK_EX) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  held_ = true;
+}
+
+FileLock::~FileLock() {
+  if (fd_ >= 0) ::close(fd_);  // closing the fd drops the flock
+}
+
+#else
+
+FileLock::FileLock(const std::string&) { held_ = true; }
+FileLock::~FileLock() = default;
+
+#endif
 
 std::optional<std::string> read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);

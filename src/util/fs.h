@@ -25,6 +25,11 @@ struct FsFaults {
   // >= 0: only this many bytes reach the temp file before the write fails
   // (ENOSPC / short write). The temp file is removed; the target untouched.
   long long write_cap_bytes = -1;
+  // fsync of the temp file (or of the parent directory after rename) fails
+  // — an I/O error at the exact point where durability is decided. The temp
+  // file is removed and the target is untouched, same contract as a short
+  // write.
+  bool fail_fsync = false;
   bool fail_rename = false;     // temp written fully, rename fails
   // Torn write: write_cap_bytes bytes (the whole buffer when < 0 — then this
   // flag alone is a no-op) land under the REAL name via rename, and the call
@@ -50,6 +55,13 @@ class ScopedFsFaults {
 // Writes `size` bytes to `path` via temp file + atomic rename. On any
 // failure the previous contents of `path` are preserved (except under an
 // injected torn_write, which is the crash case loaders must detect).
+//
+// Durability (POSIX): the temp file is fsync'd before the rename and the
+// parent directory is fsync'd after it, so a completed call survives power
+// loss — not just process death. rename alone orders nothing: a crash
+// could land the new name pointing at unwritten data, or roll the rename
+// back entirely. Elsewhere (non-POSIX builds) the fsyncs are no-ops and the
+// call keeps its crash-only (kill -9) guarantee.
 bool write_file_atomic(const std::string& path, const void* data,
                        std::size_t size);
 inline bool write_file_atomic(const std::string& path,
@@ -59,5 +71,30 @@ inline bool write_file_atomic(const std::string& path,
 
 // Whole file as bytes; nullopt when missing or unreadable.
 std::optional<std::string> read_file(const std::string& path);
+
+// Advisory inter-process mutex over a lock file: the constructor opens
+// (creating if needed) `path` and takes a blocking exclusive flock(2); the
+// destructor releases it. Guards read-merge-write cycles on files shared by
+// several processes (solver::BasisStore::save_shared) — rename alone keeps a
+// file untorn but lets the last writer silently drop everyone else's merge.
+// The lock file is left in place on release; unlinking it would race with a
+// waiter that already opened the same inode.
+//
+// held() is false when the lock could not be taken (callers should fall back
+// to best-effort, not fail the save). Non-POSIX builds have no flock; the
+// lock is vacuously held under the single-process assumption.
+class FileLock {
+ public:
+  explicit FileLock(const std::string& path);
+  ~FileLock();
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  bool held() const { return held_; }
+
+ private:
+  int fd_ = -1;
+  bool held_ = false;
+};
 
 }  // namespace arrow::util

@@ -232,6 +232,20 @@ TEST_F(JournalFsFaults, EnospcShortWriteKeepsOldFile) {
   EXPECT_TRUE(ctrl::StateJournal(path_).load().in_flight);
 }
 
+TEST_F(JournalFsFaults, FailedFsyncKeepsOldFileAndReports) {
+  // A write that cannot be made durable (fsync fails: dying disk, full
+  // thin-provisioned volume) must be treated exactly like a failed write:
+  // reported, and the previous journal stays the truth. Before
+  // write_file_atomic fsynced at all, this fault was silently invisible.
+  util::FsFaults f;
+  f.fail_fsync = true;
+  util::ScopedFsFaults scoped(f);
+  EXPECT_FALSE(journal_.end_run());
+  EXPECT_EQ(journal_.write_errors(), 1);
+  EXPECT_EQ(read_raw(path_), good_);
+  EXPECT_TRUE(ctrl::StateJournal(path_).load().in_flight);
+}
+
 TEST_F(JournalFsFaults, FailedRenameKeepsOldFile) {
   util::FsFaults f;
   f.fail_rename = true;

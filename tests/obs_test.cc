@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <clocale>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -221,6 +222,83 @@ TEST(Json, ParsesScalarsArraysObjectsAndEscapes) {
   EXPECT_DOUBLE_EQ(a->array[1].number, -25.0);
   EXPECT_TRUE(a->array[2].boolean);
   EXPECT_EQ(v.text("s"), "x\n\"y\"");
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  // \uXXXX must decode to the code point's UTF-8 bytes. The old parser kept
+  // only the low byte ("café" came back as "caf\xE9" Latin-1, CJK and
+  // anything above U+00FF was silently mangled).
+  obs::JsonValue v;
+  ASSERT_TRUE(obs::json_parse(R"({"s": "café"})", &v));
+  EXPECT_EQ(v.text("s"), "caf\xC3\xA9");  // U+00E9 is two UTF-8 bytes
+
+  ASSERT_TRUE(obs::json_parse(R"(["日本"])", &v));
+  EXPECT_EQ(v.array[0].str, "\xE6\x97\xA5\xE6\x9C\xAC");  // 日本
+
+  // Surrogate pair: U+1F600 arrives as "\\ud83d\\ude00" and must combine
+  // into one 4-byte sequence.
+  ASSERT_TRUE(obs::json_parse(R"(["\ud83d\ude00"])", &v));
+  EXPECT_EQ(v.array[0].str, "\xF0\x9F\x98\x80");
+
+  // A high surrogate without its partner is malformed input, not garbage
+  // output.
+  EXPECT_FALSE(obs::json_parse(R"(["\ud83d"])", &v));
+  EXPECT_FALSE(obs::json_parse(R"(["\ud83dx"])", &v));
+  EXPECT_FALSE(obs::json_parse(R"(["\ude00"])", &v));  // lone low surrogate
+}
+
+TEST(Json, EmitRoundTripsValuesAndUtf8) {
+  obs::JsonValue v;
+  ASSERT_TRUE(obs::json_parse(
+      "{\"pi\": 3.141592653589793, \"s\": \"caf\xC3\xA9 \xE6\x97\xA5\","
+      " \"neg\": -0.5, \"big\": 1e300, \"t\": true, \"n\": null,"
+      " \"a\": [1, 2.5, \"x\"]}",
+      &v));
+  const std::string emitted = obs::json_emit(v);
+  // Single line (NDJSON framing depends on this), and raw UTF-8 passes
+  // through unescaped.
+  EXPECT_EQ(emitted.find('\n'), std::string::npos);
+  EXPECT_NE(emitted.find("caf\xC3\xA9"), std::string::npos);
+
+  obs::JsonValue back;
+  ASSERT_TRUE(obs::json_parse(emitted, &back));
+  EXPECT_DOUBLE_EQ(back.find("pi")->number, 3.141592653589793);
+  EXPECT_DOUBLE_EQ(back.find("big")->number, 1e300);
+  EXPECT_DOUBLE_EQ(back.find("neg")->number, -0.5);
+  EXPECT_EQ(back.text("s"), v.text("s"));
+  EXPECT_TRUE(back.find("t")->boolean);
+  ASSERT_EQ(back.find("a")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(back.find("a")->array[1].number, 2.5);
+}
+
+TEST(Json, NumberIoIgnoresNumericLocale) {
+  // Under a comma-decimal locale, strtod("1.5") stops at the dot and
+  // snprintf("%g") prints "1,5" — either corrupts every float in the wire
+  // format. The parser and emitter must be locale-independent.
+  const char* locale_found = nullptr;
+  for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8",
+                           "fr_FR.utf8", "fr_FR"}) {
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+      locale_found = name;
+      break;
+    }
+  }
+  if (locale_found == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed in this image";
+  }
+  obs::JsonValue v;
+  const bool parsed = obs::json_parse("{\"x\": 1.5, \"y\": -2.25e3}", &v);
+  const std::string emitted = parsed ? obs::json_emit(v) : "";
+  std::setlocale(LC_NUMERIC, "C");  // restore before asserting
+  ASSERT_TRUE(parsed);
+  EXPECT_DOUBLE_EQ(v.find("x")->number, 1.5);
+  EXPECT_DOUBLE_EQ(v.find("y")->number, -2250.0);
+  EXPECT_NE(emitted.find("1.5"), std::string::npos) << emitted;
+  EXPECT_EQ(emitted.find("1,5"), std::string::npos) << emitted;
+
+  obs::JsonValue back;
+  ASSERT_TRUE(obs::json_parse(emitted, &back));
+  EXPECT_DOUBLE_EQ(back.find("x")->number, 1.5);
 }
 
 TEST(Json, RejectsMalformedInput) {
