@@ -1,0 +1,209 @@
+// The restoration-scheme matchup: every registered scheme — the paper's six
+// plus the related-work entrants (ReWeave-Local, PXT) — raced through one
+// demand-scaling sweep on FBsynth, followed by a head-to-head between
+// ReWeave's bounded local repair and the global re-solve it replaces.
+//
+// Reported (BENCH_scheme_matchup.json): per-scheme availability at each
+// swept scale, per-scheme solve cost (simplex pivots), ReWeave repair
+// telemetry from the sweep, and the single-cut matchup — local vs global
+// pivots and wall time, delivered-capacity agreement.
+//
+// Gates (exit nonzero on violation):
+//   * the sweep is clean: zero solve failures across all schemes/scales,
+//     and every registered scheme produced a full availability curve;
+//   * ReWeave-Local actually repaired cuts during the sweep (repair_cuts
+//     > 0) and every repair was answered (local + fallbacks == cuts);
+//   * the single-cut matchup: over the cuts the local LP fully recovers,
+//     restoration is >= 10x cheaper than the global re-solve — in summed
+//     simplex pivots or in summed wall time — and the delivered capacity
+//     (LP objective) matches the global optimum to 1e-6 relative. At least
+//     one cut must take the local path, else the matchup proved nothing.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "schemes/reweave.h"
+#include "schemes/scheme.h"
+#include "sim/sweep.h"
+#include "te/basic.h"
+#include "topo/builders.h"
+#include "traffic/traffic.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace arrow;
+
+namespace {
+
+bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] == '1';
+}
+
+}  // namespace
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  const bool fast = env_flag("ARROW_BENCH_FAST");
+  bench::BenchJson json("scheme_matchup");
+  bool ok = true;
+
+  const topo::Network net = topo::build_fbsynth();
+  util::Rng rng(7);
+  traffic::TrafficParams tp;
+  tp.num_matrices = 1;
+  const auto matrices = traffic::generate_traffic(net, tp, rng);
+  scenario::ScenarioParams sp;
+  sp.probability_cutoff = 0.001;
+  auto set = scenario::generate_scenarios(net, sp, rng);
+  const auto scenarios = scenario::remove_disconnecting(net, set.scenarios);
+
+  // --- the race: every registered scheme, one sweep -------------------------
+  sim::SweepParams params;
+  params.scales = fast ? std::vector<double>{0.3, 0.5}
+                       : std::vector<double>{0.1, 0.3, 0.5, 0.7, 0.9};
+  params.schemes = schemes::Registry::global().names();
+  params.tunnels.tunnels_per_flow = 6;
+  params.arrow.tickets.num_tickets = fast ? 3 : 6;
+  // FBsynth has far too many fiber pairs for exhaustive FFC-2 double-cut
+  // enumeration (0 = unlimited); cap it like bench_fig13 does.
+  params.ffc2_max_double_scenarios = fast ? 1 : 4;
+  const sim::SweepResult result =
+      sim::run_sweep(net, matrices, scenarios, params, rng);
+
+  std::printf("--- scheme matchup: %s, %zu scenarios, %zu schemes ---\n",
+              net.name.c_str(), scenarios.size(), params.schemes.size());
+  std::vector<std::string> header{"demand scale"};
+  for (const auto& s : result.schemes) header.push_back(s);
+  util::Table table(header);
+  for (std::size_t si = 0; si < result.scales.size(); ++si) {
+    std::vector<std::string> row{util::Table::num(result.scales[si], 2) + "x"};
+    for (const auto& s : result.schemes) {
+      row.push_back(util::Table::num(100.0 * result.availability.at(s)[si], 3) +
+                    "%");
+    }
+    table.add_row(row);
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  if (result.total_solve_failures() != 0) {
+    std::fprintf(stderr, "FAIL: sweep had %lld solve failures\n",
+                 result.total_solve_failures());
+    ok = false;
+  }
+  for (const auto& s : params.schemes) {
+    if (result.availability.at(s).size() != result.scales.size()) {
+      std::fprintf(stderr, "FAIL: %s missing availability points\n",
+                   s.c_str());
+      ok = false;
+    }
+    json.set("availability_" + s, result.availability.at(s).back());
+    json.set("pivots_" + s, result.simplex_iterations.at(s));
+  }
+
+  const long long sweep_cuts = result.repair_cuts.at("ReWeave-Local");
+  const long long sweep_local = result.repair_local.at("ReWeave-Local");
+  const long long sweep_fallbacks = result.repair_fallbacks.at("ReWeave-Local");
+  std::printf(
+      "ReWeave-Local sweep repairs: %lld cuts (%lld local, %lld global "
+      "fallbacks), %lld pivots\n",
+      sweep_cuts, sweep_local, sweep_fallbacks,
+      result.repair_simplex_iterations.at("ReWeave-Local"));
+  if (sweep_cuts <= 0 || sweep_local + sweep_fallbacks != sweep_cuts) {
+    std::fprintf(stderr,
+                 "FAIL: ReWeave-Local repair telemetry inconsistent "
+                 "(cuts=%lld local=%lld fallbacks=%lld)\n",
+                 sweep_cuts, sweep_local, sweep_fallbacks);
+    ok = false;
+  }
+  json.set("sweep_repair_cuts", sweep_cuts);
+  json.set("sweep_repair_local", sweep_local);
+  json.set("sweep_repair_fallbacks", sweep_fallbacks);
+
+  // --- the head-to-head: local repair vs the global re-solve ----------------
+  // Single-fiber cuts at a load where repair headroom exists; the gate sums
+  // cost over the cuts the local LP fully recovers.
+  te::TeInput input(net, matrices[0], scenarios, params.tunnels);
+  input.scale_demands(te::max_satisfiable_scale(input) * 0.3);
+  const te::TeSolution plan = te::solve_max_throughput(input);
+  if (!plan.optimal) {
+    std::fprintf(stderr, "FAIL: matchup base plan not optimal\n");
+    ok = false;
+  }
+
+  int single_cuts = 0, locals = 0;
+  long long local_pivots = 0, global_pivots = 0;
+  double local_seconds = 0.0, global_seconds = 0.0;
+  double worst_gap = 0.0;
+  for (int q = 0; q < input.num_scenarios(); ++q) {
+    if (scenarios[static_cast<std::size_t>(q)].cuts.size() != 1) continue;
+    ++single_cuts;
+    const auto& failed = input.failed_links(q);
+    const auto outcome = schemes::local_repair(input, plan, failed);
+    const te::TeSolution global = schemes::global_resolve(input, failed);
+    if (!outcome.ok || !global.optimal) {
+      std::fprintf(stderr, "FAIL: scenario %d unanswered (ok=%d gopt=%d)\n",
+                   q, static_cast<int>(outcome.ok),
+                   static_cast<int>(global.optimal));
+      ok = false;
+      continue;
+    }
+    if (!outcome.local) continue;  // fallback cuts race nothing
+    ++locals;
+    local_pivots += outcome.simplex_iterations;
+    local_seconds += outcome.solve_seconds;
+    global_pivots += global.simplex_iterations;
+    global_seconds += global.solve_seconds;
+    double delivered = 0.0;
+    for (double b : outcome.plan.admitted) delivered += b;
+    const double gap = std::abs(delivered - global.objective) /
+                       std::max(1.0, std::abs(global.objective));
+    if (gap > worst_gap) worst_gap = gap;
+  }
+
+  const double pivot_ratio =
+      local_pivots > 0 ? static_cast<double>(global_pivots) /
+                             static_cast<double>(local_pivots)
+                       : 0.0;
+  const double time_ratio =
+      local_seconds > 0.0 ? global_seconds / local_seconds : 0.0;
+  std::printf(
+      "single-cut matchup: %d/%d cuts repaired locally; pivots %lld vs %lld "
+      "(%.1fx), wall %.4fs vs %.4fs (%.1fx), worst delivered gap %.3e\n",
+      locals, single_cuts, local_pivots, global_pivots, pivot_ratio,
+      local_seconds, global_seconds, time_ratio, worst_gap);
+
+  if (locals < 1) {
+    std::fprintf(stderr, "FAIL: no single cut took the local path\n");
+    ok = false;
+  } else {
+    if (pivot_ratio < 10.0 && time_ratio < 10.0) {
+      std::fprintf(stderr,
+                   "FAIL: local repair not >=10x cheaper (pivots %.1fx, "
+                   "wall %.1fx)\n",
+                   pivot_ratio, time_ratio);
+      ok = false;
+    }
+    if (worst_gap > 1e-6) {
+      std::fprintf(stderr, "FAIL: delivered capacity gap %.3e > 1e-6\n",
+                   worst_gap);
+      ok = false;
+    }
+  }
+
+  json.set("single_cuts", single_cuts);
+  json.set("local_repairs", locals);
+  json.set("local_pivots", local_pivots);
+  json.set("global_pivots", global_pivots);
+  json.set("pivot_ratio", pivot_ratio);
+  json.set("local_wall_ms", 1e3 * local_seconds);
+  json.set("global_wall_ms", 1e3 * global_seconds);
+  json.set("worst_delivered_gap", worst_gap);
+  json.set("threads", 1);
+  json.write();
+
+  std::printf("%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -7,10 +7,14 @@
 //       restoration-ratio analysis over all single fiber cuts (§2.3)
 //   arrowctl latency <net.topo> <fiber_id> [--legacy]
 //       cut a fiber, plan restoration (RWA ILP), replay the reconfiguration
-//   arrowctl te <net.topo> <traffic.tm> [scale] [--obs <dir>]
-//       solve ARROW's restoration-aware TE and report per-scheme
-//       availability at the given demand scale; --obs records trace spans
-//       and writes trace_te.json + metrics_te.{prom,json} into <dir>
+//   arrowctl te <net.topo> <traffic.tm> [scale] [--schemes a,b,c]
+//                [--obs <dir>]
+//       race TE schemes and report per-scheme availability at the given
+//       demand scale. --schemes picks entrants by registry name (default:
+//       ARROW, ARROW-Naive, FFC-1, TeaVaR, ECMP); schemes that support
+//       localized repair are scored with their cut-time repairs applied.
+//       --obs records trace spans and writes trace_te.json +
+//       metrics_te.{prom,json} into <dir>
 //   arrowctl run <net.topo> <traffic.tm> [--journal <dir>] [--budget <s>]
 //                [--horizon <s>] [--cuts-per-day <n>] [--obs <dir>]
 //       run the event-driven WAN controller: deadline-enforced TE periods,
@@ -40,6 +44,7 @@
 
 #include "controller/controller.h"
 #include "obs/metrics.h"
+#include "schemes/scheme.h"
 #include "serve/engine.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -47,6 +52,7 @@
 #include "optical/latency.h"
 #include "optical/restoration.h"
 #include "sim/availability.h"
+#include "sim/sweep.h"
 #include "te/arrow.h"
 #include "te/basic.h"
 #include "te/ffc.h"
@@ -65,7 +71,8 @@ int usage() {
       "usage: arrowctl export <b4|ibm|fbsynth|testbed> <net.topo> [tm]\n"
       "       arrowctl ratio <net.topo>\n"
       "       arrowctl latency <net.topo> <fiber_id> [--legacy]\n"
-      "       arrowctl te <net.topo> <traffic.tm> [scale] [--obs <dir>]\n"
+      "       arrowctl te <net.topo> <traffic.tm> [scale]\n"
+      "                    [--schemes a,b,c] [--obs <dir>]\n"
       "       arrowctl run <net.topo> <traffic.tm> [--journal <dir>]\n"
       "                    [--budget <s>] [--horizon <s>]\n"
       "                    [--cuts-per-day <n>] [--obs <dir>]\n"
@@ -160,16 +167,50 @@ int cmd_latency(int argc, char** argv) {
   return 0;
 }
 
+// Splits a comma-separated --schemes value and validates every name against
+// the registry, so a typo fails with the registered names instead of an LP
+// trace.
+bool parse_scheme_list(const std::string& arg,
+                       std::vector<std::string>* out) {
+  const auto& registry = schemes::Registry::global();
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    std::size_t comma = arg.find(',', start);
+    if (comma == std::string::npos) comma = arg.size();
+    const std::string name = arg.substr(start, comma - start);
+    if (!name.empty()) {
+      if (!registry.contains(name)) {
+        std::fprintf(stderr, "arrowctl te: %s\n",
+                     registry.unknown_message(name).c_str());
+        return false;
+      }
+      out->push_back(name);
+    }
+    start = comma + 1;
+  }
+  if (out->empty()) {
+    std::fprintf(stderr, "arrowctl te: --schemes needs at least one name\n");
+    return false;
+  }
+  return true;
+}
+
 int cmd_te(int argc, char** argv) {
   if (argc < 4) return usage();
   const topo::Network net = topo::load_network_file(argv[2]);
   const auto tm = topo::load_traffic_file(argv[3]);
   double scale = 0.5;
   std::string obs_dir;
+  std::vector<std::string> scheme_names = {"ARROW", "ARROW-Naive", "FFC-1",
+                                           "TeaVaR", "ECMP"};
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--obs") == 0) {
       if (i + 1 >= argc) return usage();
       obs_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--schemes") == 0) {
+      if (i + 1 >= argc) return usage();
+      scheme_names.clear();
+      if (!parse_scheme_list(argv[++i], &scheme_names)) return 2;
     } else {
       scale = std::atof(argv[i]);
     }
@@ -192,24 +233,43 @@ int cmd_te(int argc, char** argv) {
 
   te::ArrowParams ap;
   ap.tickets.num_tickets = 8;
-  const auto prepared = te::prepare_arrow(input, ap, rng);
+  const auto& registry = schemes::Registry::global();
+  schemes::SchemeOptions options;
+  options.arrow = ap;
+  // The offline stage is only paid for when a selected scheme consumes it.
+  bool needs_prepared = false;
+  for (const auto& name : scheme_names) {
+    if (registry.capabilities(name).needs_prepared) needs_prepared = true;
+  }
+  te::ArrowPrepared prepared;
+  if (needs_prepared) prepared = te::prepare_arrow(input, ap, rng);
 
   util::Table table({"scheme", "throughput", "availability", "solve (s)"});
-  const auto report = [&](const te::TeSolution& sol) {
+  for (const auto& name : scheme_names) {
+    const auto scheme = registry.create(name, options);
+    const te::TeSolution sol =
+        scheme->solve(input, prepared, util::global_pool(), nullptr);
     if (!sol.optimal) {
       table.add_row({sol.scheme, "failed", "-", "-"});
-      return;
+      continue;
     }
-    const auto eval = sim::evaluate(input, sol);
+    // Repair-capable schemes are scored under their cut-time repairs —
+    // max-throughput TE plus localized repair is the whole proposition.
+    sim::RepairStats repairs;
+    const auto eval = scheme->capabilities().supports_local_repair
+                          ? sim::evaluate_with_repairs(input, sol, *scheme,
+                                                       &repairs)
+                          : sim::evaluate(input, sol);
     table.add_row({sol.scheme, util::Table::pct(eval.throughput),
                    util::Table::pct(eval.availability, 4),
                    util::Table::num(sol.solve_seconds, 2)});
-  };
-  report(te::solve_arrow(input, prepared, ap));
-  report(te::solve_arrow_naive(input, prepared, ap));
-  report(te::solve_ffc(input, te::FfcParams{1, 0}));
-  report(te::solve_teavar(input, te::TeaVarParams{}));
-  report(te::solve_ecmp(input));
+    if (repairs.cuts > 0) {
+      std::printf("  %s: %lld cut-time repairs (%lld local, %lld global "
+                  "fallbacks), %lld pivots\n",
+                  sol.scheme.c_str(), repairs.cuts, repairs.local,
+                  repairs.fallbacks, repairs.iterations);
+    }
+  }
   std::fputs(table.to_string().c_str(), stdout);
 
   if (!obs_dir.empty()) {
@@ -366,6 +426,15 @@ int cmd_serve(int argc, char** argv) {
     }
   }
   if (socket_path.empty() && port < 0) return usage();
+
+  // Startup capability log: which cut fast path this daemon will take.
+  const auto caps = schemes::Registry::global().capabilities(
+      ctrl::to_string(config.ctrl.scheme));
+  std::printf("scheme %s: optical restoration %s, local repair %s\n",
+              ctrl::to_string(config.ctrl.scheme),
+              caps.restores_optically ? "on" : "off",
+              caps.supports_local_repair ? "on (cut fast path active)"
+                                         : "off");
 
   serve::TickEngine engine(config);
   if (!topo_path.empty()) {

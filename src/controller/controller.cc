@@ -34,6 +34,7 @@ const char* to_string(Scheme s) {
     case Scheme::kFfc1: return "FFC-1";
     case Scheme::kTeaVar: return "TeaVaR";
     case Scheme::kEcmp: return "ECMP";
+    case Scheme::kReWeave: return "ReWeave-Local";
   }
   return "unknown";
 }

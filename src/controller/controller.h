@@ -42,6 +42,7 @@ enum class Scheme {
   kFfc1,        // failure-aware TE, no restoration
   kTeaVar,
   kEcmp,
+  kReWeave,     // max-throughput TE + localized IP-layer repair at cut time
 };
 
 const char* to_string(Scheme s);

@@ -38,6 +38,13 @@ te::TeSolution solve_primary(const ControllerConfig& config,
       return te::solve_teavar(input, te::TeaVarParams{});
     case Scheme::kEcmp:
       return te::solve_ecmp(input);
+    case Scheme::kReWeave: {
+      // The installed plan carries no failure headroom; the repair happens
+      // at cut time (serve::TickEngine's localized fast path).
+      te::TeSolution sol = te::solve_max_throughput(input);
+      sol.scheme = "ReWeave-Local";
+      return sol;
+    }
   }
   return te::solve_ecmp(input);
 }

@@ -98,6 +98,13 @@ std::string RunReport::to_json() const {
   out += "  \"emergency_restorations\": " +
          std::to_string(emergency_restorations) + ",\n";
   out += "  \"rwa_repairs\": " + std::to_string(rwa_repairs) + ",\n";
+  out += "  \"local_repairs\": " + std::to_string(local_repairs) + ",\n";
+  out += "  \"local_repair_fallbacks\": " +
+         std::to_string(local_repair_fallbacks) + ",\n";
+  out += "  \"local_repair_pivots\": " + std::to_string(local_repair_pivots) +
+         ",\n";
+  out += "  \"local_repair_seconds\": " + fmt_double(local_repair_seconds) +
+         ",\n";
   out += "  \"restorations\": " + std::to_string(restorations) + ",\n";
   out += "  \"restoration_latency_s\": {\"p50\": " +
          fmt_double(restoration_p50_s) +
@@ -173,6 +180,12 @@ bool RunReport::from_json(const std::string& text, RunReport* out) {
   r.emergency_restorations =
       static_cast<int>(root.num("emergency_restorations"));
   r.rwa_repairs = static_cast<int>(root.num("rwa_repairs"));
+  r.local_repairs = static_cast<int>(root.num("local_repairs"));
+  r.local_repair_fallbacks =
+      static_cast<int>(root.num("local_repair_fallbacks"));
+  r.local_repair_pivots =
+      static_cast<long long>(root.num("local_repair_pivots"));
+  r.local_repair_seconds = root.num("local_repair_seconds");
   r.restorations = static_cast<int>(root.num("restorations"));
   if (const JsonValue* lat = root.find("restoration_latency_s")) {
     r.restoration_p50_s = lat->num("p50");

@@ -56,7 +56,9 @@ struct RunReport {
   // candidates).
   // v4: adds Phase I decomposition counters (master rounds, sub-LP solves,
   // lazily generated rows).
-  static constexpr int kVersion = 4;
+  // v5: adds localized-repair counters (ReWeave-style cut-time repairs:
+  // counts, global fallbacks, pivots, solve seconds).
+  static constexpr int kVersion = 5;
 
   std::string run_id;
   std::string scheme;
@@ -111,6 +113,12 @@ struct RunReport {
   int unplanned_cuts = 0;
   int emergency_restorations = 0;
   int rwa_repairs = 0;
+  // Localized cut-time repairs (v5; schemes with supports_local_repair —
+  // zero for the optical-restoration schemes, whose cuts land above).
+  int local_repairs = 0;
+  int local_repair_fallbacks = 0;  // local LP insufficient, global re-solve
+  long long local_repair_pivots = 0;
+  double local_repair_seconds = 0.0;
   int restorations = 0;  // installed plans (latency samples below)
   double restoration_p50_s = 0.0;
   double restoration_p90_s = 0.0;

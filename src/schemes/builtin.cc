@@ -1,0 +1,182 @@
+// The six legacy competitors, adapted to the Scheme interface. Each solve()
+// forwards to the exact te:: call the sweep's old if-chain made — same
+// arguments, same order — so sweep output through the registry stays
+// byte-identical to the pre-registry sweep.
+#include <memory>
+#include <utility>
+
+#include "schemes/builtin.h"
+#include "te/basic.h"
+#include "ticket/ticket.h"
+#include "util/rng.h"
+
+namespace arrow::schemes {
+
+namespace {
+
+// Shared on_cut replay for the optically-restoring pair: realize the
+// scenario's restoration (winner ticket, or the naive RWA floor) with the
+// first-fit slot assigner and simulate the optical convergence. The TE plan
+// itself is unchanged — ARROW's headroom for the scenario was provisioned at
+// solve time — so this exists to price restoration latency, not to reroute.
+CutRepair optical_replay(const CutContext& ctx,
+                         const optical::LatencyParams& latency,
+                         bool force_naive) {
+  CutRepair repair;
+  if (ctx.prepared == nullptr || ctx.scenario < 0) return repair;
+  const auto q = static_cast<std::size_t>(ctx.scenario);
+  if (q >= ctx.prepared->rwa.size() || q >= ctx.prepared->tickets.size()) {
+    return repair;
+  }
+  const auto& tickets = ctx.prepared->tickets[q];
+  int w = -1;
+  if (!force_naive && q < ctx.plan.winner.size()) {
+    w = ctx.plan.winner[q];
+  }
+  const ticket::LotteryTicket ticket =
+      (w >= 0 && w < static_cast<int>(tickets.tickets.size()))
+          ? tickets.tickets[static_cast<std::size_t>(w)]
+          : ticket::naive_ticket(ctx.prepared->rwa[q]);
+  auto links = ctx.prepared->rwa[q].links;
+  const auto& cuts = ctx.input.scenarios()[q].cuts;
+  optical::assign_slots_first_fit(ctx.input.net(), cuts, links,
+                                  ticket.path_waves);
+  const auto plan = optical::plan_from_restoration(ctx.input.net(), links);
+  repair.ok = true;
+  repair.plan = ctx.plan;
+  if (!plan.empty()) {
+    util::Rng replay(ctx.seed);
+    const auto result = optical::simulate_restoration(
+        ctx.input.net(), cuts, plan, latency, replay);
+    repair.latency_s = result.total_s;
+  }
+  return repair;
+}
+
+class ArrowScheme final : public Scheme {
+ public:
+  explicit ArrowScheme(SchemeOptions options) : options_(std::move(options)) {}
+  const std::string& name() const override { return name_; }
+  Capabilities capabilities() const override {
+    Capabilities caps;
+    caps.needs_prepared = true;
+    caps.restores_optically = true;
+    return caps;
+  }
+  te::TeSolution solve(const te::TeInput& input,
+                       const te::ArrowPrepared& prepared,
+                       util::ThreadPool& pool,
+                       const te::RestorabilityCache* cache) override {
+    return te::solve_arrow(input, prepared, options_.arrow, pool, cache);
+  }
+  CutRepair on_cut(const CutContext& ctx) override {
+    return optical_replay(ctx, options_.latency, /*force_naive=*/false);
+  }
+
+ private:
+  const std::string name_ = "ARROW";
+  SchemeOptions options_;
+};
+
+class ArrowNaiveScheme final : public Scheme {
+ public:
+  explicit ArrowNaiveScheme(SchemeOptions options)
+      : options_(std::move(options)) {}
+  const std::string& name() const override { return name_; }
+  Capabilities capabilities() const override {
+    Capabilities caps;
+    caps.needs_prepared = true;
+    caps.restores_optically = true;
+    return caps;
+  }
+  te::TeSolution solve(const te::TeInput& input,
+                       const te::ArrowPrepared& prepared,
+                       util::ThreadPool& pool,
+                       const te::RestorabilityCache* cache) override {
+    return te::solve_arrow_naive(input, prepared, options_.arrow, pool, cache);
+  }
+  CutRepair on_cut(const CutContext& ctx) override {
+    return optical_replay(ctx, options_.latency, /*force_naive=*/true);
+  }
+
+ private:
+  const std::string name_ = "ARROW-Naive";
+  SchemeOptions options_;
+};
+
+class FfcScheme final : public Scheme {
+ public:
+  FfcScheme(std::string name, te::FfcParams params)
+      : name_(std::move(name)), params_(params) {}
+  const std::string& name() const override { return name_; }
+  Capabilities capabilities() const override { return {}; }
+  te::TeSolution solve(const te::TeInput& input, const te::ArrowPrepared&,
+                       util::ThreadPool&,
+                       const te::RestorabilityCache*) override {
+    return te::solve_ffc(input, params_);
+  }
+
+ private:
+  const std::string name_;
+  const te::FfcParams params_;
+};
+
+class TeaVarScheme final : public Scheme {
+ public:
+  explicit TeaVarScheme(SchemeOptions options)
+      : options_(std::move(options)) {}
+  const std::string& name() const override { return name_; }
+  Capabilities capabilities() const override { return {}; }
+  te::TeSolution solve(const te::TeInput& input, const te::ArrowPrepared&,
+                       util::ThreadPool&,
+                       const te::RestorabilityCache*) override {
+    return te::solve_teavar(input, options_.teavar);
+  }
+
+ private:
+  const std::string name_ = "TeaVaR";
+  SchemeOptions options_;
+};
+
+class EcmpScheme final : public Scheme {
+ public:
+  const std::string& name() const override { return name_; }
+  Capabilities capabilities() const override { return {}; }
+  te::TeSolution solve(const te::TeInput& input, const te::ArrowPrepared&,
+                       util::ThreadPool&,
+                       const te::RestorabilityCache*) override {
+    return te::solve_ecmp(input);
+  }
+
+ private:
+  const std::string name_ = "ECMP";
+};
+
+}  // namespace
+
+std::unique_ptr<Scheme> make_arrow(const SchemeOptions& options) {
+  return std::make_unique<ArrowScheme>(options);
+}
+
+std::unique_ptr<Scheme> make_arrow_naive(const SchemeOptions& options) {
+  return std::make_unique<ArrowNaiveScheme>(options);
+}
+
+std::unique_ptr<Scheme> make_ffc1(const SchemeOptions&) {
+  return std::make_unique<FfcScheme>("FFC-1", te::FfcParams{1, 0});
+}
+
+std::unique_ptr<Scheme> make_ffc2(const SchemeOptions& options) {
+  return std::make_unique<FfcScheme>(
+      "FFC-2", te::FfcParams{2, options.ffc2_max_double_scenarios});
+}
+
+std::unique_ptr<Scheme> make_teavar(const SchemeOptions& options) {
+  return std::make_unique<TeaVarScheme>(options);
+}
+
+std::unique_ptr<Scheme> make_ecmp(const SchemeOptions&) {
+  return std::make_unique<EcmpScheme>();
+}
+
+}  // namespace arrow::schemes

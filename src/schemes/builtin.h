@@ -1,0 +1,21 @@
+// Factories for the built-in scheme adapters. Registry's constructor
+// registers these eight, in the sweep's canonical order; they are exposed
+// here so tests can build registries of their own.
+#pragma once
+
+#include <memory>
+
+#include "schemes/scheme.h"
+
+namespace arrow::schemes {
+
+std::unique_ptr<Scheme> make_arrow(const SchemeOptions& options);
+std::unique_ptr<Scheme> make_arrow_naive(const SchemeOptions& options);
+std::unique_ptr<Scheme> make_ffc1(const SchemeOptions& options);
+std::unique_ptr<Scheme> make_ffc2(const SchemeOptions& options);
+std::unique_ptr<Scheme> make_teavar(const SchemeOptions& options);
+std::unique_ptr<Scheme> make_ecmp(const SchemeOptions& options);
+std::unique_ptr<Scheme> make_reweave(const SchemeOptions& options);
+std::unique_ptr<Scheme> make_pxt(const SchemeOptions& options);
+
+}  // namespace arrow::schemes

@@ -1,0 +1,49 @@
+// PXT: pre-cross-connected protection trails (after Chow et al.,
+// arXiv:cs/0209006), as a pre-provisioned optical-protection baseline.
+//
+// At prepare time, every probabilistic failure scenario gets protection
+// trails: surrogate fiber paths for each failed IP link with spectrum slots
+// reserved end-to-end and the intermediate ROADMs cross-connected in
+// advance. On a cut the transponders merely switch onto the trail — no RWA
+// solve, no ROADM reconfiguration — so restoration latency is detection
+// plus a transponder switchover and the solve cost is zero. The price is
+// the reservation itself: trails are dedicated, so a (fiber, slot) pair
+// reserved for one trail is unavailable to every other trail and to future
+// provisioning. plan_trails reserves greedily in scenario order against the
+// live spectrum occupancy plus the accumulating reservation map, and the
+// accounting (slots, Gbps-equivalent, unprotected links) is the scheme's
+// cost-model charge.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "schemes/scheme.h"
+
+namespace arrow::schemes {
+
+struct PxtTrailPlan {
+  // Per scenario (aligned with the input set): restored capacity per failed
+  // IP link once its trails are switched in. Drops straight into
+  // TeSolution::restored, so the standard evaluator credits it.
+  std::vector<std::map<topo::IpLinkId, double>> restored;
+  // Per fiber: slots reserved for trails, ascending. Disjoint from the
+  // provisioned wavelengths and from each other — the dedicated-protection
+  // invariant the spectrum-accounting tests pin down.
+  std::vector<std::vector<int>> reserved_slots;
+
+  int trails = 0;               // trail paths carrying >= 1 reserved wave
+  int reserved_slot_count = 0;  // total (fiber, slot) reservations
+  double reserved_gbps = 0.0;   // capacity-equivalent of the reservation
+  int unprotected_links = 0;    // (scenario, link) pairs with no trail at all
+};
+
+// Computes the trails for every scenario. Deterministic: greedy first-fit
+// in (scenario, failed link, candidate path, slot) order over the RWA
+// surrogate paths; no rng.
+PxtTrailPlan plan_trails(const topo::Network& net,
+                         const std::vector<scenario::Scenario>& scenarios,
+                         const PxtParams& params = {});
+
+}  // namespace arrow::schemes

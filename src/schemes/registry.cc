@@ -1,0 +1,77 @@
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "schemes/builtin.h"
+#include "schemes/scheme.h"
+
+namespace arrow::schemes {
+
+Registry::Registry() {
+  // Canonical order — the sweep's legacy six first, then the related-work
+  // entrants. names() preserves this order, and the sweep's scheme list and
+  // every unknown-scheme diagnostic follow it.
+  add("ARROW", make_arrow);
+  add("ARROW-Naive", make_arrow_naive);
+  add("FFC-1", make_ffc1);
+  add("FFC-2", make_ffc2);
+  add("TeaVaR", make_teavar);
+  add("ECMP", make_ecmp);
+  add("ReWeave-Local", make_reweave);
+  add("PXT", make_pxt);
+}
+
+Registry& Registry::global() {
+  // Leaked on purpose: schemes may be created during static destruction
+  // (test fixtures, atexit handlers) and must never see a dead registry.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+void Registry::add(const std::string& name, Factory factory) {
+  for (auto& entry : entries_) {
+    if (entry.first == name) {
+      entry.second = std::move(factory);
+      return;
+    }
+  }
+  entries_.emplace_back(name, std::move(factory));
+}
+
+bool Registry::contains(const std::string& name) const {
+  for (const auto& entry : entries_) {
+    if (entry.first == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.push_back(entry.first);
+  return out;
+}
+
+std::unique_ptr<Scheme> Registry::create(const std::string& name,
+                                         const SchemeOptions& options) const {
+  for (const auto& entry : entries_) {
+    if (entry.first == name) return entry.second(options);
+  }
+  throw std::logic_error(unknown_message(name));
+}
+
+Capabilities Registry::capabilities(const std::string& name) const {
+  return create(name)->capabilities();
+}
+
+std::string Registry::unknown_message(const std::string& name) const {
+  std::string msg = "unknown scheme '" + name + "' (registered: ";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) msg += ", ";
+    msg += entries_[i].first;
+  }
+  msg += ")";
+  return msg;
+}
+
+}  // namespace arrow::schemes

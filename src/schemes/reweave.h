@@ -1,0 +1,55 @@
+// ReWeave-Local: localized path weaving around a cut (after the ReWeave
+// idea of repairing only the neighborhood of a failure, arXiv:2509.00708,
+// rebuilt on this repo's tunnel/LP machinery).
+//
+// The installed plan is plain max-throughput TE — no failure headroom is
+// provisioned, because repair happens at cut time. On a cut, only the flows
+// that own a tunnel crossing a failed link are re-optimized: every other
+// flow's allocation is provably still feasible (none of its tunnels touch a
+// failed link) and is frozen as background load, so the repair LP holds
+// just the affected flows' surviving tunnels and the links they cross —
+// typically a small fraction of the global model, which is what makes the
+// repair fit a serving-tick budget. When the local LP cannot recover the
+// affected demand, the repair falls back to a global re-solve over all
+// surviving tunnels (the sweep's accuracy backstop; the daemon's next
+// ladder tick plays the same role there).
+#pragma once
+
+#include <vector>
+
+#include "schemes/scheme.h"
+
+namespace arrow::schemes {
+
+struct LocalRepairOutcome {
+  bool ok = false;            // a repaired plan is available
+  bool local = false;         // the bounded local LP sufficed
+  bool fell_back_global = false;
+  te::TeSolution plan;        // repaired plan (meaningful when ok)
+
+  // Shape of the repair: flows re-optimized, their pre-cut demand, and what
+  // the repair recovered for them (LP view).
+  int affected_flows = 0;
+  double affected_demand_gbps = 0.0;
+  double recovered_gbps = 0.0;
+
+  // Solve cost of the repair (the matchup bench's >=10x gate is on these).
+  double solve_seconds = 0.0;
+  long long simplex_iterations = 0;
+};
+
+// Weave flow around `failed_links` starting from the installed `plan`.
+// Deterministic: no rng, and the LP is built in fixed (flow, tunnel, link)
+// order. Unaffected flows keep their allocation byte-for-byte.
+LocalRepairOutcome local_repair(const te::TeInput& input,
+                                const te::TeSolution& plan,
+                                const std::vector<topo::IpLinkId>& failed_links,
+                                const ReWeaveParams& params = {});
+
+// The baseline the local repair races (and falls back to): max-throughput
+// over every flow's surviving tunnels, failed links excluded. This is what
+// a restoration-oblivious controller would re-solve from scratch.
+te::TeSolution global_resolve(const te::TeInput& input,
+                              const std::vector<topo::IpLinkId>& failed_links);
+
+}  // namespace arrow::schemes

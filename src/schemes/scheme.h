@@ -1,0 +1,180 @@
+// Pluggable restoration-scheme registry (ROADMAP item 3).
+//
+// Every TE competitor the sweep races — the paper's original five plus the
+// related-work entrants — implements one interface: solve() produces the
+// installed plan, on_cut() answers a failure at runtime, and capability
+// flags tell the callers what the scheme can do (does it consume ARROW's
+// offline artifacts? does it carry a per-scenario optical restoration plan?
+// can it weave a localized repair at cut time?). sim::run_sweep dispatches
+// through the registry instead of a hard-coded if-chain, so adding a
+// competitor is one register_scheme call, not a sweep edit; the serve
+// daemon consults the same flags to pick its cut fast path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "optical/latency.h"
+#include "te/arrow.h"
+#include "te/ffc.h"
+#include "te/input.h"
+#include "te/solution.h"
+#include "te/teavar.h"
+#include "util/parallel.h"
+
+namespace arrow::schemes {
+
+// What a scheme can do — consumed by run_sweep (prepare stage + repair-aware
+// evaluation) and by serve::TickEngine (cut fast path).
+struct Capabilities {
+  // Consumes the offline stage (prepare_arrow's RWA + LotteryTickets and the
+  // RestorabilityCache). The sweep only pays for the offline stage when some
+  // selected scheme sets this.
+  bool needs_prepared = false;
+  // The solution carries per-scenario restored capacity (TeSolution::
+  // restored) that the evaluator credits to failed links.
+  bool restores_optically = false;
+  // on_cut() can weave a repaired TE plan around a failure at runtime —
+  // the daemon's localized fast path and the sweep's repair-aware
+  // evaluation both key off this.
+  bool supports_local_repair = false;
+  // Reserves protection spectrum at prepare time (PXT); the reservation
+  // accounting is the scheme's cost-model charge.
+  bool preprovisions_spectrum = false;
+};
+
+// Knobs for the ReWeave-Local repair (see reweave.h for the algorithm).
+struct ReWeaveParams {
+  // A local repair counts as full recovery when it restores the affected
+  // flows' demand to within this many Gbps.
+  double full_recovery_tol = 1e-6;
+  // When the local LP cannot recover the demand, re-solve globally over the
+  // surviving tunnels instead of shipping a partial repair.
+  bool allow_global_fallback = true;
+  // IP-layer repair latency model: failure detection plus the port-channel
+  // re-hash once the new splits are installed (no optical reconfiguration).
+  double detection_s = 1.5;
+  double rebalance_s = 1.0;
+};
+
+// Knobs for the pre-cross-connected trails baseline (see pxt.h).
+struct PxtParams {
+  int k_paths = 3;      // trail candidates per failed link
+  // Cap on trail waves reserved per failed link (0 = up to the lost count).
+  int max_trail_waves = 0;
+  // Switching onto a pre-cross-connected trail is a transponder-speed
+  // operation: detection plus the switchover, no ROADM reconfiguration.
+  double detection_s = 1.5;
+  double switchover_s = 0.05;
+};
+
+// Per-scheme solver knobs, passed to the factory at create() time. This is
+// deliberately not sim::SweepParams — schemes must stay usable from the
+// daemon and benches without dragging the sweep in.
+struct SchemeOptions {
+  te::ArrowParams arrow;
+  te::TeaVarParams teavar;
+  int ffc2_max_double_scenarios = 0;
+  ReWeaveParams reweave;
+  PxtParams pxt;
+  // Optical restoration latency model, used by the on_cut replay of the
+  // optically-restoring schemes (ARROW, ARROW-Naive).
+  optical::LatencyParams latency;
+};
+
+// Everything on_cut() may consult. `scenario` indexes input.scenarios();
+// `plan` is the currently-installed solution the repair starts from; `seed`
+// keys any stochastic replay (optical restoration simulation) so repairs
+// never consume a shared rng stream.
+struct CutContext {
+  const te::TeInput& input;
+  int scenario = -1;
+  const te::TeSolution& plan;
+  const te::ArrowPrepared* prepared = nullptr;
+  std::uint64_t seed = 0;
+};
+
+// Outcome of on_cut(). `ok == false` means the scheme has no runtime answer
+// for this cut (the default for schemes that bake failure-awareness into the
+// installed plan and restore nothing at cut time).
+struct CutRepair {
+  bool ok = false;
+  bool local = false;             // localized repair sufficed
+  bool fell_back_global = false;  // local repair degraded to a global solve
+  te::TeSolution plan;            // repaired plan (meaningful when ok)
+  double latency_s = 0.0;         // time until the repair carries traffic
+  double solve_seconds = 0.0;
+  long long simplex_iterations = 0;
+};
+
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual Capabilities capabilities() const = 0;
+
+  // Produce the installed plan. `prepared` and `cache` are empty/null unless
+  // capabilities().needs_prepared (the sweep only builds them on demand);
+  // `pool` follows the sweep's chain discipline — an inline pool when called
+  // from a pool worker.
+  virtual te::TeSolution solve(const te::TeInput& input,
+                               const te::ArrowPrepared& prepared,
+                               util::ThreadPool& pool,
+                               const te::RestorabilityCache* cache) = 0;
+
+  // Answer a failure at runtime. Default: no runtime repair.
+  virtual CutRepair on_cut(const CutContext& ctx) {
+    (void)ctx;
+    return {};
+  }
+};
+
+// Name -> factory registry. The built-in schemes (ARROW, ARROW-Naive,
+// FFC-1, FFC-2, TeaVaR, ECMP, ReWeave-Local, PXT) are registered by the
+// global() constructor — deliberately not via file-scope static registrars,
+// which a static-library link is free to dead-strip.
+class Registry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Scheme>(const SchemeOptions&)>;
+
+  // The process-wide registry with the built-ins pre-registered.
+  static Registry& global();
+
+  // Registers (or replaces) a factory under `name`.
+  void add(const std::string& name, Factory factory);
+
+  bool contains(const std::string& name) const;
+
+  // Registered names, in registration order (built-ins first, in the
+  // sweep's canonical order).
+  std::vector<std::string> names() const;
+
+  // Instantiates `name`; throws std::logic_error listing the registered
+  // names when it is unknown (the satellite diagnostic — "unknown scheme"
+  // alone sent people grepping the sweep source).
+  std::unique_ptr<Scheme> create(const std::string& name,
+                                 const SchemeOptions& options = {}) const;
+
+  // Capability flags of `name` without keeping an instance (daemon startup
+  // log, cut fast-path dispatch). Throws like create() on unknown names.
+  Capabilities capabilities(const std::string& name) const;
+
+  // "unknown scheme 'X' (registered: A, B, ...)" — shared by create() and
+  // the sweep's own lookups so every unknown-scheme error reads the same.
+  std::string unknown_message(const std::string& name) const;
+
+  // Builds a fresh registry with only the built-ins (used by tests that
+  // mutate the registry without poisoning the process-wide one).
+  Registry();
+
+ private:
+  std::vector<std::pair<std::string, Factory>> entries_;
+};
+
+}  // namespace arrow::schemes

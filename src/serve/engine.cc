@@ -9,6 +9,8 @@
 #include "obs/trace.h"
 #include "optical/latency.h"
 #include "optical/rwa.h"
+#include "schemes/reweave.h"
+#include "schemes/scheme.h"
 #include "sim/availability.h"
 #include "te/basic.h"
 #include "ticket/ticket.h"
@@ -33,6 +35,7 @@ struct TickEngine::Prepared {
   te::TeInput input;
   double calibration = 1.0;
   bool restores = false;
+  bool local_repair = false;  // scheme weaves IP-layer repairs at cut time
   te::ArrowPrepared arrow;
   std::optional<te::RestorabilityCache> rcache;
 
@@ -189,6 +192,9 @@ bool TickEngine::ensure_prepared(const traffic::TrafficMatrix& tm,
 
   p.restores = config_.ctrl.scheme == ctrl::Scheme::kArrow ||
                config_.ctrl.scheme == ctrl::Scheme::kArrowNaive;
+  p.local_repair = schemes::Registry::global()
+                       .capabilities(ctrl::to_string(config_.ctrl.scheme))
+                       .supports_local_repair;
   // Ambient solver hooks are thread-local — under a fault drill the offline
   // stage must stay on this thread (same rule as run_controller).
   util::ThreadPool& pool =
@@ -388,6 +394,41 @@ TickEngine::CutResult TickEngine::cut(topo::FiberId fiber) {
     } else {
       ++unplanned_cuts_;
     }
+  } else if (p.local_repair) {
+    // Localized fast path: weave the installed plan around every active cut
+    // at the IP layer. No optical restoration, no scenario lookup — the
+    // repair LP is bounded by the failure's footprint, which is what lets
+    // it run inside the cut request instead of waiting for the next tick.
+    const std::vector<topo::FiberId> active(active_cuts_.begin(),
+                                            active_cuts_.end());
+    const auto outcome = schemes::local_repair(
+        p.input, *p.current, net_.failed_ip_links(active));
+    local_repair_seconds_ += outcome.solve_seconds;
+    local_repair_pivots_ += outcome.simplex_iterations;
+    if (outcome.ok) {
+      ++local_repairs_;
+      out.local_repair = outcome.local;
+      out.fell_back_global = outcome.fell_back_global;
+      out.restored_gbps = outcome.recovered_gbps;
+      const schemes::ReWeaveParams repair_params;
+      out.latency_s = repair_params.detection_s + outcome.solve_seconds +
+                      repair_params.rebalance_s;
+      restoration_latency_s_.push_back(out.latency_s);
+      // Install the repaired plan as current (not last_good: it is shaped
+      // for the failure state, and the next tick re-solves from scratch).
+      p.current = outcome.plan;
+      if (outcome.fell_back_global) {
+        ++local_repair_fallbacks_;
+        obs::Registry::global()
+            .counter("arrow_serve_local_repair_fallbacks_total")
+            .add();
+      }
+      obs::Registry::global()
+          .counter("arrow_serve_local_repairs_total")
+          .add();
+    } else {
+      ++unplanned_cuts_;
+    }
   } else {
     ++unplanned_cuts_;
   }
@@ -478,6 +519,10 @@ obs::RunReport TickEngine::report() const {
   rr.cuts_with_plan = cuts_with_plan_;
   rr.unplanned_cuts = unplanned_cuts_;
   rr.rwa_repairs = rwa_repairs_;
+  rr.local_repairs = local_repairs_;
+  rr.local_repair_fallbacks = local_repair_fallbacks_;
+  rr.local_repair_pivots = local_repair_pivots_;
+  rr.local_repair_seconds = local_repair_seconds_;
   rr.restorations = static_cast<int>(restoration_latency_s_.size());
   if (!restoration_latency_s_.empty()) {
     rr.restoration_p50_s = util::percentile(restoration_latency_s_, 50);

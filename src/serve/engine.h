@@ -92,6 +92,11 @@ class TickEngine {
     bool planned = false;        // an exact precomputed plan existed
     double restored_gbps = 0.0;
     double latency_s = 0.0;      // optical convergence time of the plan
+    // Localized-repair fast path (schemes whose registry capabilities set
+    // supports_local_repair): the installed plan was rewoven around the cut
+    // at the IP layer instead of restored optically.
+    bool local_repair = false;
+    bool fell_back_global = false;  // local LP insufficient; global re-solve
   };
   CutResult cut(topo::FiberId fiber);
   // Fiber spliced: the cut's own restored capacity reverts. False when the
@@ -157,6 +162,10 @@ class TickEngine {
   int cuts_handled_ = 0;
   int cuts_with_plan_ = 0;
   int unplanned_cuts_ = 0;
+  int local_repairs_ = 0;
+  int local_repair_fallbacks_ = 0;
+  long long local_repair_pivots_ = 0;
+  double local_repair_seconds_ = 0.0;
   std::vector<double> restoration_latency_s_;
   int basis_seeded_ = 0;
   int basis_absorbed_ = 0;

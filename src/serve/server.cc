@@ -201,6 +201,8 @@ std::string Server::handle_line(const std::string& line, bool* close_conn,
     f.object["planned"] = jbool(res.planned);
     f.object["restored_gbps"] = jnum(res.restored_gbps);
     f.object["latency_s"] = jnum(res.latency_s);
+    f.object["local_repair"] = jbool(res.local_repair);
+    f.object["fell_back_global"] = jbool(res.fell_back_global);
     return ok_line(std::move(f));
   }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "solver/lp.h"
 #include "util/check.h"
@@ -12,40 +14,81 @@ namespace arrow::sim {
 
 namespace {
 
-// `cache` (nullable) carries the matrix's precomputed restorability flags
-// into the ARROW solvers; `pool` is the pool those solvers may fan model
-// builds onto. Chains pass an inline pool — they already run concurrently
-// with each other, and nesting parallel_for on the shared pool from a worker
-// could deadlock (the worker blocks on futures no one is free to run).
-te::TeSolution solve_scheme(const std::string& scheme, const te::TeInput& input,
-                            const te::ArrowPrepared& prepared,
-                            const SweepParams& params,
-                            const te::RestorabilityCache* cache,
-                            util::ThreadPool& pool) {
-  if (scheme == "ARROW") {
-    return te::solve_arrow(input, prepared, params.arrow, pool, cache);
+schemes::SchemeOptions scheme_options(const SweepParams& params) {
+  schemes::SchemeOptions options;
+  options.arrow = params.arrow;
+  options.teavar = params.teavar;
+  options.ffc2_max_double_scenarios = params.ffc2_max_double_scenarios;
+  options.reweave = params.reweave;
+  options.pxt = params.pxt;
+  return options;
+}
+
+// The scheme list: explicit registry names when given (validated up front so
+// a typo fails before any LP runs, with the registered names in the error),
+// else the legacy booleans in their canonical order.
+std::vector<std::string> selected_schemes(const SweepParams& params) {
+  const auto& registry = schemes::Registry::global();
+  if (!params.schemes.empty()) {
+    for (const auto& name : params.schemes) {
+      if (!registry.contains(name)) {
+        throw std::logic_error(registry.unknown_message(name));
+      }
+    }
+    return params.schemes;
   }
-  if (scheme == "ARROW-Naive") {
-    return te::solve_arrow_naive(input, prepared, params.arrow, pool, cache);
-  }
-  if (scheme == "FFC-1") return te::solve_ffc(input, te::FfcParams{1, 0});
-  if (scheme == "FFC-2") {
-    return te::solve_ffc(
-        input, te::FfcParams{2, params.ffc2_max_double_scenarios});
-  }
-  if (scheme == "TeaVaR") return te::solve_teavar(input, params.teavar);
-  if (scheme == "ECMP") return te::solve_ecmp(input);
-  ARROW_CHECK(false, "unknown scheme");
-  return {};
+  std::vector<std::string> out;
+  if (params.run_arrow) out.push_back("ARROW");
+  if (params.run_arrow_naive) out.push_back("ARROW-Naive");
+  if (params.run_ffc1) out.push_back("FFC-1");
+  if (params.run_ffc2) out.push_back("FFC-2");
+  if (params.run_teavar) out.push_back("TeaVaR");
+  if (params.run_ecmp) out.push_back("ECMP");
+  return out;
 }
 
 }  // namespace
 
+Evaluation evaluate_with_repairs(const te::TeInput& input,
+                                 const te::TeSolution& sol,
+                                 schemes::Scheme& scheme, RepairStats* stats) {
+  Evaluation eval;
+  eval.healthy_satisfaction = scenario_satisfaction(input, sol, -1);
+  double failure_mass = 0.0;
+  double weighted = 0.0;
+  eval.per_scenario.reserve(static_cast<std::size_t>(input.num_scenarios()));
+  for (int q = 0; q < input.num_scenarios(); ++q) {
+    schemes::CutContext ctx{input, q, sol};
+    const schemes::CutRepair repair = scheme.on_cut(ctx);
+    double sat = 0.0;
+    if (repair.ok) {
+      sat = scenario_satisfaction(input, repair.plan, q);
+      ++stats->cuts;
+      if (repair.local) ++stats->local;
+      if (repair.fell_back_global) ++stats->fallbacks;
+      stats->iterations += repair.simplex_iterations;
+      stats->solve_seconds += repair.solve_seconds;
+      stats->latency_s += repair.latency_s;
+    } else {
+      sat = scenario_satisfaction(input, sol, q);
+    }
+    const double p = input.scenarios()[static_cast<std::size_t>(q)].probability;
+    eval.per_scenario.push_back(sat);
+    failure_mass += p;
+    weighted += p * sat;
+  }
+  const double healthy_mass = std::max(0.0, 1.0 - failure_mass);
+  eval.availability = healthy_mass * eval.healthy_satisfaction + weighted;
+  const double total_demand = input.total_demand();
+  eval.throughput =
+      total_demand > 0.0 ? sol.total_admitted() / total_demand : 1.0;
+  return eval;
+}
+
 long long SweepResult::total_solve_failures() const {
   long long n = 0;
-  for (const auto& [scheme, counts] : solve_failures) {
-    (void)scheme;
-    for (int c : counts) n += c;
+  for (const auto& entry : solve_failures) {
+    for (int c : entry.second) n += c;
   }
   return n;
 }
@@ -53,7 +96,21 @@ long long SweepResult::total_solve_failures() const {
 double SweepResult::max_scale_at(const std::string& scheme,
                                  double target) const {
   const auto it = availability.find(scheme);
-  ARROW_CHECK(it != availability.end(), "unknown scheme");
+  if (it == availability.end()) {
+    std::string msg = schemes::Registry::global().unknown_message(scheme);
+    msg += "; swept: ";
+    if (availability.empty()) {
+      msg += "(none)";
+    } else {
+      bool first = true;
+      for (const auto& entry : availability) {
+        if (!first) msg += ", ";
+        msg += entry.first;
+        first = false;
+      }
+    }
+    throw std::logic_error(msg);
+  }
   const auto& avail = it->second;
   if (avail.empty() || avail[0] < target) return 0.0;
   for (std::size_t i = 1; i < scales.size(); ++i) {
@@ -72,19 +129,24 @@ SweepResult run_sweep(const topo::Network& net,
                       util::ThreadPool& pool) {
   OBS_SPAN("run_sweep");
   ARROW_CHECK(!matrices.empty(), "no traffic matrices");
+  const auto& registry = schemes::Registry::global();
+  const auto options = scheme_options(params);
   SweepResult result;
   result.scales = params.scales;
-  if (params.run_arrow) result.schemes.push_back("ARROW");
-  if (params.run_arrow_naive) result.schemes.push_back("ARROW-Naive");
-  if (params.run_ffc1) result.schemes.push_back("FFC-1");
-  if (params.run_ffc2) result.schemes.push_back("FFC-2");
-  if (params.run_teavar) result.schemes.push_back("TeaVaR");
-  if (params.run_ecmp) result.schemes.push_back("ECMP");
+  result.schemes = selected_schemes(params);
+  bool needs_prepared = false;
   for (const auto& s : result.schemes) {
     result.availability[s].assign(params.scales.size(), 0.0);
     result.throughput[s].assign(params.scales.size(), 0.0);
     result.simplex_iterations[s] = 0;
     result.solve_failures[s].assign(params.scales.size(), 0);
+    result.repair_cuts[s] = 0;
+    result.repair_local[s] = 0;
+    result.repair_fallbacks[s] = 0;
+    result.repair_simplex_iterations[s] = 0;
+    result.repair_solve_seconds[s] = 0.0;
+    result.repair_latency_s[s] = 0.0;
+    if (registry.capabilities(s).needs_prepared) needs_prepared = true;
   }
 
   // Per-matrix calibration + offline ARROW stage, before any chain launches.
@@ -107,8 +169,9 @@ SweepResult run_sweep(const topo::Network& net,
     ARROW_CHECK(calibration > 0.0, "matrix cannot be satisfied at any scale");
     input.scale_demands(calibration);
     // Offline stage: tickets are demand-independent, shared across scales
-    // (and across the ARROW / ARROW-Naive chains of this matrix).
-    if (params.run_arrow || params.run_arrow_naive) {
+    // (and across the ARROW / ARROW-Naive chains of this matrix). Only paid
+    // for when a selected scheme consumes it (needs_prepared).
+    if (needs_prepared) {
       prepared[static_cast<std::size_t>(mi)] =
           te::prepare_arrow(input, params.arrow, rng, pool);
       caches[static_cast<std::size_t>(mi)].emplace(
@@ -128,6 +191,7 @@ SweepResult run_sweep(const topo::Network& net,
     std::vector<double> availability, throughput;
     std::vector<char> failed;  // per scale: solve came back non-optimal
     long long iterations = 0;
+    RepairStats repairs;
   };
   std::vector<ChainJob> jobs;
   for (int mi = 0; mi < M; ++mi) {
@@ -142,16 +206,22 @@ SweepResult run_sweep(const topo::Network& net,
     out.availability.assign(params.scales.size(), 0.0);
     out.throughput.assign(params.scales.size(), 0.0);
     out.failed.assign(params.scales.size(), 0);
+    // One scheme instance per chain: instance-local state (PXT's trail plan)
+    // is computed once and shared across the chain's scales, never across
+    // threads.
+    const std::unique_ptr<schemes::Scheme> scheme =
+        registry.create(job.scheme, options);
+    const bool repair_aware = scheme->capabilities().supports_local_repair;
     // Private copy: scale_demands mutates the input in place.
     te::TeInput input = inputs[static_cast<std::size_t>(job.mi)];
     const te::ArrowPrepared& prep = prepared[static_cast<std::size_t>(job.mi)];
     const auto& mcache = caches[static_cast<std::size_t>(job.mi)];
     const te::RestorabilityCache* rcache = mcache ? &*mcache : nullptr;
-    // Model builds inside a chain stay on this worker thread (see
-    // solve_scheme); the chains themselves are the parallelism. With the
-    // Phase I decomposition enabled this also runs its per-scenario sub-LPs
-    // inline, which keeps the chain's ambient hooks (warm-start cache, fault
-    // observers, deadlines) visible to every sub-LP solve.
+    // Model builds inside a chain stay on this worker thread (the chains
+    // themselves are the parallelism). With the Phase I decomposition
+    // enabled this also runs its per-scenario sub-LPs inline, which keeps
+    // the chain's ambient hooks (warm-start cache, fault observers,
+    // deadlines) visible to every sub-LP solve.
     util::ThreadPool chain_pool(1);
     std::optional<solver::ScopedWarmStartCache> cache;
     if (params.warm_start) cache.emplace();
@@ -160,13 +230,16 @@ SweepResult run_sweep(const topo::Network& net,
       input.scale_demands(params.scales[si] / prev_scale);
       prev_scale = params.scales[si];
       const te::TeSolution sol =
-          solve_scheme(job.scheme, input, prep, params, rcache, chain_pool);
+          scheme->solve(input, prep, chain_pool, rcache);
       out.iterations += sol.simplex_iterations;
       if (!sol.optimal) {
         out.failed[si] = 1;
         continue;
       }
-      const Evaluation eval = evaluate(input, sol);
+      const Evaluation eval =
+          repair_aware ? evaluate_with_repairs(input, sol, *scheme,
+                                               &out.repairs)
+                       : evaluate(input, sol);
       out.availability[si] = eval.availability;
       out.throughput[si] = eval.throughput;
     }
@@ -185,6 +258,29 @@ SweepResult run_sweep(const topo::Network& net,
       fails[si] += outs[ji].failed[si];
     }
     result.simplex_iterations[job.scheme] += outs[ji].iterations;
+    const RepairStats& rs = outs[ji].repairs;
+    result.repair_cuts[job.scheme] += rs.cuts;
+    result.repair_local[job.scheme] += rs.local;
+    result.repair_fallbacks[job.scheme] += rs.fallbacks;
+    result.repair_simplex_iterations[job.scheme] += rs.iterations;
+    result.repair_solve_seconds[job.scheme] += rs.solve_seconds;
+    result.repair_latency_s[job.scheme] += rs.latency_s;
+  }
+  long long total_local = 0;
+  long long total_fallbacks = 0;
+  for (const auto& entry : result.repair_local) total_local += entry.second;
+  for (const auto& entry : result.repair_fallbacks) {
+    total_fallbacks += entry.second;
+  }
+  if (total_local > 0) {
+    obs::Registry::global()
+        .counter("arrow_sim_local_repairs_total")
+        .add(static_cast<std::uint64_t>(total_local));
+  }
+  if (total_fallbacks > 0) {
+    obs::Registry::global()
+        .counter("arrow_sim_local_repair_fallbacks_total")
+        .add(static_cast<std::uint64_t>(total_fallbacks));
   }
 
   // Average over the matrices that actually solved: a failed solve is

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "schemes/scheme.h"
 #include "sim/availability.h"
 #include "te/arrow.h"
 #include "te/basic.h"
@@ -18,6 +19,10 @@ namespace arrow::sim {
 
 struct SweepParams {
   std::vector<double> scales = {1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5};
+  // Schemes to race, by registry name (schemes::Registry). When empty the
+  // legacy run_* booleans below select among the original six, in the same
+  // canonical order — existing callers keep byte-identical output.
+  std::vector<std::string> schemes;
   bool run_arrow = true;
   bool run_arrow_naive = true;
   bool run_ffc1 = true;
@@ -32,6 +37,8 @@ struct SweepParams {
   te::ArrowParams arrow;
   te::TeaVarParams teavar;
   int ffc2_max_double_scenarios = 0;  // cap for very large topologies
+  schemes::ReWeaveParams reweave;
+  schemes::PxtParams pxt;
 };
 
 struct SweepResult {
@@ -60,6 +67,21 @@ struct SweepResult {
   // here for exactly the (scheme, scale) slots it hit.
   std::map<std::string, std::vector<int>> solve_failures;
 
+  // Runtime-repair telemetry, summed over matrices, scales, and scenarios.
+  // Populated (non-zero) only for schemes whose capabilities() advertise
+  // supports_local_repair: those are evaluated repair-aware — each failure
+  // scenario is scored under the plan on_cut() installs, not the pre-cut
+  // plan — and these maps record what the repairs cost. Like
+  // simplex_iterations this is telemetry about the path taken; the
+  // *_seconds / latency sums carry wall time and are not thread-count
+  // reproducible.
+  std::map<std::string, long long> repair_cuts;       // on_cut() ok
+  std::map<std::string, long long> repair_local;      // local LP sufficed
+  std::map<std::string, long long> repair_fallbacks;  // global re-solve
+  std::map<std::string, long long> repair_simplex_iterations;
+  std::map<std::string, double> repair_solve_seconds;
+  std::map<std::string, double> repair_latency_s;  // summed restoration lag
+
   // Failures summed over every scheme and scale — the "this sweep is clean"
   // assertion benches make before trusting the curves.
   long long total_solve_failures() const;
@@ -69,9 +91,33 @@ struct SweepResult {
   // Returns 0 if even the smallest scale misses the target, and the last
   // grid scale if the curve never drops below it. Scanning stops at the
   // first crossing — a non-monotone curve (solver noise at high scales)
-  // must not resurrect a later, larger answer.
+  // must not resurrect a later, larger answer. A scheme that was not swept
+  // throws std::logic_error naming the swept and registered schemes.
   double max_scale_at(const std::string& scheme, double target) const;
 };
+
+// What a run of cut-time repairs cost, accumulated by
+// evaluate_with_repairs (and summed into SweepResult's repair_* maps).
+struct RepairStats {
+  long long cuts = 0;       // on_cut() returned a repaired plan
+  long long local = 0;      // the bounded local LP sufficed
+  long long fallbacks = 0;  // degraded to a global re-solve
+  long long iterations = 0;
+  double solve_seconds = 0.0;
+  double latency_s = 0.0;
+};
+
+// Repair-aware evaluation for supports_local_repair schemes: each failure
+// scenario is scored under the plan scheme.on_cut() would install at
+// runtime — evaluate()'s exact probability weighting otherwise, with the
+// healthy state and LP-view throughput taken from the installed plan. A
+// scenario whose repair fails (ok == false) falls back to the installed
+// plan, like a controller that shipped nothing. Used by run_sweep and by
+// callers racing repair-capable schemes outside a sweep (arrowctl te,
+// bench_scheme_matchup).
+Evaluation evaluate_with_repairs(const te::TeInput& input,
+                                 const te::TeSolution& sol,
+                                 schemes::Scheme& scheme, RepairStats* stats);
 
 // Solves every (traffic matrix, scheme) chain as one pool task; within a
 // chain the scales run sequentially (that order is what the warm-start

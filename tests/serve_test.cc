@@ -183,6 +183,46 @@ TEST(ServeEngine, TickCutRepairAndReport) {
   engine.drain();  // idempotent
 }
 
+// Cut fast-path drill: with a scheme whose registry capabilities advertise
+// supports_local_repair, a cut must be answered by weaving the installed
+// plan around the failure (or an honest global fallback) — never by the
+// unplanned-cut path — and the repair telemetry must land in the RunReport.
+TEST(ServeEngine, ReWeaveCutFastPathDrill) {
+  serve::EngineConfig config = test_config();
+  config.ctrl.scheme = ctrl::Scheme::kReWeave;
+  serve::TickEngine engine(config);
+
+  ASSERT_TRUE(engine.set_topology(test_net()).ok);
+  const auto tm = test_tm(test_net(), 7);
+  const auto t1 = engine.tick(tm);
+  ASSERT_TRUE(t1.ok) << t1.error;
+
+  const auto cut = engine.cut(0);
+  ASSERT_TRUE(cut.ok) << cut.error;
+  EXPECT_FALSE(cut.planned);  // ReWeave precomputes nothing optical
+  EXPECT_TRUE(cut.local_repair || cut.fell_back_global);
+  if (cut.local_repair) {
+    // Detection + repair solve + rebalance: strictly positive, and far
+    // below an optical restoration's ROADM reconfiguration budget.
+    EXPECT_GT(cut.latency_s, 0.0);
+  }
+
+  const obs::RunReport report = engine.report();
+  EXPECT_EQ(report.cuts_handled, 1);
+  EXPECT_EQ(report.local_repairs + report.local_repair_fallbacks, 1);
+  EXPECT_GE(report.local_repair_seconds, 0.0);
+  if (report.local_repairs == 1) {
+    EXPECT_GT(report.restoration_p99_s, 0.0);
+  }
+
+  // The next tick re-solves from scratch and must stay healthy with the
+  // fiber still dark.
+  const auto t2 = engine.tick(tm);
+  ASSERT_TRUE(t2.ok) << t2.error;
+  EXPECT_TRUE(engine.repair(0));
+  engine.drain();
+}
+
 TEST(ServeEngine, RefusesOutOfOrderRequests) {
   serve::TickEngine engine(test_config());
   EXPECT_FALSE(engine.tick(test_tm(test_net(), 7)).ok);  // no topology
